@@ -1,0 +1,229 @@
+(* chimera — command-line front end to the rewriting toolchain.
+
+   Binaries live on disk in the SELF container (see Binfile.save):
+
+     chimera gen matmul mm.self            build a sample RVV binary
+     chimera gen spec:omnetpp_r o.self     build a synthetic benchmark
+     chimera info mm.self                  sections, symbols, disassembly
+     chimera rewrite -m downgrade mm.self mm.base.self
+     chimera run --isa rv64gc mm.base.self run under the Chimera runtime
+*)
+
+open Cmdliner
+
+let isa_of_string = function
+  | "rv64im" | "base" -> Ok Ext.base
+  | "rv64imc" | "rv64gc" -> Ok Ext.rv64gc
+  | "rv64imcv" | "rv64gcv" -> Ok Ext.rv64gcv
+  | "rv64imcp" | "rv64gcp" -> Ok (Ext.of_list [ Ext.C; Ext.P ])
+  | "all" -> Ok Ext.all
+  | s -> Error (`Msg (Printf.sprintf "unknown ISA %S (rv64gc, rv64gcv, rv64gcp, base, all)" s))
+
+let isa_conv = Arg.conv (isa_of_string, fun fmt isa -> Ext.pp fmt isa)
+
+(* ---- gen ---------------------------------------------------------------- *)
+
+let gen_kinds =
+  "matmul (RVV), matmul-scalar, vecadd, vecadd-scalar, fibonacci, \
+   gemv, gemv-scalar, or spec:<profile> (e.g. spec:omnetpp_r)"
+
+let cmd_gen kind out n =
+  let bin =
+    match kind with
+    | "matmul" -> Programs.matmul `Ext ~n
+    | "matmul-scalar" -> Programs.matmul `Base ~n
+    | "vecadd" -> Programs.vecadd `Ext ~n
+    | "vecadd-scalar" -> Programs.vecadd `Base ~n
+    | "fibonacci" -> Programs.fibonacci ~rounds:n ()
+    | "gemv" -> Programs.gemv `Ext ~sew:Inst.E64 ~n
+    | "gemv-scalar" -> Programs.gemv `Base ~sew:Inst.E64 ~n
+    | k when String.length k > 5 && String.sub k 0 5 = "spec:" -> (
+        let name = String.sub k 5 (String.length k - 5) in
+        match Specgen.find name with
+        | pr -> Specgen.build pr
+        | exception Not_found ->
+            Printf.eprintf "unknown profile %s; known: %s\n" name
+              (String.concat ", "
+                 (List.map (fun p -> p.Specgen.sp_name)
+                    (Specgen.spec_profiles @ Specgen.realworld_profiles)));
+            exit 2)
+    | k ->
+        Printf.eprintf "unknown kind %s; known: %s\n" k gen_kinds;
+        exit 2
+  in
+  Binfile.save out bin;
+  Format.printf "%a@.-> %s@." Binfile.pp_summary bin out
+
+(* ---- info --------------------------------------------------------------- *)
+
+let cmd_info file disasm_count cfg_out =
+  let bin = Binfile.load_file file in
+  Format.printf "%a@." Binfile.pp_summary bin;
+  (match cfg_out with
+  | None -> ()
+  | Some path ->
+      let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Format.fprintf (Format.formatter_of_out_channel oc) "%a@." Cfg.pp_dot cfg);
+      Format.printf "CFG written to %s (graphviz)@." path);
+  if disasm_count > 0 then begin
+    let dis = Disasm.of_binfile bin in
+    Format.printf "@.recursive-descent coverage: %d instructions, %d/%d bytes@."
+      (Disasm.count dis) (Disasm.covered_bytes dis) (Binfile.code_size bin);
+    Format.printf "first %d instructions:@." disasm_count;
+    let shown = ref 0 in
+    (try
+       Disasm.iter dis (fun i ->
+           if !shown >= disasm_count then raise Exit;
+           incr shown;
+           Format.printf "  %a@." Disasm.pp_insn i)
+     with Exit -> ())
+  end
+
+(* ---- rewrite -------------------------------------------------------------- *)
+
+let cmd_rewrite mode style no_gp infile outfile =
+  let bin = Binfile.load_file infile in
+  let mode =
+    match mode with
+    | "downgrade" -> Chbp.Downgrade
+    | "upgrade" -> Chbp.Upgrade
+    | "empty" -> Chbp.Empty
+    | m ->
+        Printf.eprintf "unknown mode %s (downgrade, upgrade, empty)\n" m;
+        exit 2
+  in
+  let style = if style then `Trap else `Smile in
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options mode) with style; use_gp = not no_gp }
+      bin
+  in
+  let out = Chbp.result ctx in
+  Binfile.save outfile out;
+  Format.printf "%a@.@.%a@.-> %s@." Binfile.pp_summary out Chbp.pp_stats
+    (Chbp.stats ctx) outfile;
+  Format.printf
+    "note: the fault-handling table lives with the rewriting context; use@.\
+     'chimera run' (which rewrites in memory) to execute with recovery.@."
+
+(* ---- run ------------------------------------------------------------------ *)
+
+(* single-step the first [n] instructions, printing pc and the decoded
+   instruction (from the current view, so trampolines appear as patched) *)
+let trace_steps m handlers n fuel =
+  let shown = ref 0 and stop = ref None and steps = ref 0 in
+  while !stop = None && !steps < fuel do
+    (if !shown < n then begin
+       let pc = Machine.pc m in
+       let mem = Machine.mem m in
+       let lo = Memory.peek_u16 mem pc in
+       let hi = Memory.peek_u16 mem (pc + 2) in
+       (match Decode.decode ~lo ~hi with
+       | Decode.Ok (i, _) -> Format.printf "  %08x: %s@." pc (Inst.to_string i)
+       | Decode.Illegal r -> Format.printf "  %08x: <illegal: %s>@." pc r);
+       incr shown;
+       if !shown = n then Format.printf "  ... (trace limit reached)@."
+     end);
+    (match Machine.step ~handlers m with Some s -> stop := Some s | None -> ());
+    incr steps
+  done;
+  match !stop with Some s -> s | None -> Machine.Fuel_exhausted
+
+let cmd_run file isa fuel plain show_counters trace =
+  let bin = Binfile.load_file file in
+  let stop, m, counters =
+    if plain then begin
+      let mem = Loader.load bin in
+      let m = Machine.create ~mem ~isa () in
+      Loader.init_machine m bin;
+      let stop =
+        if trace > 0 then trace_steps m Machine.default_handlers trace fuel
+        else Machine.run ~fuel m
+      in
+      (stop, m, None)
+    end
+    else if trace > 0 then begin
+      let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+      let rt = Chimera_rt.create ctx in
+      let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa () in
+      Loader.init_machine m (Chimera_rt.rewritten rt);
+      let stop = trace_steps m (Chimera_rt.handlers rt) trace fuel in
+      (stop, m, Some (Chimera_rt.counters rt))
+    end
+    else
+      let dep = Chimera_system.deploy bin ~cores:[ isa ] in
+      let stop, m = Chimera_system.run dep ~isa ~fuel in
+      (stop, m, Some (Chimera_system.counters dep))
+  in
+  (match counters with
+  | Some c when show_counters -> Format.printf "%a@." Counters.pp c
+  | Some _ | None -> ());
+  (match stop with
+  | Machine.Exited code ->
+      Format.printf "exit %d after %d instructions (%d cycles, %d vector)@." code
+        (Machine.retired m) (Machine.cycles m) (Machine.vector_retired m)
+  | Machine.Faulted f ->
+      Format.printf "fault: %s after %d instructions@." (Fault.to_string f)
+        (Machine.retired m);
+      exit 1
+  | Machine.Fuel_exhausted ->
+      Format.printf "fuel exhausted (%d instructions)@." (Machine.retired m);
+      exit 1);
+  exit 0
+
+(* ---- command line ---------------------------------------------------------- *)
+
+let gen_cmd =
+  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:gen_kinds) in
+  let out = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT") in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Problem size / rounds.") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a sample binary") Term.(const cmd_gen $ kind $ out $ n)
+
+let info_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let n = Arg.(value & opt int 16 & info [ "d"; "disasm" ] ~doc:"Instructions to list (0 = none).") in
+  let cfg = Arg.(value & opt (some string) None & info [ "cfg" ] ~doc:"Write the CFG as graphviz dot to $(docv).") in
+  Cmd.v (Cmd.info "info" ~doc:"Inspect a SELF binary") Term.(const cmd_info $ file $ n $ cfg)
+
+let rewrite_cmd =
+  let mode =
+    Arg.(value & opt string "downgrade" & info [ "m"; "mode" ] ~doc:"downgrade, upgrade or empty.")
+  in
+  let trap = Arg.(value & flag & info [ "trap" ] ~doc:"Use trap-based trampolines (strawman).") in
+  let no_gp =
+    Arg.(value & flag & info [ "no-gp" ]
+         ~doc:"General-register SMILE (paper Fig. 5): trampolines over lui+load idioms.")
+  in
+  let infile = Arg.(required & pos 0 (some string) None & info [] ~docv:"IN") in
+  let outfile = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT") in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Rewrite a binary with CHBP")
+    Term.(const cmd_rewrite $ mode $ trap $ no_gp $ infile $ outfile)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let isa = Arg.(value & opt isa_conv Ext.rv64gcv & info [ "isa" ] ~doc:"Hart capabilities.") in
+  let fuel = Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+  let plain =
+    Arg.(value & flag & info [ "plain" ] ~doc:"Run without Chimera (no rewriting/recovery).")
+  in
+  let counters =
+    Arg.(value & flag & info [ "counters" ] ~doc:"Print the runtime's recovery counters.")
+  in
+  let trace =
+    Arg.(value & opt int 0 & info [ "trace" ]
+         ~doc:"Print the first $(docv) executed instructions (0 = off).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a binary on a simulated hart")
+    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ trace)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "chimera" ~version:"1.0.0"
+             ~doc:"Transparent ISAX heterogeneous computing via binary rewriting")
+          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd ]))

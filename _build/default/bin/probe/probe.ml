@@ -1,0 +1,3 @@
+let () =
+  let t = Mixgen.costs () in
+  Format.printf "%a@." Mixgen.pp_costs t

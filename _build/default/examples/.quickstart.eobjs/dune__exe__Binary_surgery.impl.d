@@ -1,0 +1,1 @@
+examples/binary_surgery.ml: Asm Binfile Cfg Chbp Chimera_rt Counters Disasm Ext Fault Fault_table Format Inst Int64 Layout List Liveness Machine Reg

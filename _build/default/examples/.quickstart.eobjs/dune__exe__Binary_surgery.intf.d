@@ -1,0 +1,1 @@
+examples/binary_surgery.mli:

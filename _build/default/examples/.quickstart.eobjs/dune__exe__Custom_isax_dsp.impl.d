@@ -1,0 +1,1 @@
+examples/custom_isax_dsp.ml: Asm Binfile Chbp Chimera_system Ext Fault Format Inst List Loader Machine Reg

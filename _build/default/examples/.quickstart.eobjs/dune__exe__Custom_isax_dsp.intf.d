@@ -1,0 +1,1 @@
+examples/custom_isax_dsp.mli:

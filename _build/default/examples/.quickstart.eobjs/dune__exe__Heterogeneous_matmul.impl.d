@@ -1,0 +1,1 @@
+examples/heterogeneous_matmul.ml: Format List Mixgen Sched

@@ -1,0 +1,1 @@
+examples/openblas_offload.ml: Blas Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Binfile Chbp Chimera_system Ext Fault Format List Loader Machine Programs

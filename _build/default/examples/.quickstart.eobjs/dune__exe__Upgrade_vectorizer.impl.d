@@ -1,0 +1,1 @@
+examples/upgrade_vectorizer.ml: Asm Binfile Chbp Chimera_rt Ext Fault Format Inst Int64 Loader Machine Reg

@@ -1,0 +1,27 @@
+(* OpenBLAS-style kernel offload across heterogeneous cores (paper §6.4).
+
+     dune exec examples/openblas_offload.exe
+
+   A multithreaded dgemm is split into row blocks scheduled dynamically over
+   4 base + 4 extension cores. The extension cores run the RVV binary
+   natively; the base cores run the same binary after CHBP downgrading —
+   no scalar build of the library is needed (that is MELF's requirement). *)
+
+let () =
+  let threads = [ 2; 4; 6; 8 ] in
+  Format.printf "Preparing dgemm chunks (measuring native/scalar/downgraded)...@.";
+  let s = Blas.prepare Blas.Dgemm ~threads in
+  Format.printf "@.%-8s" "threads";
+  List.iter (fun sys -> Format.printf "%12s" (Blas.system_name sys)) Blas.systems;
+  Format.printf "@.";
+  List.iter
+    (fun t ->
+      Format.printf "%-8d" t;
+      List.iter
+        (fun sys -> Format.printf "%12.2f" (Blas.acceleration s sys ~threads:t))
+        Blas.systems;
+      Format.printf "@.")
+    threads;
+  Format.printf
+    "@.(acceleration vs FAM Ext at 2 threads; FAM Ext wastes the base cores,@.\
+     FAM Base never vectorizes, Chimera rides both core types transparently)@."

@@ -1,0 +1,120 @@
+(* Instruction upgrade: vectorize a scalar binary for an RVV core.
+
+     dune exec examples/upgrade_vectorizer.exe
+
+   The downgrade direction makes extension binaries run on base cores; the
+   upgrade direction (paper §3.4, Fig. 6b) does the opposite — it recognizes
+   the scalar loop idioms a compiler emits (element-wise, axpy, copy, fill,
+   reduction) and patches them into strip-mined RVV loops, so a legacy
+   scalar binary benefits from a vector core it was never compiled for.
+
+   This example builds a small "image pipeline" out of exactly those idioms,
+   upgrades it, and compares: same result, most work done by vector
+   instructions, fewer retired instructions. *)
+
+let base_core = Ext.rv64gc
+let ext_core = Ext.rv64gcv
+let n = 48
+
+let pipeline_program () =
+  let a = Asm.create ~name:"pipeline" () in
+  Asm.func a "_start";
+  (* stage 1: fill the background buffer with a constant *)
+  Asm.la a Reg.a1 "bg";
+  Asm.li a Reg.a2 n;
+  Asm.li a Reg.t2 9;
+  Asm.label a "Lfill";
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.a1; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+  Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "Lfill";
+  (* stage 2: blend = src + bg, element-wise *)
+  Asm.la a Reg.a0 "src";
+  Asm.la a Reg.a1 "bg";
+  Asm.la a Reg.a2 "blend";
+  Asm.li a Reg.a3 n;
+  Asm.label a "Lblend";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.a1; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t3, Reg.t1, Reg.t2));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t3; rs1 = Reg.a2; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a3, Reg.a3, -1));
+  Asm.branch_to a Inst.Bne Reg.a3 Reg.x0 "Lblend";
+  (* stage 3: copy the blend into the output frame *)
+  Asm.la a Reg.a0 "blend";
+  Asm.la a Reg.a1 "frame";
+  Asm.li a Reg.a2 n;
+  Asm.label a "Lcopy";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t1; rs1 = Reg.a1; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+  Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "Lcopy";
+  (* stage 4: reduce the frame to a checksum *)
+  Asm.la a Reg.a0 "frame";
+  Asm.li a Reg.a2 n;
+  Asm.li a Reg.s2 0;
+  Asm.label a "Lsum";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.s2, Reg.s2, Reg.t1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+  Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "Lsum";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.s2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "src";
+  for i = 1 to n do
+    Asm.dword64 a (Int64.of_int (3 * i))
+  done;
+  Asm.dlabel a "bg";
+  Asm.dspace a (8 * n);
+  Asm.dlabel a "blend";
+  Asm.dspace a (8 * n);
+  Asm.dlabel a "frame";
+  Asm.dspace a (8 * n);
+  Asm.assemble a
+
+let () =
+  let bin = pipeline_program () in
+  Format.printf "Built %s (%a, scalar only):@.%a@.@." bin.Binfile.name Ext.pp
+    bin.Binfile.isa Binfile.pp_summary bin;
+
+  let run_plain isa =
+    let mem = Loader.load bin in
+    let m = Machine.create ~mem ~isa () in
+    Loader.init_machine m bin;
+    (Machine.run ~fuel:1_000_000 m, m)
+  in
+  let expected, scalar_retired =
+    match run_plain base_core with
+    | Machine.Exited code, m ->
+        Format.printf "base core:        exit %d, %d instructions retired@." code
+          (Machine.retired m);
+        (code, Machine.retired m)
+    | Machine.Faulted f, _ -> failwith ("scalar: " ^ Fault.to_string f)
+    | _ -> failwith "scalar run failed"
+  in
+
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Format.printf "@.CHBP upgrade rewriting:@.%a@." Chbp.pp_stats (Chbp.stats ctx);
+
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:ext_core () in
+  match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited code ->
+      Format.printf
+        "@.extension core (upgraded): exit %d, %d instructions retired (%d vector)@."
+        code (Machine.retired m) (Machine.vector_retired m);
+      assert (code = expected);
+      assert (Machine.vector_retired m > 0);
+      Format.printf
+        "same result, %.1fx fewer retired instructions — the fill, blend, copy@.\
+         and reduction loops all run as strip-mined RVV. \xe2\x9c\x93@."
+        (float_of_int scalar_retired /. float_of_int (Machine.retired m))
+  | Machine.Faulted f -> failwith (Fault.to_string f)
+  | Machine.Fuel_exhausted -> failwith "fuel exhausted"

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Disasm Format Hashtbl Inst List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/disasm.ml: Binfile Bytes Decode Format Hashtbl Inst List Queue Reg

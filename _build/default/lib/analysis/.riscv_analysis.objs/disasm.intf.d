@@ -1,0 +1,1 @@
+lib/analysis/disasm.mli: Binfile Format Inst

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cfg Disasm Hashtbl Inst List Option Queue Reg Regmask

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cfg Disasm Reg Regmask

@@ -1,0 +1,1 @@
+lib/analysis/regmask.ml: Format List Reg String

@@ -1,0 +1,1 @@
+lib/analysis/regmask.mli: Format Reg

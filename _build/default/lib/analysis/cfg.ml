@@ -1,0 +1,169 @@
+type succ = Sblock of int | Sunknown | Sreturn
+
+type block = {
+  b_addr : int;
+  b_insns : Disasm.insn list;
+  b_succs : succ list;
+  b_call : int option;
+}
+
+type t = {
+  by_addr : (int, block) Hashtbl.t;
+  ordered : block list;
+  containing : (int, block) Hashtbl.t;  (* insn addr -> block *)
+  predecessors : (int, int list) Hashtbl.t;
+}
+
+let of_disasm dis =
+  let insns = Disasm.to_list dis in
+  (* Pass 1: leaders = first insn, control-transfer targets, and insns
+     following a control transfer. *)
+  let leaders = Hashtbl.create 1024 in
+  let mark a = Hashtbl.replace leaders a () in
+  (match insns with [] -> () | i :: _ -> mark i.Disasm.addr);
+  List.iter
+    (fun (i : Disasm.insn) ->
+      let after () = mark (i.addr + i.size) in
+      match Disasm.flow_of i with
+      | Disasm.Fallthrough -> ()
+      | Disasm.Syscall -> ()
+      | Disasm.Branch t ->
+          mark t;
+          after ()
+      | Disasm.Jump t ->
+          mark t;
+          after ()
+      | Disasm.Call t ->
+          mark t;
+          after ()
+      | Disasm.Indirect_call -> after ()
+      | Disasm.Indirect_jump | Disasm.Ret | Disasm.Halt -> after ())
+    insns;
+  (* Also: any insn with no immediate predecessor insn is a leader (function
+     entries reached only via symbols, code after gaps). *)
+  let insn_ends = Hashtbl.create 1024 in
+  List.iter (fun (i : Disasm.insn) -> Hashtbl.replace insn_ends (i.addr + i.size) ())
+    insns;
+  List.iter
+    (fun (i : Disasm.insn) ->
+      if not (Hashtbl.mem insn_ends i.addr) then mark i.addr)
+    insns;
+  (* Pass 2: group into blocks. *)
+  let by_addr = Hashtbl.create 1024 in
+  let containing = Hashtbl.create 4096 in
+  let rec build acc cur cur_addr = function
+    | [] -> finish acc cur cur_addr
+    | (i : Disasm.insn) :: rest -> (
+        match cur with
+        | [] -> build acc [ i ] i.addr rest
+        | last :: _ ->
+            let transfer =
+              match Disasm.flow_of last with
+              | Disasm.Fallthrough | Disasm.Syscall -> false
+              | Disasm.Branch _ | Disasm.Jump _ | Disasm.Call _
+              | Disasm.Indirect_jump | Disasm.Indirect_call | Disasm.Ret
+              | Disasm.Halt ->
+                  true
+            in
+            let contiguous = last.Disasm.addr + last.Disasm.size = i.addr in
+            if Hashtbl.mem leaders i.addr || transfer || not contiguous then
+              build (finish acc cur cur_addr) [ i ] i.addr rest
+            else build acc (i :: cur) cur_addr rest)
+  and finish acc cur cur_addr =
+    match cur with
+    | [] -> acc
+    | last :: _ ->
+        let b_insns = List.rev cur in
+        let fall = last.Disasm.addr + last.Disasm.size in
+        let succs, call =
+          match Disasm.flow_of last with
+          | Disasm.Fallthrough | Disasm.Syscall -> ([ Sblock fall ], None)
+          | Disasm.Branch t -> ([ Sblock t; Sblock fall ], None)
+          | Disasm.Jump t -> ([ Sblock t ], None)
+          | Disasm.Call t -> ([ Sblock fall ], Some t)
+          | Disasm.Indirect_call -> ([ Sblock fall ], None)
+          | Disasm.Indirect_jump -> ([ Sunknown ], None)
+          | Disasm.Ret -> ([ Sreturn ], None)
+          | Disasm.Halt -> ([], None)
+        in
+        let b = { b_addr = cur_addr; b_insns; b_succs = succs; b_call = call } in
+        b :: acc
+  in
+  let blocks_rev = build [] [] 0 insns in
+  let ordered = List.rev blocks_rev in
+  (* Validate successors: a direct successor that is not a known block start
+     becomes unknown (decode gap) — except the fallthrough of a syscall at
+     the end of the text, which is a program-exit boundary, not an unknown
+     continuation (treating it as unknown would make every register live at
+     the end of the program). *)
+  List.iter (fun b -> Hashtbl.replace by_addr b.b_addr b) ordered;
+  let ordered =
+    List.map
+      (fun b ->
+        let ends_in_syscall =
+          match List.rev b.b_insns with
+          | last :: _ -> (match Disasm.flow_of last with Disasm.Syscall -> true | _ -> false)
+          | [] -> false
+        in
+        let b_succs =
+          List.filter_map
+            (function
+              | Sblock a when not (Hashtbl.mem by_addr a) ->
+                  if ends_in_syscall then None else Some Sunknown
+              | (Sblock _ | Sunknown | Sreturn) as s -> Some s)
+            b.b_succs
+        in
+        { b with b_succs })
+      ordered
+  in
+  Hashtbl.reset by_addr;
+  List.iter (fun b -> Hashtbl.replace by_addr b.b_addr b) ordered;
+  List.iter
+    (fun b ->
+      List.iter (fun (i : Disasm.insn) -> Hashtbl.replace containing i.addr b) b.b_insns)
+    ordered;
+  let predecessors = Hashtbl.create 1024 in
+  List.iter
+    (fun b ->
+      List.iter
+        (function
+          | Sblock a ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt predecessors a) in
+              Hashtbl.replace predecessors a (b.b_addr :: cur)
+          | Sunknown | Sreturn -> ())
+        b.b_succs)
+    ordered;
+  { by_addr; ordered; containing; predecessors }
+
+let blocks t = t.ordered
+let block_at t addr = Hashtbl.find_opt t.by_addr addr
+let block_containing t addr = Hashtbl.find_opt t.containing addr
+
+let block_end b =
+  match List.rev b.b_insns with
+  | last :: _ -> last.Disasm.addr + last.Disasm.size
+  | [] -> b.b_addr
+
+let preds t addr = Option.value ~default:[] (Hashtbl.find_opt t.predecessors addr)
+
+let pp_dot fmt t =
+  Format.fprintf fmt "digraph cfg {@.  node [shape=box, fontname=monospace];@.";
+  List.iter
+    (fun b ->
+      let label =
+        String.concat "\\l"
+          (List.map
+             (fun (i : Disasm.insn) ->
+               Printf.sprintf "%x: %s" i.addr (Inst.to_string i.inst))
+             b.b_insns)
+      in
+      Format.fprintf fmt "  b%x [label=\"%s\\l\"];@." b.b_addr label;
+      List.iter
+        (function
+          | Sblock a -> Format.fprintf fmt "  b%x -> b%x;@." b.b_addr a
+          | Sunknown ->
+              Format.fprintf fmt "  b%x -> unknown [style=dashed];@." b.b_addr
+          | Sreturn -> Format.fprintf fmt "  b%x -> ret [style=dotted];@." b.b_addr)
+        b.b_succs)
+    t.ordered;
+  Format.fprintf fmt "}@."

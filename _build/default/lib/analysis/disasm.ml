@@ -1,0 +1,129 @@
+type insn = { addr : int; inst : Inst.t; size : int }
+
+type flow =
+  | Fallthrough
+  | Branch of int
+  | Jump of int
+  | Call of int
+  | Indirect_jump
+  | Indirect_call
+  | Ret
+  | Syscall
+  | Halt
+
+let flow_of { addr; inst; _ } =
+  match inst with
+  | Inst.Branch (_, _, _, off) -> Branch (addr + off)
+  | Inst.C_beqz (_, off) | Inst.C_bnez (_, off) -> Branch (addr + off)
+  | Inst.Jal (rd, off) ->
+      if Reg.equal rd Reg.x0 then Jump (addr + off) else Call (addr + off)
+  | Inst.C_j off -> Jump (addr + off)
+  | Inst.Jalr (rd, rs1, imm) ->
+      if Reg.equal rd Reg.x0 then
+        if Reg.equal rs1 Reg.ra && imm = 0 then Ret else Indirect_jump
+      else Indirect_call
+  | Inst.Xcheck_jalr (rd, _, _) ->
+      if Reg.equal rd Reg.x0 then Indirect_jump else Indirect_call
+  | Inst.C_jr rs1 -> if Reg.equal rs1 Reg.ra then Ret else Indirect_jump
+  | Inst.C_jalr _ -> Indirect_call
+  | Inst.Ecall -> Syscall
+  | Inst.Ebreak | Inst.C_ebreak -> Halt
+  | Inst.Lui _ | Inst.Auipc _ | Inst.Load _ | Inst.Store _ | Inst.Op _
+  | Inst.Opi _ | Inst.C_nop | Inst.C_addi _ | Inst.C_li _ | Inst.C_mv _
+  | Inst.C_add _ | Inst.C_ld _ | Inst.C_sd _ | Inst.C_lw _ | Inst.C_sw _
+  | Inst.C_lui _ | Inst.C_addiw _ | Inst.C_andi _ | Inst.C_alu _
+  | Inst.C_slli _ | Inst.Vsetvli _
+  | Inst.Vle _ | Inst.Vlse _ | Inst.Vse _ | Inst.Vsse _
+  | Inst.Vop_vv _ | Inst.Vop_vx _ | Inst.Vmv_v_x _
+  | Inst.Vmv_x_s _ | Inst.Vredsum _ | Inst.P_add16 _ | Inst.P_smaqa _ ->
+      Fallthrough
+
+type t = {
+  insns : (int, insn) Hashtbl.t;
+  mutable sorted : insn list option;  (* memoized ascending order *)
+}
+
+let in_code (bin : Binfile.t) addr =
+  List.exists (fun s -> Binfile.in_section s addr) (Binfile.code_sections bin)
+
+let decode_at (bin : Binfile.t) addr =
+  let sec =
+    List.find_opt (fun s -> Binfile.in_section s addr) (Binfile.code_sections bin)
+  in
+  match sec with
+  | None -> None
+  | Some s ->
+      let off = addr - s.Binfile.sec_addr in
+      let len = Bytes.length s.Binfile.sec_data in
+      if off + 2 > len then None
+      else
+        let lo = Bytes.get_uint16_le s.Binfile.sec_data off in
+        let hi = if off + 4 <= len then Bytes.get_uint16_le s.Binfile.sec_data (off + 2) else 0 in
+        (match Decode.decode ~lo ~hi with
+        | Decode.Ok (inst, size) -> Some { addr; inst; size }
+        | Decode.Illegal _ -> None)
+
+let of_binfile_at (bin : Binfile.t) ~roots =
+  let t = { insns = Hashtbl.create 4096; sorted = None } in
+  let work = Queue.create () in
+  List.iter (fun r -> Queue.add r work) roots;
+  while not (Queue.is_empty work) do
+    let addr = Queue.pop work in
+    if (not (Hashtbl.mem t.insns addr)) && in_code bin addr then
+      match decode_at bin addr with
+      | None -> ()  (* unrecognized bytes: left to lazy runtime rewriting *)
+      | Some ins ->
+          Hashtbl.replace t.insns addr ins;
+          (match flow_of ins with
+          | Fallthrough | Syscall ->
+              Queue.add (addr + ins.size) work
+          | Branch target ->
+              Queue.add (addr + ins.size) work;
+              Queue.add target work
+          | Jump target -> Queue.add target work
+          | Call target ->
+              Queue.add (addr + ins.size) work;
+              Queue.add target work
+          | Indirect_call ->
+              (* the callee is unknown, but execution resumes here *)
+              Queue.add (addr + ins.size) work
+          | Indirect_jump | Ret | Halt -> ())
+  done;
+  t
+
+let of_binfile (bin : Binfile.t) =
+  let roots =
+    bin.Binfile.entry :: List.map (fun s -> s.Binfile.sym_addr) bin.Binfile.symbols
+  in
+  of_binfile_at bin ~roots
+
+let find t addr = Hashtbl.find_opt t.insns addr
+
+let to_list t =
+  match t.sorted with
+  | Some l -> l
+  | None ->
+      let l =
+        Hashtbl.fold (fun _ i acc -> i :: acc) t.insns []
+        |> List.sort (fun a b -> compare a.addr b.addr)
+      in
+      t.sorted <- Some l;
+      l
+
+let iter t f = List.iter f (to_list t)
+let count t = Hashtbl.length t.insns
+
+let covered_bytes t =
+  Hashtbl.fold (fun _ i acc -> acc + i.size) t.insns 0
+
+let is_covered t addr =
+  Hashtbl.mem t.insns addr
+  || Hashtbl.mem t.insns (addr - 2)
+     && (match Hashtbl.find_opt t.insns (addr - 2) with
+        | Some i -> i.size = 4
+        | None -> false)
+
+let next_insn t addr =
+  match find t addr with None -> None | Some i -> find t (addr + i.size)
+
+let pp_insn fmt i = Format.fprintf fmt "%08x: %a" i.addr Inst.pp i.inst

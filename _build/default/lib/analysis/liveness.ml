@@ -1,0 +1,124 @@
+type t = { cfg : Cfg.t; live_out : (int, Regmask.t) Hashtbl.t }
+
+let insn_uses (i : Disasm.insn) =
+  match Disasm.flow_of i with
+  | Disasm.Call _ | Disasm.Indirect_call ->
+      (* the callee may read its arguments, plus the target register *)
+      Regmask.union Regmask.arg_regs (Regmask.of_list (Inst.uses i.inst))
+  | Disasm.Fallthrough | Disasm.Branch _ | Disasm.Jump _ | Disasm.Indirect_jump
+  | Disasm.Ret | Disasm.Syscall | Disasm.Halt ->
+      Regmask.of_list (Inst.uses i.inst)
+
+let insn_defs (i : Disasm.insn) =
+  match Disasm.flow_of i with
+  | Disasm.Call _ | Disasm.Indirect_call ->
+      (* the callee may clobber every caller-saved register *)
+      Regmask.union Regmask.caller_saved (Regmask.of_list (Inst.defs i.inst))
+  | Disasm.Fallthrough | Disasm.Branch _ | Disasm.Jump _ | Disasm.Indirect_jump
+  | Disasm.Ret | Disasm.Syscall | Disasm.Halt ->
+      Regmask.of_list (Inst.defs i.inst)
+
+(* At a return the ABI pins the caller-visible state: the return values,
+   the stack pointer and the callee-saved registers; every caller-saved
+   scratch is dead. *)
+let abi_return_live =
+  Regmask.of_list
+    ([ Reg.a0; Reg.a1; Reg.sp; Reg.gp; Reg.tp; Reg.ra ] @ Reg.callee_saved)
+
+(* Transfer of one instruction: live_in = uses ∪ (live_out \ defs). *)
+let transfer i live = Regmask.union (insn_uses i) (Regmask.diff live (insn_defs i))
+
+let block_transfer (b : Cfg.block) live_out =
+  List.fold_left (fun live i -> transfer i live) live_out (List.rev b.Cfg.b_insns)
+
+let initial_live_out (b : Cfg.block) =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Cfg.Sunknown -> Regmask.all
+      | Cfg.Sreturn -> Regmask.union acc abi_return_live
+      | Cfg.Sblock _ -> acc)
+    Regmask.empty b.Cfg.b_succs
+
+let compute cfg =
+  let blocks = Cfg.blocks cfg in
+  let live_out = Hashtbl.create (List.length blocks * 2) in
+  let live_in = Hashtbl.create (List.length blocks * 2) in
+  List.iter
+    (fun (b : Cfg.block) ->
+      Hashtbl.replace live_out b.Cfg.b_addr (initial_live_out b);
+      Hashtbl.replace live_in b.Cfg.b_addr Regmask.empty)
+    blocks;
+  let get tbl a = Option.value ~default:Regmask.empty (Hashtbl.find_opt tbl a) in
+  (* Backward worklist fixpoint. *)
+  let work = Queue.create () in
+  let queued = Hashtbl.create 1024 in
+  let enqueue a =
+    if not (Hashtbl.mem queued a) then begin
+      Hashtbl.replace queued a ();
+      Queue.add a work
+    end
+  in
+  List.iter (fun (b : Cfg.block) -> enqueue b.Cfg.b_addr) (List.rev blocks);
+  while not (Queue.is_empty work) do
+    let a = Queue.pop work in
+    Hashtbl.remove queued a;
+    match Cfg.block_at cfg a with
+    | None -> ()
+    | Some b ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              match s with
+              | Cfg.Sunknown -> Regmask.all
+              | Cfg.Sreturn -> Regmask.union acc abi_return_live
+              | Cfg.Sblock s' -> Regmask.union acc (get live_in s'))
+            (initial_live_out b) b.Cfg.b_succs
+        in
+        Hashtbl.replace live_out a out;
+        let inn = block_transfer b out in
+        if inn <> get live_in a then begin
+          Hashtbl.replace live_in a inn;
+          List.iter enqueue (Cfg.preds cfg a)
+        end
+  done;
+  { cfg; live_out }
+
+let live_out t addr =
+  match Hashtbl.find_opt t.live_out addr with
+  | Some m -> m
+  | None -> raise Not_found
+
+let live_in_at t addr =
+  match Cfg.block_containing t.cfg addr with
+  | None -> None
+  | Some b ->
+      let out = Option.value ~default:Regmask.all (Hashtbl.find_opt t.live_out b.Cfg.b_addr) in
+      (* walk backward from the block end to the queried instruction *)
+      let rec backward insns live =
+        match insns with
+        | [] -> None
+        | (i : Disasm.insn) :: rest ->
+            let live' = transfer i live in
+            if i.addr = addr then Some live' else backward rest live'
+      in
+      backward (List.rev b.Cfg.b_insns) out
+
+let never_clobber = Regmask.of_list [ Reg.x0; Reg.sp; Reg.gp; Reg.tp ]
+
+let dead_regs_at t ?(avoid = []) addr =
+  match live_in_at t addr with
+  | None -> []
+  | Some live ->
+      let banned = Regmask.union never_clobber (Regmask.union live (Regmask.of_list avoid)) in
+      List.filter (fun r -> not (Regmask.mem r banned))
+        (Reg.temporaries @ [ Reg.ra; Reg.a7; Reg.a6; Reg.a5; Reg.a4; Reg.a3; Reg.a2;
+                             Reg.a1; Reg.a0; Reg.s11; Reg.s10; Reg.s9; Reg.s8 ])
+
+let dead_at t ?(avoid = []) addr =
+  match live_in_at t addr with
+  | None -> None
+  | Some live ->
+      let banned = Regmask.union never_clobber (Regmask.union live (Regmask.of_list avoid)) in
+      let candidates = Reg.temporaries @ [ Reg.ra; Reg.a7; Reg.a6; Reg.a5; Reg.a4 ] in
+      List.find_opt (fun r -> not (Regmask.mem r banned)) candidates

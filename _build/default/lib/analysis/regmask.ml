@@ -1,0 +1,16 @@
+type t = int
+
+let empty = 0
+let all = 0xFFFFFFFE  (* x0 is never tracked *)
+let singleton r = if Reg.equal r Reg.x0 then 0 else 1 lsl Reg.to_int r
+let of_list rs = List.fold_left (fun acc r -> acc lor singleton r) 0 rs
+let mem r m = m land singleton r <> 0 && not (Reg.equal r Reg.x0)
+let add r m = m lor singleton r
+let union = ( lor )
+let diff a b = a land lnot b
+let to_list m = List.filter (fun r -> mem r m) Reg.all
+let caller_saved = of_list Reg.caller_saved
+let arg_regs = of_list [ Reg.a0; Reg.a1; Reg.a2; Reg.a3; Reg.a4; Reg.a5; Reg.a6; Reg.a7 ]
+
+let pp fmt m =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map Reg.name (to_list m)))

@@ -1,0 +1,18 @@
+(** Register sets as 32-bit masks (bit [i] = [xi]). *)
+
+type t = int
+
+val empty : t
+val all : t
+val singleton : Reg.t -> t
+val of_list : Reg.t list -> t
+val mem : Reg.t -> t -> bool
+val add : Reg.t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val to_list : t -> Reg.t list
+val caller_saved : t
+val arg_regs : t
+(** [a0]–[a7]. *)
+
+val pp : Format.formatter -> t -> unit

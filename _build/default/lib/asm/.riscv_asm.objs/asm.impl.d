@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Binfile Bytes Codebuf Ext Inst Layout List Memory Printf Reg

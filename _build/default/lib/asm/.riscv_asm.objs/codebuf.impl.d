@@ -1,0 +1,1 @@
+lib/asm/codebuf.ml: Buffer Bytes Encode Ext Hashtbl Inst Int64 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/asm/codebuf.mli: Ext Inst Reg

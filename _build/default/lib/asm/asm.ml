@@ -1,0 +1,105 @@
+
+type t = {
+  name : string;
+  text : Codebuf.t;
+  rodata : Codebuf.t;
+  data : Codebuf.t;
+  mutable funcs : (string * int) list;  (* name, text offset (reversed) *)
+}
+
+let create ?(name = "a.out") () =
+  { name;
+    text = Codebuf.create ();
+    rodata = Codebuf.create ();
+    data = Codebuf.create ();
+    funcs = [] }
+
+let inst t i = Codebuf.inst t.text i
+let insts t is = Codebuf.insts t.text is
+let label t l = Codebuf.label t.text l
+
+let func t name =
+  Codebuf.label t.text name;
+  t.funcs <- (name, Codebuf.size t.text) :: t.funcs
+
+let hidden_func t name = Codebuf.label t.text name
+let here t = Codebuf.size t.text
+let branch_to t c rs1 rs2 l = Codebuf.branch_l t.text c rs1 rs2 l
+let jal_to t rd l = Codebuf.jal_l t.text rd l
+let j t l = Codebuf.j_l t.text l
+let call t l = Codebuf.jal_l t.text Reg.ra l
+
+let call_far t ~scratch l =
+  Codebuf.la_l t.text scratch l;
+  Codebuf.inst t.text (Inst.Jalr (Reg.ra, scratch, 0))
+
+let ret t = Codebuf.inst t.text (Inst.Jalr (Reg.x0, Reg.ra, 0))
+let la t rd l = Codebuf.la_l t.text rd l
+let lui_hi t rd l = Codebuf.lui_hi_l t.text rd l
+let addi_lo t rd l = Codebuf.addi_lo_l t.text rd l
+let load_lo t width ~rd ~base l = Codebuf.load_lo_l t.text width ~rd ~base l
+let li t rd v = Codebuf.li t.text rd v
+let cj_to t l = Codebuf.cj_l t.text l
+let cbeqz_to t rs1 l = Codebuf.cbeqz_l t.text rs1 l
+let cbnez_to t rs1 l = Codebuf.cbnez_l t.text rs1 l
+let align4 t = if Codebuf.size t.text land 3 <> 0 then Codebuf.inst t.text Inst.C_nop
+let dlabel t l = Codebuf.label t.data l
+let dword64 t v = Codebuf.u64 t.data v
+let dbyte t v = Codebuf.byte t.data v
+let dword32 t v = Codebuf.u32 t.data v
+let dspace t n = Codebuf.space t.data n
+let rlabel t l = Codebuf.label t.rodata l
+let rword64 t v = Codebuf.u64 t.rodata v
+let rword_label t l = Codebuf.dword_label t.rodata l
+
+let assemble ?(entry = "_start") t =
+  let bases = [ (t.text, Layout.text_base); (t.rodata, Layout.rodata_base);
+                (t.data, Layout.data_base) ] in
+  let resolve name =
+    List.find_map
+      (fun (cb, base) ->
+        if Codebuf.has_label cb name then Some (base + Codebuf.label_offset cb name)
+        else None)
+      bases
+  in
+  let link cb base = Codebuf.link cb ~base ~resolve in
+  let text_bytes = link t.text Layout.text_base in
+  let rodata_bytes = link t.rodata Layout.rodata_base in
+  let data_bytes = link t.data Layout.data_base in
+  let entry_addr =
+    match resolve entry with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Asm.assemble: no entry label %s" entry)
+  in
+  let text_size = Bytes.length text_bytes in
+  let funcs = List.rev t.funcs in
+  let rec sym_sizes = function
+    | [] -> []
+    | (name, off) :: rest ->
+        let next = match rest with (_, off') :: _ -> off' | [] -> text_size in
+        { Binfile.sym_name = name;
+          sym_addr = Layout.text_base + off;
+          sym_size = next - off }
+        :: sym_sizes rest
+  in
+  let sections =
+    List.filter_map
+      (fun (name, bytes, addr, perm) ->
+        if Bytes.length bytes = 0 && name <> ".data" then None
+        else Some { Binfile.sec_name = name; sec_addr = addr; sec_data = bytes;
+                    sec_perm = perm })
+      [ (".text", text_bytes, Layout.text_base, Memory.perm_rx);
+        (".rodata", rodata_bytes, Layout.rodata_base, Memory.perm_r);
+        (* .data always exists (gp must point somewhere writable). *)
+        ( ".data",
+          (if Bytes.length data_bytes = 0 then Bytes.make 4096 '\000' else data_bytes),
+          Layout.data_base, Memory.perm_rw ) ]
+  in
+  { Binfile.name = t.name;
+    entry = entry_addr;
+    gp_value = Layout.gp_value;
+    isa =
+      Ext.union (Codebuf.exts t.text)
+        (Ext.union (Codebuf.exts t.rodata) (Codebuf.exts t.data));
+    sections;
+    symbols = sym_sizes (List.sort (fun (_, a) (_, b) -> compare a b) funcs) }

@@ -1,0 +1,85 @@
+(** Program assembler: builds complete {!Binfile} binaries.
+
+    The builder maintains three sections (.text, .rodata, .data) at the
+    conventional {!Layout} addresses, a shared label namespace
+    across sections, and a symbol table fed by {!func}. Workload generators
+    and the MELF baseline use it as "the compiler". *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** {1 Text emission} *)
+
+val inst : t -> Inst.t -> unit
+val insts : t -> Inst.t list -> unit
+val label : t -> string -> unit
+
+val func : t -> string -> unit
+(** Bind a label and record a function symbol (a disassembly root). *)
+
+val hidden_func : t -> string -> unit
+(** Bind a label without a symbol: the recursive-descent disassembler will
+    not see this function unless some direct flow reaches it (the paper's
+    incomplete-disassembly case). *)
+
+val here : t -> int
+(** Offset of the next text instruction (relative to the text base). *)
+
+val branch_to : t -> Inst.branch_cond -> Reg.t -> Reg.t -> string -> unit
+val jal_to : t -> Reg.t -> string -> unit
+val j : t -> string -> unit
+
+val call : t -> string -> unit
+(** [jal ra, label]; ±1 MiB reach. *)
+
+val call_far : t -> scratch:Reg.t -> string -> unit
+(** Long-distance call via [lui/addi; jalr] — for >1 MiB texts. *)
+
+val ret : t -> unit
+val la : t -> Reg.t -> string -> unit
+
+val lui_hi : t -> Reg.t -> string -> unit
+(** The [lui rd, hi(label)] half of an address materialization. *)
+
+val addi_lo : t -> Reg.t -> string -> unit
+(** The matching [addi rd, rd, lo(label)]. *)
+
+val load_lo : t -> Inst.mem_width -> rd:Reg.t -> base:Reg.t -> string -> unit
+(** [load rd, lo(label)(base)]: with {!lui_hi} this is the static-data
+    access idiom the general-register SMILE trampoline builds on. *)
+
+val li : t -> Reg.t -> int -> unit
+
+val cj_to : t -> string -> unit
+val cbeqz_to : t -> Reg.t -> string -> unit
+val cbnez_to : t -> Reg.t -> string -> unit
+
+val align4 : t -> unit
+(** Pad text to 4-byte alignment with [c.nop] (marks the binary as using C). *)
+
+(** {1 Data emission} *)
+
+val dlabel : t -> string -> unit
+(** Label in .data. *)
+
+val dword64 : t -> int64 -> unit
+val dword32 : t -> int -> unit
+
+val dbyte : t -> int -> unit
+(** Emit one byte of data (low 8 bits). *)
+
+val dspace : t -> int -> unit
+
+val rlabel : t -> string -> unit
+(** Label in .rodata. *)
+
+val rword64 : t -> int64 -> unit
+val rword_label : t -> string -> unit
+(** Jump-table entry: 8-byte absolute address of a text label. *)
+
+(** {1 Assembly} *)
+
+val assemble : ?entry:string -> t -> Binfile.t
+(** Link everything at the conventional layout. [entry] defaults to
+    ["_start"]. @raise Invalid_argument on unresolved labels. *)

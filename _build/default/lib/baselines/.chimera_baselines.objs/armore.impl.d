@@ -1,0 +1,1 @@
+lib/baselines/armore.ml: Binfile Bytes Costs Counters Disasm Encode Ext Fault Fault_table Inst Layout List Loader Machine Memory Reg

@@ -1,0 +1,1 @@
+lib/baselines/armore.mli: Binfile Costs Counters Ext Machine Memory

@@ -1,0 +1,1 @@
+lib/baselines/egalito.ml: Loader Machine Safer

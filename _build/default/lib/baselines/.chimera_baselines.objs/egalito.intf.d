@@ -1,0 +1,1 @@
+lib/baselines/egalito.mli: Binfile Chbp Costs Ext Machine Safer

@@ -1,0 +1,1 @@
+lib/baselines/melf.ml: Binfile Ext

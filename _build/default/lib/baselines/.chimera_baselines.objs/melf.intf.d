@@ -1,0 +1,1 @@
+lib/baselines/melf.mli: Binfile Ext

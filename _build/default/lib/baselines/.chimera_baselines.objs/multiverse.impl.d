@@ -1,0 +1,1 @@
+lib/baselines/multiverse.ml: Costs Safer

@@ -1,0 +1,1 @@
+lib/baselines/multiverse.mli: Binfile Chbp Costs Counters Ext Machine Memory Safer

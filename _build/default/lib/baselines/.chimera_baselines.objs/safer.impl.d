@@ -1,0 +1,1 @@
+lib/baselines/safer.ml: Binfile Bytes Cfg Chbp Codebuf Costs Counters Disasm Ext Hashtbl Inst Int64 Layout List Liveness Loader Machine Memory Printf Reg String Translate Upgrade Vregs

@@ -1,0 +1,1 @@
+lib/baselines/safer.mli: Binfile Chbp Costs Counters Ext Machine Memory

@@ -1,0 +1,1 @@
+lib/baselines/strawman.mli: Binfile Chbp

@@ -1,0 +1,133 @@
+let default_jal_range = 1 lsl 20  (* ±1 MiB *)
+
+type t = {
+  orig : Binfile.t;
+  bin : Binfile.t;
+  trap_tbl : Fault_table.t;
+  mutable trap_rebounds : int;
+  mutable jal_rebounds : int;
+}
+
+let rewrite ?(jal_range = default_jal_range) (orig : Binfile.t) =
+  let text = Binfile.text orig in
+  let text_base = text.Binfile.sec_addr in
+  let text_len = Bytes.length text.Binfile.sec_data in
+  let reloc_base = Layout.page_align (text_base + text_len + 4096) in
+  let delta = reloc_base - text_base in
+  if reloc_base + text_len >= Layout.rodata_base then
+    invalid_arg "Armore.rewrite: text too large for the relocation window";
+  let reloc = Bytes.copy text.Binfile.sec_data in
+  let tramp = Bytes.copy text.Binfile.sec_data in
+  let trap_tbl = Fault_table.create () in
+  let t =
+    { orig;
+      bin = orig;  (* replaced below *)
+      trap_tbl;
+      trap_rebounds = 0;
+      jal_rebounds = 0 }
+  in
+  let jal_slot addr =
+    let off = addr - text_base in
+    if delta < jal_range then begin
+      ignore (Encode.write tramp off (Inst.Jal (Reg.x0, delta)));
+      t.jal_rebounds <- t.jal_rebounds + 1
+    end
+    else begin
+      ignore (Encode.write tramp off Inst.Ebreak);
+      Fault_table.add trap_tbl ~key:addr ~redirect:(addr + delta);
+      t.trap_rebounds <- t.trap_rebounds + 1
+    end
+  in
+  let trap_slot_c addr =
+    (* 2-byte slot: c.j reaches only ±2 KiB, never the relocated copy *)
+    ignore (Encode.write tramp (addr - text_base) Inst.C_ebreak);
+    Fault_table.add trap_tbl ~key:addr ~redirect:(addr + delta);
+    t.trap_rebounds <- t.trap_rebounds + 1
+  in
+  let in_text (i : Disasm.insn) =
+    i.addr >= text_base && i.addr + i.size <= text_base + text_len
+  in
+  let dis = Disasm.of_binfile orig in
+  Disasm.iter dis (fun (i : Disasm.insn) ->
+      if in_text i then if i.size = 4 then jal_slot i.addr else trap_slot_c i.addr);
+  (* Bytes recursive descent missed still get rebounds: ARMore's coverage
+     does not depend on disassembly quality — every possible original-valid
+     entry is patched (PIFER's per-slot patching). Without boundary
+     knowledge, compressed binaries use 2-byte trap slots; uncompressed
+     binaries can place full-width rebounds on the 4-byte grid. *)
+  let covered = Bytes.make text_len '\000' in
+  Disasm.iter dis (fun (i : Disasm.insn) ->
+      if in_text i then Bytes.fill covered (i.addr - text_base) i.size '\001');
+  let compressed = Ext.mem Ext.C orig.Binfile.isa in
+  let stride = if compressed then 2 else 4 in
+  let off = ref 0 in
+  while !off + stride <= text_len do
+    let free = ref true in
+    for k = !off to !off + stride - 1 do
+      if Bytes.get covered k <> '\000' then free := false
+    done;
+    if !free then begin
+      if compressed then trap_slot_c (text_base + !off)
+      else jal_slot (text_base + !off);
+      off := !off + stride
+    end
+    else incr off
+  done;
+  let sections =
+    List.map
+      (fun (s : Binfile.section) ->
+        if s.Binfile.sec_name = ".text" then { s with Binfile.sec_data = tramp } else s)
+      orig.Binfile.sections
+    @ [ { Binfile.sec_name = ".armore.text";
+          sec_addr = reloc_base;
+          sec_data = reloc;
+          sec_perm = Memory.perm_rx } ]
+  in
+  let bin =
+    { orig with
+      Binfile.name = orig.Binfile.name ^ ".armore";
+      entry = orig.Binfile.entry + delta;
+      sections }
+  in
+  { t with bin }
+
+let result t = t.bin
+let trap_rebounds t = t.trap_rebounds
+let jal_rebounds t = t.jal_rebounds
+
+type runtime = {
+  rw : t;
+  costs : Costs.t;
+  counters : Counters.t;
+  mutable view : Memory.t option;
+}
+
+let runtime ?(costs = Costs.default) rw =
+  { rw; costs; counters = Counters.create (); view = None }
+
+let load rt =
+  let mem = Loader.load rt.rw.bin in
+  rt.view <- Some mem;
+  mem
+
+let counters rt = rt.counters
+
+let handlers rt _m =
+  let on_ebreak m ~pc ~size:_ =
+    match Fault_table.find rt.rw.trap_tbl pc with
+    | Some target ->
+        rt.counters.Counters.traps <- rt.counters.Counters.traps + 1;
+        Machine.charge m rt.costs.Costs.trap;
+        Machine.Resume target
+    | None ->
+        Machine.Stop
+          (Machine.Faulted (Fault.Illegal_instruction { pc; reason = "program ebreak" }))
+  in
+  { Machine.default_handlers with on_ebreak }
+
+let run rt ?isa ~fuel m =
+  let mem = match rt.view with None -> load rt | Some mem -> mem in
+  Machine.switch_view m mem;
+  (match isa with Some i -> Machine.set_isa m i | None -> ());
+  Loader.init_machine m rt.rw.bin;
+  Machine.run ~handlers:(handlers rt m) ~fuel m

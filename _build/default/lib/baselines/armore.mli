@@ -1,0 +1,44 @@
+(** The ARMore-style binary-patching baseline (paper §2.2, Di Bartolomeo et
+    al., USENIX Security '23), adapted to RISC-V as in the paper's
+    evaluation.
+
+    ARMore relocates the whole text section to a fresh address and replaces
+    every original instruction with a single-instruction trampoline to its
+    relocated counterpart (the "rebound table"). Direct flows run natively
+    in the relocated copy; indirect flows still target original addresses
+    and bounce through the trampolines. On AArch64 a single branch reaches
+    ±128 MiB, so rebounds are cheap; on RISC-V [jal] reaches only ±1 MiB, so
+    for code sections larger than that every rebound is a trap — the
+    paper's explanation for ARMore's poor RISC-V numbers.
+
+    The relocated copy is placed one guard page above the text end, so
+    small binaries still enjoy single-[jal] rebounds while binaries beyond
+    the jump reach degrade to traps, exactly as in the paper. *)
+
+type t
+
+val rewrite : ?jal_range:int -> Binfile.t -> t
+(** Empty-patching rewrite (the mode the paper evaluates ARMore in).
+    [jal_range] defaults to RISC-V's ±1 MiB; the benchmarks scale it down
+    together with their scaled-down code sizes so the reach-vs-text-size
+    ratio matches the paper's. *)
+
+val result : t -> Binfile.t
+
+val trap_rebounds : t -> int
+(** Rebound slots that needed a trap (distance beyond ±1 MiB or a 2-byte
+    slot). *)
+
+val jal_rebounds : t -> int
+
+type runtime
+
+val runtime : ?costs:Costs.t -> t -> runtime
+val load : runtime -> Memory.t
+val counters : runtime -> Counters.t
+val handlers : runtime -> Machine.t -> Machine.handlers
+(** Handlers that service trap rebounds. Indirect-jump rebounds through
+    [jal] slots are counted from {!Machine.indirect_retired} by the caller
+    (every indirect jump lands in the rebound table). *)
+
+val run : runtime -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop

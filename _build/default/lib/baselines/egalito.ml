@@ -1,0 +1,13 @@
+type t = Safer.t
+
+let rewrite ~mode bin = Safer.rewrite ~instrument:false ~mode bin
+let result = Safer.result
+
+let run ?costs t ?isa ~fuel m =
+  ignore costs;
+  let bin = Safer.result t in
+  let mem = Loader.load bin in
+  Machine.switch_view m mem;
+  (match isa with Some i -> Machine.set_isa m i | None -> ());
+  Loader.init_machine m bin;
+  Machine.run ~fuel m

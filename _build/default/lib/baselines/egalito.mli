@@ -1,0 +1,20 @@
+(** The Egalito-style layout-agnostic recompilation baseline (paper Table 1,
+    Williams-King et al., ASPLOS '20).
+
+    Egalito regenerates binaries relying entirely on *static* control-flow
+    recovery: no runtime checks, no rebound trampolines. When static
+    recovery is complete it is as fast as native code — and when it is not
+    (a jump-table entry or function pointer it missed), the stale pointer
+    jumps into the old, now-unmapped text: the paper's Table 1 scores it
+    "High Perf: Yes, Correctness: No". Both sides are demonstrated by the
+    test suite. *)
+
+type t = Safer.t
+
+val rewrite : mode:Chbp.mode -> Binfile.t -> t
+(** Safer's regeneration pipeline with runtime checks disabled. *)
+
+val result : t -> Binfile.t
+
+val run : ?costs:Costs.t -> t -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop
+(** Plain execution: no runtime mechanism exists to recover anything. *)

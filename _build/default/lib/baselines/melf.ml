@@ -1,0 +1,12 @@
+type t = { base : Binfile.t; ext : Binfile.t }
+
+let create ~base ~ext =
+  if not (Ext.subset base.Binfile.isa Ext.rv64gc) then
+    invalid_arg "Melf.create: base variant uses non-base extensions";
+  { base; ext }
+
+let base_variant t = t.base
+let ext_variant t = t.ext
+
+let variant_for t caps =
+  if Ext.subset t.ext.Binfile.isa caps then t.ext else t.base

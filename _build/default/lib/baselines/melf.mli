@@ -1,0 +1,20 @@
+(** The MELF-style compilation baseline (paper §2.1, Töllner et al., ATC
+    '23): multivariant executables.
+
+    MELF compiles the source into one natively-optimized binary per ISA
+    variant and picks the right one per core — the ideal Chimera aspires to
+    without needing sources. In this reproduction the "compiler" is the
+    workload builder, which can emit a base-ISA and an extension-ISA variant
+    of each program. *)
+
+type t
+
+val create : base:Binfile.t -> ext:Binfile.t -> t
+(** @raise Invalid_argument if the base variant uses extensions the base
+    cores lack. *)
+
+val base_variant : t -> Binfile.t
+val ext_variant : t -> Binfile.t
+
+val variant_for : t -> Ext.t -> Binfile.t
+(** The best variant a hart with the given capability set can run. *)

@@ -1,0 +1,15 @@
+type t = Safer.t
+
+let rewrite ~mode bin = Safer.rewrite ~mode bin
+let result = Safer.result
+
+type runtime = Safer.runtime
+
+(* every indirect jump pays the full table-lookup cost: model by running the
+   Safer runtime with [check_fast] raised to [check] *)
+let runtime ?(costs = Costs.default) rw =
+  Safer.runtime ~costs:{ costs with Costs.check_fast = costs.Costs.check } rw
+
+let load = Safer.load
+let counters = Safer.counters
+let run = Safer.run

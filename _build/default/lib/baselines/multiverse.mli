@@ -1,0 +1,24 @@
+(** The Multiverse-style binary-regeneration baseline (paper §2.2, Bauman et
+    al., NDSS '18).
+
+    Multiverse assumes nothing about indirect control flow: *every* indirect
+    jump goes through a runtime lookup table that maps original addresses to
+    regenerated ones — no fast path, which is why the paper quotes >30%
+    overhead. Implemented as the Safer pipeline with the encode-test fast
+    path disabled: every check pays the full table-translation cost. *)
+
+type t = Safer.t
+(** Multiverse shares Safer's regeneration pipeline; only the runtime check
+    policy differs. *)
+
+val rewrite : mode:Chbp.mode -> Binfile.t -> t
+val result : t -> Binfile.t
+
+type runtime = Safer.runtime
+
+val runtime : ?costs:Costs.t -> t -> runtime
+(** A Safer runtime with the fast path disabled. *)
+
+val load : runtime -> Memory.t
+val counters : runtime -> Counters.t
+val run : runtime -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop

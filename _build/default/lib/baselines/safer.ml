@@ -1,0 +1,217 @@
+type t = {
+  orig : Binfile.t;
+  bin : Binfile.t;
+  map : (int, int) Hashtbl.t;  (* old text address -> regenerated address *)
+  checks : int;
+}
+
+let olabel addr = Printf.sprintf "o%x" addr
+
+let is_source mode (i : Disasm.insn) =
+  match mode with
+  | Chbp.Downgrade -> (
+      match Ext.required i.inst with
+      | Some Ext.V | Some Ext.B | Some Ext.P -> true
+      | Some Ext.C | Some Ext.X | None -> false)
+  | Chbp.Empty -> (
+      match Ext.required i.inst with
+      | Some Ext.V -> true
+      | Some Ext.C | Some Ext.B | Some Ext.P | Some Ext.X | None -> false)
+  | Chbp.Upgrade -> false
+
+(* Safer-style metadata exploitation (paper §2.2): scan data sections for
+   aligned code pointers (jump tables, function-pointer tables) and use them
+   as additional disassembly roots, increasing the set of statically
+   recoverable indirect-jump targets. *)
+let data_code_pointers (orig : Binfile.t) =
+  let in_text addr =
+    List.exists (fun s -> Binfile.in_section s addr) (Binfile.code_sections orig)
+  in
+  orig.Binfile.sections
+  |> List.filter (fun (s : Binfile.section) -> not s.Binfile.sec_perm.Memory.x)
+  |> List.concat_map (fun (s : Binfile.section) ->
+         let n = Bytes.length s.Binfile.sec_data / 8 in
+         List.init n (fun k -> Int64.to_int (Bytes.get_int64_le s.Binfile.sec_data (k * 8)))
+         |> List.filter (fun v -> v land 1 = 0 && in_text v))
+
+let rewrite ?(instrument = true) ~mode (orig : Binfile.t) =
+  let text = Binfile.text orig in
+  (* regenerate at a disjoint base: stale pre-rewrite pointers must be
+     distinguishable from regenerated addresses for translation to work *)
+  let text_base = Layout.safer_base in
+  ignore text.Binfile.sec_addr;
+  let roots =
+    (orig.Binfile.entry :: List.map (fun s -> s.Binfile.sym_addr) orig.Binfile.symbols)
+    @ data_code_pointers orig
+  in
+  let dis = Disasm.of_binfile_at orig ~roots in
+  let cfg = Cfg.of_disasm dis in
+  let live = Liveness.compute cfg in
+  let upgrades =
+    match mode with
+    | Chbp.Upgrade ->
+        Upgrade.find cfg live
+        |> List.map (fun c -> (c.Upgrade.c_addr, c))
+        |> List.to_seq |> Hashtbl.of_seq
+    | Chbp.Downgrade | Chbp.Empty -> Hashtbl.create 1
+  in
+  let cb = Codebuf.create () in
+  let checks = ref 0 in
+  let sew = ref None in
+  List.iter
+    (fun (i : Disasm.insn) ->
+      (* reset the static element-width at block boundaries *)
+      (match Cfg.block_at cfg i.addr with Some _ -> sew := None | None -> ());
+      Codebuf.label cb (olabel i.addr);
+      match Hashtbl.find_opt upgrades i.addr with
+      | Some c ->
+          (* vectorized replacement bound to the loop-head address; the
+             scalar head instruction follows unlabeled so that the rest of
+             the original loop (labeled normally) stays reachable through
+             stale mid-loop pointers *)
+          Upgrade.emit_vector_loop cb c;
+          Codebuf.j_l cb (olabel c.Upgrade.c_exit);
+          Codebuf.inst cb i.inst
+      | None ->
+      if is_source mode i then begin
+        (match i.inst with
+        | Inst.Vsetvli (_, _, s) -> sew := Some s
+        | _ -> ());
+        match mode with
+        | Chbp.Empty -> Codebuf.inst cb i.inst
+        | Chbp.Downgrade ->
+            let static_sew =
+              match i.inst with Inst.Vsetvli _ -> None | _ -> !sew
+            in
+            let free = Liveness.dead_regs_at live i.addr in
+            Translate.downgrade cb ~static_sew ~free i.inst
+        | Chbp.Upgrade -> assert false
+      end
+      else
+        match Disasm.flow_of i with
+        | Disasm.Fallthrough | Disasm.Syscall | Disasm.Halt -> (
+            match i.inst with
+            | Inst.Auipc (rd, imm) -> Codebuf.la_abs cb rd (i.addr + (imm lsl 12))
+            | inst -> Codebuf.inst cb inst)
+        | Disasm.Branch target -> (
+            match i.inst with
+            | Inst.Branch (c, rs1, rs2, _) -> Codebuf.branch_l cb c rs1 rs2 (olabel target)
+            | Inst.C_beqz (rs1, _) ->
+                Codebuf.branch_l cb Inst.Beq rs1 Reg.x0 (olabel target)
+            | Inst.C_bnez (rs1, _) ->
+                Codebuf.branch_l cb Inst.Bne rs1 Reg.x0 (olabel target)
+            | _ -> assert false)
+        | Disasm.Jump target -> Codebuf.jal_l cb Reg.x0 (olabel target)
+        | Disasm.Call target -> (
+            match i.inst with
+            | Inst.Jal (rd, _) -> Codebuf.jal_l cb rd (olabel target)
+            | _ -> assert false)
+        | Disasm.Ret | Disasm.Indirect_jump | Disasm.Indirect_call -> (
+            if instrument then begin
+              incr checks;
+              match i.inst with
+              | Inst.Jalr (rd, rs1, imm) ->
+                  Codebuf.inst cb (Inst.Xcheck_jalr (rd, rs1, imm))
+              | Inst.C_jr rs1 -> Codebuf.inst cb (Inst.Xcheck_jalr (Reg.x0, rs1, 0))
+              | Inst.C_jalr rs1 -> Codebuf.inst cb (Inst.Xcheck_jalr (Reg.ra, rs1, 0))
+              | Inst.Xcheck_jalr _ as x -> Codebuf.inst cb x
+              | _ -> assert false
+            end
+            else
+              (* Egalito-style: trust static recovery, no runtime check —
+                 fast, but stale code pointers jump into the void *)
+              Codebuf.inst cb i.inst))
+    (Disasm.to_list dis);
+  (* link: direct targets that were never disassembled resolve to their old
+     addresses — the stale-pointer correctness gap of regeneration. *)
+  let bytes = Codebuf.link cb ~base:text_base ~resolve:(fun l ->
+      if String.length l > 1 && l.[0] = 'o' then
+        int_of_string_opt ("0x" ^ String.sub l 1 (String.length l - 1))
+      else None)
+  in
+  if text_base + Bytes.length bytes >= Layout.rodata_base then
+    invalid_arg "Safer.rewrite: regenerated text too large";
+  let map = Hashtbl.create 1024 in
+  Disasm.iter dis (fun (i : Disasm.insn) ->
+      match Codebuf.label_offset cb (olabel i.addr) with
+      | off -> Hashtbl.replace map i.addr (text_base + off)
+      | exception Not_found -> ());
+  let sections =
+    List.map
+      (fun (s : Binfile.section) ->
+        if s.Binfile.sec_name = ".text" then
+          { s with Binfile.sec_data = bytes; sec_addr = text_base }
+        else s)
+      orig.Binfile.sections
+  in
+  let sections =
+    match mode with
+    | Chbp.Downgrade -> sections @ [ Vregs.section () ]
+    | Chbp.Upgrade | Chbp.Empty -> sections
+  in
+  let isa =
+    match mode with
+    | Chbp.Downgrade ->
+        Ext.union
+          (Ext.of_list
+             (List.filter (fun e -> e <> Ext.V && e <> Ext.B) (Ext.to_list orig.Binfile.isa)))
+          (Ext.of_list [ Ext.X ])
+    | Chbp.Upgrade -> Ext.union orig.Binfile.isa (Ext.of_list [ Ext.V; Ext.X ])
+    | Chbp.Empty -> Ext.union orig.Binfile.isa (Ext.of_list [ Ext.X ])
+  in
+  let entry =
+    match Hashtbl.find_opt map orig.Binfile.entry with
+    | Some e -> e
+    | None -> orig.Binfile.entry
+  in
+  let bin =
+    { orig with
+      Binfile.name = orig.Binfile.name ^ ".safer";
+      entry;
+      isa;
+      sections }
+  in
+  { orig; bin; map; checks = !checks }
+
+let result t = t.bin
+let checks_inserted t = t.checks
+let address_map_size t = Hashtbl.length t.map
+
+type runtime = {
+  rw : t;
+  costs : Costs.t;
+  counters : Counters.t;
+  mutable view : Memory.t option;
+}
+
+let runtime ?(costs = Costs.default) rw =
+  { rw; costs; counters = Counters.create (); view = None }
+
+let load rt =
+  let mem = Loader.load rt.rw.bin in
+  rt.view <- Some mem;
+  mem
+
+let counters rt = rt.counters
+
+let handlers rt =
+  let on_check m ~pc:_ ~rd:_ ~target =
+    rt.counters.Counters.checks <- rt.counters.Counters.checks + 1;
+    match Hashtbl.find_opt rt.rw.map target with
+    | Some translated ->
+        (* stale pre-rewrite pointer: full table translation *)
+        Machine.charge m rt.costs.Costs.check;
+        Machine.Resume translated
+    | None ->
+        (* already a regenerated address: the inlined encode test suffices *)
+        Machine.charge m rt.costs.Costs.check_fast;
+        Machine.Resume target
+  in
+  { Machine.default_handlers with on_check }
+
+let run rt ?isa ~fuel m =
+  let mem = match rt.view with None -> load rt | Some mem -> mem in
+  Machine.switch_view m mem;
+  (match isa with Some i -> Machine.set_isa m i | None -> ());
+  Loader.init_machine m rt.rw.bin;
+  Machine.run ~handlers:(handlers rt) ~fuel m

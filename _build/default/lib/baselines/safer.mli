@@ -1,0 +1,34 @@
+(** The Safer-style binary-regeneration baseline (paper §2.2, Priyadarshan
+    et al., USENIX Security '23).
+
+    Regeneration rebuilds the text section: source instructions are
+    translated *in place* (subsequent instructions shift), direct control
+    flow is retargeted statically, and — because statically unresolvable
+    indirect targets (jump tables, function pointers, returns) may carry
+    stale pre-rewrite addresses — every indirect jump is instrumented with a
+    check that validates and translates its target at runtime. The check is
+    the custom-0 {!Inst.Xcheck_jalr} instruction, standing in for Safer's
+    inlined encoding test + translation-table query; it is executed on every
+    indirect jump in normal executions, which is exactly the proactive cost
+    Chimera's passive design avoids.
+
+    Code that recursive descent missed is lost by regeneration (stale
+    pointers into it cannot be translated) — the correctness gap the paper
+    ascribes to this family. *)
+
+type t
+
+val rewrite : ?instrument:bool -> mode:Chbp.mode -> Binfile.t -> t
+(** [instrument] (default true) inserts the runtime checks; [false] gives
+    the Egalito-style variant (see {!Egalito}). *)
+
+val result : t -> Binfile.t
+val checks_inserted : t -> int
+val address_map_size : t -> int
+
+type runtime
+
+val runtime : ?costs:Costs.t -> t -> runtime
+val load : runtime -> Memory.t
+val counters : runtime -> Counters.t
+val run : runtime -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop

@@ -1,0 +1,2 @@
+let rewrite ~mode bin =
+  Chbp.rewrite ~options:{ (Chbp.default_options mode) with style = `Trap } bin

@@ -1,0 +1,9 @@
+(** The strawman binary-patching baseline (paper §6, "strawman binary
+    patching"): identical pipeline to CHBP, but every entry and exit
+    trampoline is trap-based. Each execution of a rewritten site pays two
+    kernel round trips; comparing it against CHBP isolates the benefit of
+    the SMILE trampoline. *)
+
+val rewrite : mode:Chbp.mode -> Binfile.t -> Chbp.t
+(** CHBP with [style = `Trap]. Run the result under {!Chimera_rt} as usual:
+    the trap table drives the redirections and the runtime counts them. *)

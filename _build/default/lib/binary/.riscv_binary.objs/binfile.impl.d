@@ -1,0 +1,1 @@
+lib/binary/binfile.ml: Bytes Ext Format Fun List Marshal Memory Printf String

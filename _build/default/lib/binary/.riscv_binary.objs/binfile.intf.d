@@ -1,0 +1,1 @@
+lib/binary/binfile.mli: Ext Format Memory

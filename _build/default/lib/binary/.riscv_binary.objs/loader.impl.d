@@ -1,0 +1,1 @@
+lib/binary/loader.ml: Binfile Bytes Int64 Layout List Machine Memory Reg

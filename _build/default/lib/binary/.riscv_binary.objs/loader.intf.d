@@ -1,0 +1,1 @@
+lib/binary/loader.mli: Binfile Machine Memory

@@ -1,0 +1,81 @@
+type section = {
+  sec_name : string;
+  sec_addr : int;
+  sec_data : bytes;
+  sec_perm : Memory.perm;
+}
+
+type symbol = { sym_name : string; sym_addr : int; sym_size : int }
+
+type t = {
+  name : string;
+  entry : int;
+  gp_value : int;
+  isa : Ext.t;
+  sections : section list;
+  symbols : symbol list;
+}
+
+let section_opt t name = List.find_opt (fun s -> s.sec_name = name) t.sections
+
+let section t name =
+  match section_opt t name with Some s -> s | None -> raise Not_found
+
+let text t = section t ".text"
+
+let code_sections t =
+  t.sections
+  |> List.filter (fun s -> s.sec_perm.Memory.x)
+  |> List.sort (fun a b -> compare a.sec_addr b.sec_addr)
+
+let code_size t =
+  List.fold_left (fun acc s -> acc + Bytes.length s.sec_data) 0 (code_sections t)
+
+let symbol t name =
+  match List.find_opt (fun s -> s.sym_name = name) t.symbols with
+  | Some s -> s
+  | None -> raise Not_found
+
+let in_section s addr = addr >= s.sec_addr && addr < s.sec_addr + Bytes.length s.sec_data
+
+let add_section t s =
+  if section_opt t s.sec_name <> None then
+    invalid_arg (Printf.sprintf "Binfile.add_section: %s exists" s.sec_name);
+  { t with sections = t.sections @ [ s ] }
+
+let replace_section t s =
+  if section_opt t s.sec_name = None then raise Not_found;
+  { t with
+    sections =
+      List.map (fun s' -> if s'.sec_name = s.sec_name then s else s') t.sections }
+
+let with_name t name = { t with name }
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<v>%s (%s), entry 0x%x, gp 0x%x@," t.name (Ext.name t.isa)
+    t.entry t.gp_value;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-16s 0x%08x %8d bytes %a@," s.sec_name s.sec_addr
+        (Bytes.length s.sec_data) Memory.pp_perm s.sec_perm)
+    t.sections;
+  Format.fprintf fmt "  %d symbols@]" (List.length t.symbols)
+
+let magic = "SELF0001"
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [])
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith (Printf.sprintf "%s: not a SELF binary" path);
+      (Marshal.from_channel ic : t))

@@ -1,0 +1,59 @@
+(** The simulated executable format ("SELF" — simulated ELF).
+
+    A binary is a set of sections with load addresses and permissions, an
+    entry point, the statically-fixed gp value, and a symbol table. Function
+    symbols are the recursive-descent disassembler's roots (the paper uses
+    IDA Pro; neither guarantees completeness — code reachable only through
+    jump tables may carry no symbol and is then discovered lazily at
+    runtime). *)
+
+type section = {
+  sec_name : string;
+  sec_addr : int;
+  sec_data : bytes;
+  sec_perm : Memory.perm;
+}
+
+type symbol = { sym_name : string; sym_addr : int; sym_size : int }
+
+type t = {
+  name : string;
+  entry : int;
+  gp_value : int;
+  isa : Ext.t;  (** Extensions used by the code (beyond base RV64IM). *)
+  sections : section list;
+  symbols : symbol list;
+}
+
+val section : t -> string -> section
+(** @raise Not_found if the binary has no section of that name. *)
+
+val section_opt : t -> string -> section option
+
+val text : t -> section
+(** The [.text] section. *)
+
+val code_sections : t -> section list
+(** All executable sections, in address order. *)
+
+val code_size : t -> int
+(** Total bytes of executable sections. *)
+
+val symbol : t -> string -> symbol
+(** @raise Not_found *)
+
+val in_section : section -> int -> bool
+
+val add_section : t -> section -> t
+val replace_section : t -> section -> t
+(** Replace the section with the same name. @raise Not_found if absent. *)
+
+val with_name : t -> string -> t
+
+val pp_summary : Format.formatter -> t -> unit
+
+val save : string -> t -> unit
+(** Serialize to a file (Marshal-based container with a magic header). *)
+
+val load_file : string -> t
+(** @raise Failure on bad magic. *)

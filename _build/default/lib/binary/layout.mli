@@ -1,0 +1,40 @@
+(** Address-space layout conventions of the simulated system.
+
+    All binaries follow one fixed layout (like a linker script): text low,
+    data high with the gp anchor in its first page, stack below 256 MiB, and
+    everything under 2 GiB so that [lui]/[addi] pairs can materialize any
+    address. The rewriters add their own sections above [rewriter_base]. *)
+
+val text_base : int
+(** 0x0001_0000: start of .text. Up to ~64 MiB of code fits below rodata. *)
+
+val rodata_base : int
+(** 0x0480_0000: read-only data (jump tables, constants). *)
+
+val data_base : int
+(** 0x0800_0000: read-write data. *)
+
+val gp_value : int
+(** [data_base + 0x800]: the ABI global pointer. It points into the
+    read-write, non-executable data segment — the property the SMILE
+    trampoline turns into deterministic segfaults. *)
+
+val stack_top : int
+(** 0x0FF0_0000: initial stack pointer (stack grows down). *)
+
+val stack_size : int
+(** 1 MiB of mapped stack. *)
+
+val safer_base : int
+(** 0x0200_0000: where the Safer baseline places regenerated text — disjoint
+    from the original text range so stale (pre-rewrite) code pointers are
+    distinguishable from regenerated ones. *)
+
+val rewriter_base : int
+(** 0x1000_0000: lowest address rewriters may place generated sections at. *)
+
+val armore_reloc_base : int
+(** 0x2000_0000: where the ARMore baseline relocates the text section. *)
+
+val page_align : int -> int
+(** Round up to the next page boundary. *)

@@ -1,0 +1,23 @@
+
+let load_into mem (bin : Binfile.t) =
+  List.iter
+    (fun (s : Binfile.section) ->
+      let len = Layout.page_align (max 1 (Bytes.length s.sec_data)) in
+      Memory.map mem ~addr:s.sec_addr ~len s.sec_perm;
+      Memory.poke_bytes mem s.sec_addr s.sec_data)
+    bin.Binfile.sections
+
+let map_stack mem =
+  Memory.map mem ~addr:(Layout.stack_top - Layout.stack_size) ~len:Layout.stack_size
+    Memory.perm_rw
+
+let load bin =
+  let mem = Memory.create () in
+  load_into mem bin;
+  map_stack mem;
+  mem
+
+let init_machine m (bin : Binfile.t) =
+  Machine.set_pc m bin.Binfile.entry;
+  Machine.set_reg m Reg.sp (Int64.of_int (Layout.stack_top - 16));
+  Machine.set_reg m Reg.gp (Int64.of_int bin.Binfile.gp_value)

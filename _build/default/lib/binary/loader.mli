@@ -1,0 +1,17 @@
+(** Loader: maps a binary's sections into a memory (an address-space view)
+    and prepares the process environment (stack, gp). *)
+
+
+val load_into : Memory.t -> Binfile.t -> unit
+(** Map and fill every section of the binary.
+    @raise Invalid_argument on overlapping pages. *)
+
+val load : Binfile.t -> Memory.t
+(** Fresh memory with the binary's sections plus a mapped stack. *)
+
+val map_stack : Memory.t -> unit
+(** Map the conventional stack range ({!Layout.stack_top}). *)
+
+val init_machine : Machine.t -> Binfile.t -> unit
+(** Point a machine at the binary's entry: pc, sp (16-byte aligned below
+    {!Layout.stack_top}), and gp. *)

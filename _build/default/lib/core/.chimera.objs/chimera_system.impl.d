@@ -1,0 +1,1 @@
+lib/core/chimera_system.ml: Binfile Chbp Chimera_rt Costs Counters Ext List Loader Machine

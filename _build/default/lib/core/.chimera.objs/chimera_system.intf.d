@@ -1,0 +1,1 @@
+lib/core/chimera_system.mli: Binfile Chbp Chimera_rt Costs Counters Ext Machine

@@ -1,0 +1,1 @@
+lib/core/mmview.ml: Binfile Bytes Chimera_rt Chimera_system Costs Ext Inst Int64 Layout List Loader Machine Memory Reg String Vregs

@@ -1,0 +1,1 @@
+lib/core/mmview.mli: Chimera_system Costs Ext Machine

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Encode Inst List Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bytes Inst Printf Reg Sys

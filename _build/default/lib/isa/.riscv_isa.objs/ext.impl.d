@@ -1,0 +1,1 @@
+lib/isa/ext.ml: Format Inst List String

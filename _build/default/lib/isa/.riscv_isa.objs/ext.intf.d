@@ -1,0 +1,1 @@
+lib/isa/ext.mli: Format Inst

@@ -1,0 +1,1 @@
+lib/isa/inst.ml: Format List Reg

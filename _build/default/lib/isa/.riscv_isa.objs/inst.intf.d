@@ -1,0 +1,1 @@
+lib/isa/inst.mli: Format Reg

@@ -1,0 +1,350 @@
+type result = Ok of Inst.t * int | Illegal of string
+
+let bit v i = (v lsr i) land 1
+let bits v lo hi = (v lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let sext = Encode.sext
+let reg n = Reg.of_int n
+let vreg n = Reg.v_of_int n
+let rc n = Reg.of_int (n + 8)
+
+let illegal fmt = Printf.ksprintf (fun s -> Illegal s) fmt
+
+(* Quadrant C0: c.lw / c.sw / c.ld / c.sd. *)
+let decode_c0 hw =
+  let funct3 = bits hw 13 15 in
+  let rs1' = rc (bits hw 7 9) in
+  let uimm8 = (bits hw 10 12 lsl 3) lor (bits hw 5 6 lsl 6) in
+  let uimm4 = (bits hw 10 12 lsl 3) lor (bit hw 6 lsl 2) lor (bit hw 5 lsl 6) in
+  match funct3 with
+  | 0b010 -> Ok (Inst.C_lw (rc (bits hw 2 4), rs1', uimm4), 2)
+  | 0b110 -> Ok (Inst.C_sw (rc (bits hw 2 4), rs1', uimm4), 2)
+  | 0b011 -> Ok (Inst.C_ld (rc (bits hw 2 4), rs1', uimm8), 2)
+  | 0b111 -> Ok (Inst.C_sd (rc (bits hw 2 4), rs1', uimm8), 2)
+  | f -> illegal "reserved C0 encoding (funct3=%d)" f
+
+(* Quadrant C1. funct3 100 (misc-alu) is reserved in our subset: the SMILE
+   jalr's upper halfword lands here. *)
+let decode_c1 hw =
+  let funct3 = bits hw 13 15 in
+  let rd = bits hw 7 11 in
+  let imm6 = sext ((bit hw 12 lsl 5) lor bits hw 2 6) 6 in
+  match funct3 with
+  | 0b000 ->
+      if hw = 0x0001 then Ok (Inst.C_nop, 2)
+      else if rd = 0 then illegal "C1 hint encoding"
+      else Ok (Inst.C_addi (reg rd, imm6), 2)
+  | 0b001 ->
+      if rd = 0 then illegal "reserved C1 encoding (c.addiw x0)"
+      else Ok (Inst.C_addiw (reg rd, imm6), 2)
+  | 0b010 ->
+      if rd = 0 then illegal "C1 hint encoding (c.li x0)"
+      else Ok (Inst.C_li (reg rd, imm6), 2)
+  | 0b011 ->
+      if rd = 0 || rd = 2 then illegal "C1 c.lui with x0/sp unsupported"
+      else if imm6 = 0 then illegal "reserved c.lui imm=0"
+      else Ok (Inst.C_lui (reg rd, imm6), 2)
+  | 0b101 ->
+      let off =
+        sext
+          ((bit hw 12 lsl 11) lor (bit hw 11 lsl 4) lor (bits hw 9 10 lsl 8)
+          lor (bit hw 8 lsl 10) lor (bit hw 7 lsl 6) lor (bit hw 6 lsl 7)
+          lor (bits hw 3 5 lsl 1) lor (bit hw 2 lsl 5))
+          12
+      in
+      Ok (Inst.C_j off, 2)
+  | 0b110 | 0b111 ->
+      let off =
+        sext
+          ((bit hw 12 lsl 8) lor (bits hw 10 11 lsl 3) lor (bits hw 5 6 lsl 6)
+          lor (bits hw 3 4 lsl 1) lor (bit hw 2 lsl 5))
+          9
+      in
+      let rs1' = rc (bits hw 7 9) in
+      if funct3 = 0b110 then Ok (Inst.C_beqz (rs1', off), 2)
+      else Ok (Inst.C_bnez (rs1', off), 2)
+  | 0b100 -> (
+      (* misc-alu: instr[11:10] selects the row. The rows with instr[12]=1
+         and instr[6:5] in {10, 11} are reserved by the RVC spec — they are
+         exactly what the SMILE jalr's upper halfword is arranged to be. *)
+      let rd' = rc (bits hw 7 9) in
+      match bits hw 10 11 with
+      | 0b10 -> Ok (Inst.C_andi (rd', imm6), 2)
+      | 0b00 | 0b01 -> illegal "c.srli/c.srai unsupported in this subset"
+      | _ -> (
+          let rs2' = rc (bits hw 2 4) in
+          match (bit hw 12, bits hw 5 6) with
+          | 0, 0b00 -> Ok (Inst.C_alu (Inst.Csub, rd', rs2'), 2)
+          | 0, 0b01 -> Ok (Inst.C_alu (Inst.Cxor, rd', rs2'), 2)
+          | 0, 0b10 -> Ok (Inst.C_alu (Inst.Cor, rd', rs2'), 2)
+          | 0, 0b11 -> Ok (Inst.C_alu (Inst.Cand, rd', rs2'), 2)
+          | 1, 0b00 -> Ok (Inst.C_alu (Inst.Csubw, rd', rs2'), 2)
+          | 1, 0b01 -> Ok (Inst.C_alu (Inst.Caddw, rd', rs2'), 2)
+          | _ -> illegal "reserved C1 misc-alu encoding"))
+  | f -> illegal "reserved C1 encoding (funct3=%d)" f
+
+(* Quadrant C2: c.slli, c.jr, c.mv, c.jalr, c.add, c.ebreak. *)
+let decode_c2 hw =
+  let funct3 = bits hw 13 15 in
+  let rd = bits hw 7 11 in
+  let rs2 = bits hw 2 6 in
+  match funct3 with
+  | 0b000 ->
+      let sh = (bit hw 12 lsl 5) lor bits hw 2 6 in
+      if rd = 0 || sh = 0 then illegal "C2 slli hint encoding"
+      else Ok (Inst.C_slli (reg rd, sh), 2)
+  | 0b100 -> (
+      match (bit hw 12, rd, rs2) with
+      | 0, 0, _ -> illegal "reserved C2 encoding (c.jr x0)"
+      | 0, _, 0 -> Ok (Inst.C_jr (reg rd), 2)
+      | 0, _, _ -> Ok (Inst.C_mv (reg rd, reg rs2), 2)
+      | 1, 0, 0 -> Ok (Inst.C_ebreak, 2)
+      | 1, _, 0 -> Ok (Inst.C_jalr (reg rd), 2)
+      | 1, 0, _ -> illegal "reserved C2 encoding"
+      | 1, _, _ -> Ok (Inst.C_add (reg rd, reg rs2), 2)
+      | _ -> assert false)
+  | f -> illegal "reserved C2 encoding (funct3=%d)" f
+
+let decode_load w =
+  let rd = reg (bits w 7 11) and rs1 = reg (bits w 15 19) in
+  let imm = sext (bits w 20 31) 12 in
+  let mk width unsigned = Ok (Inst.Load { width; unsigned; rd; rs1; imm }, 4) in
+  match bits w 12 14 with
+  | 0b000 -> mk Inst.B false
+  | 0b001 -> mk Inst.H false
+  | 0b010 -> mk Inst.W false
+  | 0b011 -> mk Inst.D false
+  | 0b100 -> mk Inst.B true
+  | 0b101 -> mk Inst.H true
+  | 0b110 -> mk Inst.W true
+  | f -> illegal "reserved load funct3=%d" f
+
+let decode_store w =
+  let rs2 = reg (bits w 20 24) and rs1 = reg (bits w 15 19) in
+  let imm = sext ((bits w 25 31 lsl 5) lor bits w 7 11) 12 in
+  let mk width = Ok (Inst.Store { width; rs2; rs1; imm }, 4) in
+  match bits w 12 14 with
+  | 0b000 -> mk Inst.B
+  | 0b001 -> mk Inst.H
+  | 0b010 -> mk Inst.W
+  | 0b011 -> mk Inst.D
+  | f -> illegal "reserved store funct3=%d" f
+
+let decode_branch w =
+  let rs1 = reg (bits w 15 19) and rs2 = reg (bits w 20 24) in
+  let off =
+    sext
+      ((bit w 31 lsl 12) lor (bit w 7 lsl 11) lor (bits w 25 30 lsl 5)
+      lor (bits w 8 11 lsl 1))
+      13
+  in
+  let mk c = Ok (Inst.Branch (c, rs1, rs2, off), 4) in
+  match bits w 12 14 with
+  | 0b000 -> mk Inst.Beq
+  | 0b001 -> mk Inst.Bne
+  | 0b100 -> mk Inst.Blt
+  | 0b101 -> mk Inst.Bge
+  | 0b110 -> mk Inst.Bltu
+  | 0b111 -> mk Inst.Bgeu
+  | f -> illegal "reserved branch funct3=%d" f
+
+let decode_op_imm w =
+  let rd = reg (bits w 7 11) and rs1 = reg (bits w 15 19) in
+  let imm = sext (bits w 20 31) 12 in
+  let mk op imm = Ok (Inst.Opi (op, rd, rs1, imm), 4) in
+  match bits w 12 14 with
+  | 0b000 -> mk Inst.Addi imm
+  | 0b010 -> mk Inst.Slti imm
+  | 0b011 -> mk Inst.Sltiu imm
+  | 0b100 -> mk Inst.Xori imm
+  | 0b110 -> mk Inst.Ori imm
+  | 0b111 -> mk Inst.Andi imm
+  | 0b001 ->
+      if bits w 26 31 = 0 then mk Inst.Slli (bits w 20 25)
+      else illegal "reserved shift funct6"
+  | 0b101 -> (
+      match bits w 26 31 with
+      | 0b000000 -> mk Inst.Srli (bits w 20 25)
+      | 0b010000 -> mk Inst.Srai (bits w 20 25)
+      | f -> illegal "reserved shift funct6=%d" f)
+  | _ -> assert false
+
+let decode_op_imm32 w =
+  let rd = reg (bits w 7 11) and rs1 = reg (bits w 15 19) in
+  let imm = sext (bits w 20 31) 12 in
+  let mk op imm = Ok (Inst.Opi (op, rd, rs1, imm), 4) in
+  match bits w 12 14 with
+  | 0b000 -> mk Inst.Addiw imm
+  | 0b001 ->
+      if bits w 25 31 = 0 then mk Inst.Slliw (bits w 20 24)
+      else illegal "reserved slliw funct7"
+  | 0b101 -> (
+      match bits w 25 31 with
+      | 0b0000000 -> mk Inst.Srliw (bits w 20 24)
+      | 0b0100000 -> mk Inst.Sraiw (bits w 20 24)
+      | f -> illegal "reserved sraiw funct7=%d" f)
+  | f -> illegal "reserved OP-IMM-32 funct3=%d" f
+
+let decode_op w opcode =
+  let rd = reg (bits w 7 11)
+  and rs1 = reg (bits w 15 19)
+  and rs2 = reg (bits w 20 24) in
+  let funct3 = bits w 12 14 and funct7 = bits w 25 31 in
+  let candidates =
+    [ Inst.Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And; Mul; Mulh; Div;
+      Divu; Rem; Remu; Addw; Subw; Sllw; Srlw; Sraw; Mulw; Divw; Remw; Sh1add;
+      Sh2add; Sh3add; Andn; Orn; Xnor; Min; Max; Minu; Maxu ]
+  in
+  let matches op =
+    let f7, f3, opc = Encode.alu_fields op in
+    f7 = funct7 && f3 = funct3 && opc = opcode
+  in
+  match List.find_opt matches candidates with
+  | Some op -> Ok (Inst.Op (op, rd, rs1, rs2), 4)
+  | None -> illegal "reserved OP encoding funct7=%d funct3=%d" funct7 funct3
+
+let sew_of_code = function
+  | 0 -> Some Inst.E8
+  | 1 -> Some Inst.E16
+  | 2 -> Some Inst.E32
+  | 3 -> Some Inst.E64
+  | _ -> None
+
+let sew_of_width_bits = function
+  | 0b000 -> Some Inst.E8
+  | 0b101 -> Some Inst.E16
+  | 0b110 -> Some Inst.E32
+  | 0b111 -> Some Inst.E64
+  | _ -> None
+
+let decode_vload w =
+  if bits w 28 31 <> 0 || bit w 26 <> 0 || bit w 25 <> 1 then
+    illegal "unsupported vector load variant"
+  else
+    match (sew_of_width_bits (bits w 12 14), bit w 27) with
+    | None, _ -> illegal "reserved vector load width"
+    | Some sew, 0 ->
+        if bits w 20 24 <> 0 then illegal "unsupported vector load variant"
+        else Ok (Inst.Vle (sew, vreg (bits w 7 11), reg (bits w 15 19)), 4)
+    | Some sew, _ ->
+        Ok
+          ( Inst.Vlse (sew, vreg (bits w 7 11), reg (bits w 15 19), reg (bits w 20 24)),
+            4 )
+
+let decode_vstore w =
+  if bits w 28 31 <> 0 || bit w 26 <> 0 || bit w 25 <> 1 then
+    illegal "unsupported vector store variant"
+  else if bit w 27 = 1 then
+    match sew_of_width_bits (bits w 12 14) with
+    | Some sew ->
+        Ok
+          ( Inst.Vsse (sew, vreg (bits w 7 11), reg (bits w 15 19), reg (bits w 20 24)),
+            4 )
+    | None -> illegal "reserved vector store width"
+  else if bits w 20 24 <> 0 then illegal "unsupported vector store variant"
+  else
+    match sew_of_width_bits (bits w 12 14) with
+    | Some sew -> Ok (Inst.Vse (sew, vreg (bits w 7 11), reg (bits w 15 19)), 4)
+    | None -> illegal "reserved vector store width"
+
+let decode_opv w =
+  let funct3 = bits w 12 14 in
+  if funct3 = 0b111 then
+    (* vsetvli *)
+    if bit w 31 <> 0 then illegal "unsupported vsetvl variant"
+    else
+      let vtypei = bits w 20 30 in
+      if vtypei land lnot 0b11000 <> 0 then illegal "unsupported vtype"
+      else
+        match sew_of_code (bits vtypei 3 4) with
+        | Some sew ->
+            Ok (Inst.Vsetvli (reg (bits w 7 11), reg (bits w 15 19), sew), 4)
+        | None -> illegal "reserved vsew"
+  else if bit w 25 <> 1 then illegal "masked vector op unsupported"
+  else
+    let funct6 = bits w 26 31 in
+    let vd = bits w 7 11 and s1 = bits w 15 19 and vs2 = bits w 20 24 in
+    match (funct6, funct3) with
+    | 0b000000, 0b000 -> Ok (Inst.Vop_vv (Vadd, vreg vd, vreg vs2, vreg s1), 4)
+    | 0b000010, 0b000 -> Ok (Inst.Vop_vv (Vsub, vreg vd, vreg vs2, vreg s1), 4)
+    | 0b100101, 0b010 -> Ok (Inst.Vop_vv (Vmul, vreg vd, vreg vs2, vreg s1), 4)
+    | 0b101101, 0b010 -> Ok (Inst.Vop_vv (Vmacc, vreg vd, vreg vs2, vreg s1), 4)
+    | 0b000000, 0b100 -> Ok (Inst.Vop_vx (Vadd, vreg vd, vreg vs2, reg s1), 4)
+    | 0b000010, 0b100 -> Ok (Inst.Vop_vx (Vsub, vreg vd, vreg vs2, reg s1), 4)
+    | 0b100101, 0b110 -> Ok (Inst.Vop_vx (Vmul, vreg vd, vreg vs2, reg s1), 4)
+    | 0b101101, 0b110 -> Ok (Inst.Vop_vx (Vmacc, vreg vd, vreg vs2, reg s1), 4)
+    | 0b010111, 0b100 ->
+        if vs2 = 0 then Ok (Inst.Vmv_v_x (vreg vd, reg s1), 4)
+        else illegal "reserved vmv.v.x vs2"
+    | 0b010000, 0b010 ->
+        if s1 = 0 then Ok (Inst.Vmv_x_s (reg vd, vreg vs2), 4)
+        else illegal "reserved vmv.x.s vs1"
+    | 0b000000, 0b010 -> Ok (Inst.Vredsum (vreg vd, vreg vs2, vreg s1), 4)
+    | f6, f3 -> illegal "reserved OP-V encoding funct6=%d funct3=%d" f6 f3
+
+let decode_32 w =
+  match bits w 0 6 with
+  | 0b0110111 -> Ok (Inst.Lui (reg (bits w 7 11), sext (bits w 12 31) 20), 4)
+  | 0b0010111 -> Ok (Inst.Auipc (reg (bits w 7 11), sext (bits w 12 31) 20), 4)
+  | 0b1101111 ->
+      let off =
+        sext
+          ((bit w 31 lsl 20) lor (bits w 12 19 lsl 12) lor (bit w 20 lsl 11)
+          lor (bits w 21 30 lsl 1))
+          21
+      in
+      Ok (Inst.Jal (reg (bits w 7 11), off), 4)
+  | 0b1100111 ->
+      if bits w 12 14 <> 0 then illegal "reserved jalr funct3"
+      else
+        Ok
+          ( Inst.Jalr (reg (bits w 7 11), reg (bits w 15 19), sext (bits w 20 31) 12),
+            4 )
+  | 0b1100011 -> decode_branch w
+  | 0b0000011 -> decode_load w
+  | 0b0100011 -> decode_store w
+  | 0b0010011 -> decode_op_imm w
+  | 0b0011011 -> decode_op_imm32 w
+  | (0b0110011 | 0b0111011) as opcode -> decode_op w opcode
+  | 0b1110011 -> (
+      match bits w 7 31 with
+      | 0 -> Ok (Inst.Ecall, 4)
+      | w' when w' = 1 lsl 13 -> Ok (Inst.Ebreak, 4)
+      | _ -> illegal "reserved SYSTEM encoding")
+  | 0b0000111 -> decode_vload w
+  | 0b0100111 -> decode_vstore w
+  | 0b1010111 -> decode_opv w
+  | 0b0001011 ->
+      if bits w 12 14 <> 0 then illegal "reserved custom-0 funct3"
+      else
+        Ok
+          ( Inst.Xcheck_jalr
+              (reg (bits w 7 11), reg (bits w 15 19), sext (bits w 20 31) 12),
+            4 )
+  | 0b0101011 ->
+      if bits w 25 31 <> 0 then illegal "reserved custom-1 funct7"
+      else
+        let rd = reg (bits w 7 11)
+        and rs1 = reg (bits w 15 19)
+        and rs2 = reg (bits w 20 24) in
+        (match bits w 12 14 with
+        | 0b000 -> Ok (Inst.P_add16 (rd, rs1, rs2), 4)
+        | 0b001 -> Ok (Inst.P_smaqa (rd, rs1, rs2), 4)
+        | f3 -> illegal "reserved custom-1 funct3 %d" f3)
+  | opc -> illegal "reserved major opcode 0x%x" opc
+
+let decode ~lo ~hi =
+  let lo = lo land 0xFFFF and hi = hi land 0xFFFF in
+  if lo land 0b11 <> 0b11 then
+    (* 16-bit instruction. *)
+    match lo land 0b11 with
+    | 0b00 -> decode_c0 lo
+    | 0b01 -> decode_c1 lo
+    | 0b10 -> decode_c2 lo
+    | _ -> assert false
+  else if lo land 0b11111 = 0b11111 then
+    (* Reserved prefix of an instruction longer than 32 bits (paper §3.2):
+       never a legal instruction start in this machine. *)
+    illegal "reserved >=48-bit instruction prefix"
+  else decode_32 ((hi lsl 16) lor lo)
+
+let decode_word w = decode ~lo:(w land 0xFFFF) ~hi:((w lsr 16) land 0xFFFF)

@@ -1,0 +1,26 @@
+(** Binary instruction decoder.
+
+    [decode] is partial: it recognizes exactly the encodings {!Encode} can
+    produce and reports everything else as illegal. Two families of illegal
+    encodings matter to the SMILE trampoline (paper §3.2, Fig. 7) and are
+    reported with dedicated reasons:
+
+    - a halfword whose low five bits are [11111] is the reserved prefix of a
+      ≥48-bit instruction and always decodes as illegal (this is what the
+      upper halfword of the SMILE [auipc] is arranged to look like);
+    - a compressed C1-quadrant halfword with funct3 [100] falls in encoding
+      space that our subset reserves (and that contains genuinely reserved
+      RVC encodings), so it decodes as illegal (this is what the upper
+      halfword of the SMILE [jalr] looks like). *)
+
+type result =
+  | Ok of Inst.t * int  (** Decoded instruction and its size in bytes. *)
+  | Illegal of string  (** Reserved or unrecognized encoding. *)
+
+val decode : lo:int -> hi:int -> result
+(** [decode ~lo ~hi] decodes the instruction whose first 16-bit little-endian
+    halfword is [lo] and, if it is a 4-byte instruction, whose second
+    halfword is [hi] ([hi] is ignored for compressed instructions). *)
+
+val decode_word : int -> result
+(** [decode_word w] decodes a full 32-bit word (convenience for tests). *)

@@ -1,0 +1,337 @@
+let sext v bits =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let fits_signed v bits = sext (v land ((1 lsl bits) - 1)) bits = v
+
+let hi20 v =
+  let h = (v + 0x800) asr 12 in
+  sext (h land 0xFFFFF) 20
+
+let lo12 v = v - (hi20 v lsl 12)
+
+let check_signed what v bits =
+  if not (fits_signed v bits) then
+    invalid_arg (Printf.sprintf "Encode: %s immediate %d out of %d-bit range" what v bits)
+
+let check_even what v =
+  if v land 1 <> 0 then
+    invalid_arg (Printf.sprintf "Encode: %s offset %d is odd" what v)
+
+let bit v i = (v lsr i) land 1
+let bits v lo hi = (v lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let r = Reg.to_int
+let v = Reg.v_to_int
+
+(* Compressed 3-bit register field: x8..x15. *)
+let rc what reg =
+  let n = Reg.to_int reg in
+  if n < 8 || n > 15 then
+    invalid_arg (Printf.sprintf "Encode: %s register %s not in x8..x15" what (Reg.name reg));
+  n - 8
+
+let itype ~opcode ~funct3 ~rd ~rs1 ~imm =
+  check_signed "I-type" imm 12;
+  ((imm land 0xFFF) lsl 20) lor (r rs1 lsl 15) lor (funct3 lsl 12)
+  lor (r rd lsl 7) lor opcode
+
+let rtype ~opcode ~funct7 ~funct3 ~rd ~rs1 ~rs2 =
+  (funct7 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15) lor (funct3 lsl 12)
+  lor (r rd lsl 7) lor opcode
+
+let utype ~opcode ~rd ~imm20 =
+  check_signed "U-type" imm20 20;
+  ((imm20 land 0xFFFFF) lsl 12) lor (r rd lsl 7) lor opcode
+
+let stype ~funct3 ~rs1 ~rs2 ~imm =
+  check_signed "S-type" imm 12;
+  (bits imm 5 11 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15)
+  lor (funct3 lsl 12) lor (bits imm 0 4 lsl 7) lor 0b0100011
+
+let btype ~funct3 ~rs1 ~rs2 ~off =
+  check_signed "branch" off 13;
+  check_even "branch" off;
+  (bit off 12 lsl 31) lor (bits off 5 10 lsl 25) lor (r rs2 lsl 20)
+  lor (r rs1 lsl 15) lor (funct3 lsl 12) lor (bits off 1 4 lsl 8)
+  lor (bit off 11 lsl 7) lor 0b1100011
+
+let jtype ~rd ~off =
+  check_signed "jal" off 21;
+  check_even "jal" off;
+  (bit off 20 lsl 31) lor (bits off 1 10 lsl 21) lor (bit off 11 lsl 20)
+  lor (bits off 12 19 lsl 12) lor (r rd lsl 7) lor 0b1101111
+
+let branch_funct3 = function
+  | Inst.Beq -> 0b000 | Inst.Bne -> 0b001 | Inst.Blt -> 0b100
+  | Inst.Bge -> 0b101 | Inst.Bltu -> 0b110 | Inst.Bgeu -> 0b111
+
+let load_funct3 ~unsigned = function
+  | Inst.B -> if unsigned then 0b100 else 0b000
+  | Inst.H -> if unsigned then 0b101 else 0b001
+  | Inst.W -> if unsigned then 0b110 else 0b010
+  | Inst.D ->
+      if unsigned then invalid_arg "Encode: ldu does not exist" else 0b011
+
+let store_funct3 = function
+  | Inst.B -> 0b000 | Inst.H -> 0b001 | Inst.W -> 0b010 | Inst.D -> 0b011
+
+(* funct7, funct3, opcode for each R-type ALU op. *)
+let alu_fields = function
+  | Inst.Add -> (0b0000000, 0b000, 0b0110011)
+  | Inst.Sub -> (0b0100000, 0b000, 0b0110011)
+  | Inst.Sll -> (0b0000000, 0b001, 0b0110011)
+  | Inst.Slt -> (0b0000000, 0b010, 0b0110011)
+  | Inst.Sltu -> (0b0000000, 0b011, 0b0110011)
+  | Inst.Xor -> (0b0000000, 0b100, 0b0110011)
+  | Inst.Srl -> (0b0000000, 0b101, 0b0110011)
+  | Inst.Sra -> (0b0100000, 0b101, 0b0110011)
+  | Inst.Or -> (0b0000000, 0b110, 0b0110011)
+  | Inst.And -> (0b0000000, 0b111, 0b0110011)
+  | Inst.Mul -> (0b0000001, 0b000, 0b0110011)
+  | Inst.Mulh -> (0b0000001, 0b001, 0b0110011)
+  | Inst.Div -> (0b0000001, 0b100, 0b0110011)
+  | Inst.Divu -> (0b0000001, 0b101, 0b0110011)
+  | Inst.Rem -> (0b0000001, 0b110, 0b0110011)
+  | Inst.Remu -> (0b0000001, 0b111, 0b0110011)
+  | Inst.Addw -> (0b0000000, 0b000, 0b0111011)
+  | Inst.Subw -> (0b0100000, 0b000, 0b0111011)
+  | Inst.Sllw -> (0b0000000, 0b001, 0b0111011)
+  | Inst.Srlw -> (0b0000000, 0b101, 0b0111011)
+  | Inst.Sraw -> (0b0100000, 0b101, 0b0111011)
+  | Inst.Mulw -> (0b0000001, 0b000, 0b0111011)
+  | Inst.Divw -> (0b0000001, 0b100, 0b0111011)
+  | Inst.Remw -> (0b0000001, 0b110, 0b0111011)
+  | Inst.Sh1add -> (0b0010000, 0b010, 0b0110011)
+  | Inst.Sh2add -> (0b0010000, 0b100, 0b0110011)
+  | Inst.Sh3add -> (0b0010000, 0b110, 0b0110011)
+  | Inst.Andn -> (0b0100000, 0b111, 0b0110011)
+  | Inst.Orn -> (0b0100000, 0b110, 0b0110011)
+  | Inst.Xnor -> (0b0100000, 0b100, 0b0110011)
+  | Inst.Min -> (0b0000101, 0b100, 0b0110011)
+  | Inst.Max -> (0b0000101, 0b110, 0b0110011)
+  | Inst.Minu -> (0b0000101, 0b101, 0b0110011)
+  | Inst.Maxu -> (0b0000101, 0b111, 0b0110011)
+
+let check_shamt what sh max =
+  if sh < 0 || sh > max then
+    invalid_arg (Printf.sprintf "Encode: %s shamt %d out of range" what sh)
+
+let alui ~op ~rd ~rs1 ~imm =
+  let i ~opcode ~funct3 = itype ~opcode ~funct3 ~rd ~rs1 ~imm in
+  match op with
+  | Inst.Addi -> i ~opcode:0b0010011 ~funct3:0b000
+  | Inst.Slti -> i ~opcode:0b0010011 ~funct3:0b010
+  | Inst.Sltiu -> i ~opcode:0b0010011 ~funct3:0b011
+  | Inst.Xori -> i ~opcode:0b0010011 ~funct3:0b100
+  | Inst.Ori -> i ~opcode:0b0010011 ~funct3:0b110
+  | Inst.Andi -> i ~opcode:0b0010011 ~funct3:0b111
+  | Inst.Slli ->
+      check_shamt "slli" imm 63;
+      itype ~opcode:0b0010011 ~funct3:0b001 ~rd ~rs1 ~imm
+  | Inst.Srli ->
+      check_shamt "srli" imm 63;
+      itype ~opcode:0b0010011 ~funct3:0b101 ~rd ~rs1 ~imm
+  | Inst.Srai ->
+      check_shamt "srai" imm 63;
+      itype ~opcode:0b0010011 ~funct3:0b101 ~rd ~rs1 ~imm:(imm lor 0x400)
+  | Inst.Addiw -> i ~opcode:0b0011011 ~funct3:0b000
+  | Inst.Slliw ->
+      check_shamt "slliw" imm 31;
+      itype ~opcode:0b0011011 ~funct3:0b001 ~rd ~rs1 ~imm
+  | Inst.Srliw ->
+      check_shamt "srliw" imm 31;
+      itype ~opcode:0b0011011 ~funct3:0b101 ~rd ~rs1 ~imm
+  | Inst.Sraiw ->
+      check_shamt "sraiw" imm 31;
+      itype ~opcode:0b0011011 ~funct3:0b101 ~rd ~rs1 ~imm:(imm lor 0x400)
+
+let sew_code = function Inst.E8 -> 0 | Inst.E16 -> 1 | Inst.E32 -> 2 | Inst.E64 -> 3
+
+let mem_width_bits = function
+  | Inst.E8 -> 0b000 | Inst.E16 -> 0b101 | Inst.E32 -> 0b110 | Inst.E64 -> 0b111
+
+(* OP-V: funct6 | vm=1 | vs2 | vs1/rs1 | funct3 | vd | 1010111 *)
+let opv ~funct6 ~vs2 ~s1 ~funct3 ~vd =
+  (funct6 lsl 26) lor (1 lsl 25) lor (vs2 lsl 20) lor (s1 lsl 15)
+  lor (funct3 lsl 12) lor (vd lsl 7) lor 0b1010111
+
+let vop_funct6 = function
+  | Inst.Vadd -> 0b000000 | Inst.Vsub -> 0b000010
+  | Inst.Vmul -> 0b100101 | Inst.Vmacc -> 0b101101
+
+(* OPIVV/OPIVX for add/sub, OPMVV/OPMVX for mul/macc. *)
+let vop_funct3_vv = function
+  | Inst.Vadd | Inst.Vsub -> 0b000
+  | Inst.Vmul | Inst.Vmacc -> 0b010
+
+let vop_funct3_vx = function
+  | Inst.Vadd | Inst.Vsub -> 0b100
+  | Inst.Vmul | Inst.Vmacc -> 0b110
+
+let check_c_imm what imm bits =
+  if not (fits_signed imm bits) then
+    invalid_arg (Printf.sprintf "Encode: %s immediate %d out of %d-bit range" what imm bits)
+
+let c1 ~funct3 ~b12 ~rd ~low5 =
+  (funct3 lsl 13) lor (b12 lsl 12) lor (rd lsl 7) lor (low5 lsl 2) lor 0b01
+
+let encode inst =
+  match inst with
+  | Inst.Lui (rd, imm20) -> utype ~opcode:0b0110111 ~rd ~imm20
+  | Inst.Auipc (rd, imm20) -> utype ~opcode:0b0010111 ~rd ~imm20
+  | Inst.Jal (rd, off) -> jtype ~rd ~off
+  | Inst.Jalr (rd, rs1, imm) -> itype ~opcode:0b1100111 ~funct3:0b000 ~rd ~rs1 ~imm
+  | Inst.Branch (c, rs1, rs2, off) -> btype ~funct3:(branch_funct3 c) ~rs1 ~rs2 ~off
+  | Inst.Load { width; unsigned; rd; rs1; imm } ->
+      itype ~opcode:0b0000011 ~funct3:(load_funct3 ~unsigned width) ~rd ~rs1 ~imm
+  | Inst.Store { width; rs2; rs1; imm } ->
+      stype ~funct3:(store_funct3 width) ~rs1 ~rs2 ~imm
+  | Inst.Op (op, rd, rs1, rs2) ->
+      let funct7, funct3, opcode = alu_fields op in
+      rtype ~opcode ~funct7 ~funct3 ~rd ~rs1 ~rs2
+  | Inst.Opi (op, rd, rs1, imm) -> alui ~op ~rd ~rs1 ~imm
+  | Inst.Ecall -> 0b1110011
+  | Inst.Ebreak -> (1 lsl 20) lor 0b1110011
+  | Inst.C_nop -> 0x0001
+  | Inst.C_ebreak -> 0x9002
+  | Inst.C_addi (rd, imm) ->
+      if Reg.equal rd Reg.x0 then invalid_arg "Encode: c.addi rd=x0";
+      check_c_imm "c.addi" imm 6;
+      c1 ~funct3:0b000 ~b12:(bit imm 5) ~rd:(r rd) ~low5:(bits imm 0 4)
+  | Inst.C_li (rd, imm) ->
+      if Reg.equal rd Reg.x0 then invalid_arg "Encode: c.li rd=x0";
+      check_c_imm "c.li" imm 6;
+      c1 ~funct3:0b010 ~b12:(bit imm 5) ~rd:(r rd) ~low5:(bits imm 0 4)
+  | Inst.C_mv (rd, rs2) ->
+      if Reg.equal rd Reg.x0 || Reg.equal rs2 Reg.x0 then
+        invalid_arg "Encode: c.mv with x0";
+      (0b100 lsl 13) lor (r rd lsl 7) lor (r rs2 lsl 2) lor 0b10
+  | Inst.C_add (rd, rs2) ->
+      if Reg.equal rd Reg.x0 || Reg.equal rs2 Reg.x0 then
+        invalid_arg "Encode: c.add with x0";
+      (0b100 lsl 13) lor (1 lsl 12) lor (r rd lsl 7) lor (r rs2 lsl 2) lor 0b10
+  | Inst.C_j off ->
+      check_c_imm "c.j" off 12;
+      check_even "c.j" off;
+      (0b101 lsl 13)
+      lor (bit off 11 lsl 12) lor (bit off 4 lsl 11) lor (bits off 8 9 lsl 9)
+      lor (bit off 10 lsl 8) lor (bit off 6 lsl 7) lor (bit off 7 lsl 6)
+      lor (bits off 1 3 lsl 3) lor (bit off 5 lsl 2) lor 0b01
+  | Inst.C_jr rs1 ->
+      if Reg.equal rs1 Reg.x0 then invalid_arg "Encode: c.jr rs1=x0";
+      (0b100 lsl 13) lor (r rs1 lsl 7) lor 0b10
+  | Inst.C_jalr rs1 ->
+      if Reg.equal rs1 Reg.x0 then invalid_arg "Encode: c.jalr rs1=x0";
+      (0b100 lsl 13) lor (1 lsl 12) lor (r rs1 lsl 7) lor 0b10
+  | Inst.C_beqz (rs1, off) ->
+      check_c_imm "c.beqz" off 9;
+      check_even "c.beqz" off;
+      (0b110 lsl 13)
+      lor (bit off 8 lsl 12) lor (bits off 3 4 lsl 10) lor (rc "c.beqz" rs1 lsl 7)
+      lor (bits off 6 7 lsl 5) lor (bits off 1 2 lsl 3) lor (bit off 5 lsl 2)
+      lor 0b01
+  | Inst.C_bnez (rs1, off) ->
+      check_c_imm "c.bnez" off 9;
+      check_even "c.bnez" off;
+      (0b111 lsl 13)
+      lor (bit off 8 lsl 12) lor (bits off 3 4 lsl 10) lor (rc "c.bnez" rs1 lsl 7)
+      lor (bits off 6 7 lsl 5) lor (bits off 1 2 lsl 3) lor (bit off 5 lsl 2)
+      lor 0b01
+  | Inst.C_lw (rd, rs1, uimm) ->
+      if uimm < 0 || uimm > 124 || uimm land 3 <> 0 then
+        invalid_arg (Printf.sprintf "Encode: c.lw uimm %d" uimm);
+      (0b010 lsl 13)
+      lor (bits uimm 3 5 lsl 10) lor (rc "c.lw" rs1 lsl 7)
+      lor (bit uimm 2 lsl 6) lor (bit uimm 6 lsl 5) lor (rc "c.lw" rd lsl 2) lor 0b00
+  | Inst.C_sw (rs2, rs1, uimm) ->
+      if uimm < 0 || uimm > 124 || uimm land 3 <> 0 then
+        invalid_arg (Printf.sprintf "Encode: c.sw uimm %d" uimm);
+      (0b110 lsl 13)
+      lor (bits uimm 3 5 lsl 10) lor (rc "c.sw" rs1 lsl 7)
+      lor (bit uimm 2 lsl 6) lor (bit uimm 6 lsl 5) lor (rc "c.sw" rs2 lsl 2) lor 0b00
+  | Inst.C_lui (rd, imm) ->
+      if Reg.equal rd Reg.x0 || Reg.equal rd Reg.sp then invalid_arg "Encode: c.lui rd";
+      if imm = 0 then invalid_arg "Encode: c.lui imm=0";
+      check_c_imm "c.lui" imm 6;
+      c1 ~funct3:0b011 ~b12:(bit imm 5) ~rd:(r rd) ~low5:(bits imm 0 4)
+  | Inst.C_addiw (rd, imm) ->
+      if Reg.equal rd Reg.x0 then invalid_arg "Encode: c.addiw rd=x0";
+      check_c_imm "c.addiw" imm 6;
+      c1 ~funct3:0b001 ~b12:(bit imm 5) ~rd:(r rd) ~low5:(bits imm 0 4)
+  | Inst.C_andi (rd, imm) ->
+      check_c_imm "c.andi" imm 6;
+      (0b100 lsl 13) lor (bit imm 5 lsl 12) lor (0b10 lsl 10)
+      lor (rc "c.andi" rd lsl 7) lor (bits imm 0 4 lsl 2) lor 0b01
+  | Inst.C_alu (op, rd, rs2) ->
+      let b12, f2 =
+        match op with
+        | Inst.Csub -> (0, 0b00) | Inst.Cxor -> (0, 0b01)
+        | Inst.Cor -> (0, 0b10) | Inst.Cand -> (0, 0b11)
+        | Inst.Csubw -> (1, 0b00) | Inst.Caddw -> (1, 0b01)
+      in
+      (0b100 lsl 13) lor (b12 lsl 12) lor (0b11 lsl 10)
+      lor (rc "c.alu" rd lsl 7) lor (f2 lsl 5) lor (rc "c.alu" rs2 lsl 2) lor 0b01
+  | Inst.C_ld (rd, rs1, uimm) ->
+      if uimm < 0 || uimm > 248 || uimm land 7 <> 0 then
+        invalid_arg (Printf.sprintf "Encode: c.ld uimm %d" uimm);
+      (0b011 lsl 13)
+      lor (bits uimm 3 5 lsl 10) lor (rc "c.ld" rs1 lsl 7)
+      lor (bits uimm 6 7 lsl 5) lor (rc "c.ld" rd lsl 2) lor 0b00
+  | Inst.C_sd (rs2, rs1, uimm) ->
+      if uimm < 0 || uimm > 248 || uimm land 7 <> 0 then
+        invalid_arg (Printf.sprintf "Encode: c.sd uimm %d" uimm);
+      (0b111 lsl 13)
+      lor (bits uimm 3 5 lsl 10) lor (rc "c.sd" rs1 lsl 7)
+      lor (bits uimm 6 7 lsl 5) lor (rc "c.sd" rs2 lsl 2) lor 0b00
+  | Inst.C_slli (rd, sh) ->
+      if Reg.equal rd Reg.x0 then invalid_arg "Encode: c.slli rd=x0";
+      check_shamt "c.slli" sh 63;
+      if sh = 0 then invalid_arg "Encode: c.slli shamt=0";
+      (0b000 lsl 13) lor (bit sh 5 lsl 12) lor (r rd lsl 7) lor (bits sh 0 4 lsl 2)
+      lor 0b10
+  | Inst.Vsetvli (rd, rs1, sew) ->
+      let vtypei = sew_code sew lsl 3 in
+      (vtypei lsl 20) lor (r rs1 lsl 15) lor (0b111 lsl 12) lor (r rd lsl 7)
+      lor 0b1010111
+  | Inst.Vle (sew, vd, rs1) ->
+      (1 lsl 25) lor (r rs1 lsl 15) lor (mem_width_bits sew lsl 12)
+      lor (v vd lsl 7) lor 0b0000111
+  | Inst.Vlse (sew, vd, rs1, rs2) ->
+      (* mop = 10 (strided), vm = 1, rs2 carries the byte stride *)
+      (1 lsl 27) lor (1 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15)
+      lor (mem_width_bits sew lsl 12) lor (v vd lsl 7) lor 0b0000111
+  | Inst.Vse (sew, vs3, rs1) ->
+      (1 lsl 25) lor (r rs1 lsl 15) lor (mem_width_bits sew lsl 12)
+      lor (v vs3 lsl 7) lor 0b0100111
+  | Inst.Vsse (sew, vs3, rs1, rs2) ->
+      (1 lsl 27) lor (1 lsl 25) lor (r rs2 lsl 20) lor (r rs1 lsl 15)
+      lor (mem_width_bits sew lsl 12) lor (v vs3 lsl 7) lor 0b0100111
+  | Inst.Vop_vv (op, vd, vs2, vs1) ->
+      opv ~funct6:(vop_funct6 op) ~vs2:(v vs2) ~s1:(v vs1)
+        ~funct3:(vop_funct3_vv op) ~vd:(v vd)
+  | Inst.Vop_vx (op, vd, vs2, rs1) ->
+      opv ~funct6:(vop_funct6 op) ~vs2:(v vs2) ~s1:(r rs1)
+        ~funct3:(vop_funct3_vx op) ~vd:(v vd)
+  | Inst.Vmv_v_x (vd, rs1) ->
+      opv ~funct6:0b010111 ~vs2:0 ~s1:(r rs1) ~funct3:0b100 ~vd:(v vd)
+  | Inst.Vmv_x_s (rd, vs2) ->
+      opv ~funct6:0b010000 ~vs2:(v vs2) ~s1:0 ~funct3:0b010 ~vd:(r rd)
+  | Inst.Vredsum (vd, vs2, vs1) ->
+      opv ~funct6:0b000000 ~vs2:(v vs2) ~s1:(v vs1) ~funct3:0b010 ~vd:(v vd)
+  | Inst.Xcheck_jalr (rd, rs1, imm) ->
+      itype ~opcode:0b0001011 ~funct3:0b000 ~rd ~rs1 ~imm
+  | Inst.P_add16 (rd, rs1, rs2) ->
+      rtype ~opcode:0b0101011 ~funct7:0 ~funct3:0b000 ~rd ~rs1 ~rs2
+  | Inst.P_smaqa (rd, rs1, rs2) ->
+      rtype ~opcode:0b0101011 ~funct7:0 ~funct3:0b001 ~rd ~rs1 ~rs2
+
+let write buf off inst =
+  let w = encode inst in
+  let n = Inst.size inst in
+  Bytes.set_uint8 buf off (w land 0xFF);
+  Bytes.set_uint8 buf (off + 1) ((w lsr 8) land 0xFF);
+  if n = 4 then begin
+    Bytes.set_uint8 buf (off + 2) ((w lsr 16) land 0xFF);
+    Bytes.set_uint8 buf (off + 3) ((w lsr 24) land 0xFF)
+  end;
+  n

@@ -1,0 +1,36 @@
+type ext = C | V | B | P | X
+
+let ext_name = function C -> "c" | V -> "v" | B -> "b" | P -> "p" | X -> "x"
+let pp_ext fmt e = Format.pp_print_string fmt (ext_name e)
+let ext_bit = function C -> 1 | V -> 2 | B -> 4 | P -> 16 | X -> 8
+
+type t = int
+
+let of_list exts = List.fold_left (fun acc e -> acc lor ext_bit e) 0 exts
+let mem e set = set land ext_bit e <> 0
+
+let to_list set =
+  List.filter (fun e -> mem e set) [ C; V; B; P; X ]
+
+let subset a b = a land lnot b = 0
+let union a b = a lor b
+let equal (a : t) (b : t) = a = b
+let base = 0
+let rv64gc = of_list [ C ]
+let rv64gcv = of_list [ C; V ]
+let all = of_list [ C; V; B; P; X ]
+
+let required i =
+  if Inst.is_vector i then Some V
+  else if Inst.is_compressed i then Some C
+  else if Inst.is_bitmanip i then Some B
+  else if Inst.is_packed_simd i then Some P
+  else match i with Inst.Xcheck_jalr _ -> Some X | _ -> None
+
+let supports caps i =
+  match required i with None -> true | Some e -> mem e caps
+
+let name set =
+  "rv64im" ^ String.concat "" (List.map ext_name (to_list set))
+
+let pp fmt set = Format.pp_print_string fmt (name set)

@@ -1,0 +1,50 @@
+(** ISA extension sets and hart capability profiles.
+
+    An ISAX heterogeneous processor is a set of harts sharing the base ISA
+    (here RV64IM) where each hart enables a subset of optional extensions.
+    The paper's evaluation uses base cores (RV64GC) and extension cores
+    (RV64GCV); we model the distinction as capability sets checked by the
+    machine before executing an instruction. *)
+
+type ext = C | V | B | P | X
+(** [C] compressed, [V] vector, [B] bit-manipulation (Zba/Zbb), [P]
+    packed-SIMD (draft-P DSP instructions — the second ISAX case study),
+    [X] the custom-0 check instruction used by the Safer baseline. *)
+
+val ext_name : ext -> string
+val pp_ext : Format.formatter -> ext -> unit
+
+type t
+(** An extension set (the base RV64IM is always implied). *)
+
+val of_list : ext list -> t
+val to_list : t -> ext list
+val mem : ext -> t -> bool
+val subset : t -> t -> bool
+val union : t -> t -> t
+val equal : t -> t -> bool
+
+val base : t
+(** RV64IM only: no optional extension. *)
+
+val rv64gc : t
+(** Base plus compressed (the paper's "base cores"). *)
+
+val rv64gcv : t
+(** Base plus compressed plus vector (the paper's "extension cores"). *)
+
+val all : t
+(** Every modelled extension enabled. *)
+
+val required : Inst.t -> ext option
+(** The extension an instruction needs beyond the base ISA, if any. *)
+
+val supports : t -> Inst.t -> bool
+(** [supports caps i] is true when a hart with capabilities [caps] can
+    execute [i]. Executing an unsupported instruction raises a deterministic
+    illegal-instruction fault in the machine. *)
+
+val name : t -> string
+(** Human-readable ISA string, e.g. ["rv64imcv"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/icache.ml: Array

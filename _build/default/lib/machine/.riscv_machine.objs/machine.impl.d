@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bytes Costs Decode Encode Ext Fault Hashtbl Icache Inst Int64 List Memory Printf Reg

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Costs Ext Fault Inst Memory Reg

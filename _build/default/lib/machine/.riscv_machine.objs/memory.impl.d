@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Fault Format Hashtbl Int32 Int64 List Printf

@@ -1,0 +1,27 @@
+type t = {
+  vector_op : int;
+  trap : int;
+  fault_recovery : int;
+  check : int;
+  check_fast : int;
+  migrate : int;
+  lazy_rewrite : int;
+  icache_miss : int;
+}
+
+let default =
+  { vector_op = 2;
+    trap = 600;
+    fault_recovery = 1400;
+    check = 40;
+    check_fast = 8;
+    migrate = 4000;
+    lazy_rewrite = 2500;
+    icache_miss = 30 }
+
+let pp fmt c =
+  Format.fprintf fmt
+    "{vector_op=%d; trap=%d; fault_recovery=%d; check=%d/%d; migrate=%d; lazy_rewrite=%d; \
+     icache_miss=%d}"
+    c.vector_op c.trap c.fault_recovery c.check c.check_fast c.migrate c.lazy_rewrite
+    c.icache_miss

@@ -1,0 +1,22 @@
+type access = Read | Write | Execute
+
+type t =
+  | Illegal_instruction of { pc : int; reason : string }
+  | Segfault of { pc : int; addr : int; access : access }
+  | Misaligned_fetch of { pc : int; target : int }
+
+let access_name = function Read -> "read" | Write -> "write" | Execute -> "execute"
+
+let pp fmt = function
+  | Illegal_instruction { pc; reason } ->
+      Format.fprintf fmt "SIGILL at 0x%x (%s)" pc reason
+  | Segfault { pc; addr; access } ->
+      Format.fprintf fmt "SIGSEGV at 0x%x (%s 0x%x)" pc (access_name access) addr
+  | Misaligned_fetch { pc; target } ->
+      Format.fprintf fmt "misaligned fetch at 0x%x (target 0x%x)" pc target
+
+let to_string f = Format.asprintf "%a" pp f
+
+let pc = function
+  | Illegal_instruction { pc; _ } | Segfault { pc; _ } | Misaligned_fetch { pc; _ } ->
+      pc

@@ -1,0 +1,26 @@
+(** Deterministic faults raised by the simulated machine.
+
+    The paper's correctness argument (Assertion 1) rests on every erroneous
+    execution raising one of these *deterministic* faults instead of running
+    unintended instructions. In this reproduction the faults are architectural
+    consequences: the machine refuses to fetch from non-executable pages and
+    refuses to decode reserved encodings. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Illegal_instruction of { pc : int; reason : string }
+      (** Fetch decoded a reserved/unsupported encoding, or the hart lacks
+          the extension the instruction needs. *)
+  | Segfault of { pc : int; addr : int; access : access }
+      (** Permission violation; [pc = addr] and [access = Execute] when
+          control flow landed in a non-executable segment — the SMILE
+          trampoline's partial-execution case. *)
+  | Misaligned_fetch of { pc : int; target : int }
+      (** Jump to a target not aligned for the hart's ISA (4-byte without the
+          C extension, 2-byte with it). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pc : t -> int
+(** The program counter at which the fault was raised. *)

@@ -1,0 +1,29 @@
+type t = {
+  sets : int;
+  line : int;
+  tags : int array;  (* -1 = invalid *)
+  mutable misses : int;
+  mutable accesses : int;
+}
+
+let pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(sets = 512) ?(line = 64) () =
+  if not (pow2 sets && pow2 line) then
+    invalid_arg "Icache.create: sets and line must be powers of two";
+  { sets; line; tags = Array.make sets (-1); misses = 0; accesses = 0 }
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let lineno = addr / t.line in
+  let set = lineno land (t.sets - 1) in
+  if t.tags.(set) = lineno then true
+  else begin
+    t.tags.(set) <- lineno;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let misses t = t.misses
+let accesses t = t.accesses
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)

@@ -1,0 +1,639 @@
+type centry = Cok of Inst.t * int | Cill of string
+
+type view = { vmem : Memory.t; cache : (int, centry) Hashtbl.t }
+
+type t = {
+  mutable cur : view;
+  mutable views : view list;  (** every view seen, for cross-view invalidation *)
+  mutable isa : Ext.t;
+  costs : Costs.t;
+  vlen : int;
+  xregs : int64 array;
+  vregs : bytes;
+  mutable vl : int;
+  mutable vsew : Inst.sew;
+  mutable pc : int;
+  mutable retired : int;
+  mutable vector_retired : int;
+  mutable indirect_retired : int;
+  mutable cycles : int;
+  mutable icache : Icache.t option;
+}
+
+type stop = Exited of int | Faulted of Fault.t | Fuel_exhausted
+type action = Resume of int | Stop of stop
+
+type handlers = {
+  on_fault : t -> Fault.t -> action;
+  on_ebreak : t -> pc:int -> size:int -> action;
+  on_ecall : t -> pc:int -> action;
+  on_check : t -> pc:int -> rd:Reg.t -> target:int -> action;
+}
+
+let default_handlers =
+  { on_fault = (fun _ f -> Stop (Faulted f));
+    on_ebreak =
+      (fun _ ~pc ~size:_ ->
+        Stop (Faulted (Fault.Illegal_instruction { pc; reason = "unhandled ebreak" })));
+    on_ecall =
+      (fun _ ~pc ->
+        Stop (Faulted (Fault.Illegal_instruction { pc; reason = "unhandled ecall" })));
+    on_check =
+      (fun _ ~pc ~rd:_ ~target:_ ->
+        Stop
+          (Faulted
+             (Fault.Illegal_instruction { pc; reason = "unhandled check instruction" })))
+  }
+
+let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
+  let view = { vmem = mem; cache = Hashtbl.create 1024 } in
+  { cur = view;
+    views = [ view ];
+    isa;
+    costs;
+    vlen;
+    xregs = Array.make 32 0L;
+    vregs = Bytes.make (32 * vlen) '\000';
+    vl = 0;
+    vsew = Inst.E64;
+    pc = 0;
+    retired = 0;
+    vector_retired = 0;
+    indirect_retired = 0;
+    cycles = 0;
+    icache = None }
+
+let mem t = t.cur.vmem
+let isa t = t.isa
+let set_isa t isa = t.isa <- isa
+let costs t = t.costs
+let vlen t = t.vlen
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let get_reg t r = t.xregs.(Reg.to_int r)
+
+let set_reg t r v =
+  let i = Reg.to_int r in
+  if i <> 0 then t.xregs.(i) <- v
+
+let get_vreg t v = Bytes.sub t.vregs (Reg.v_to_int v * t.vlen) t.vlen
+
+let set_vreg t v b =
+  if Bytes.length b <> t.vlen then invalid_arg "Machine.set_vreg: wrong width";
+  Bytes.blit b 0 t.vregs (Reg.v_to_int v * t.vlen) t.vlen
+
+let vl t = t.vl
+let vsew t = t.vsew
+
+let set_vstate t ~vl ~vsew =
+  t.vl <- vl;
+  t.vsew <- vsew
+
+let switch_view t mem =
+  match List.find_opt (fun v -> v.vmem == mem) t.views with
+  | Some v -> t.cur <- v
+  | None ->
+      let v = { vmem = mem; cache = Hashtbl.create 1024 } in
+      t.views <- v :: t.views;
+      t.cur <- v
+
+let invalidate_code t ~addr ~len =
+  let doomed cache =
+    Hashtbl.fold (fun k _ acc -> if k >= addr - 3 && k < addr + len then k :: acc else acc)
+      cache []
+  in
+  List.iter
+    (fun v -> List.iter (Hashtbl.remove v.cache) (doomed v.cache))
+    t.views
+
+let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ())
+
+let icache_misses t =
+  match t.icache with None -> 0 | Some ic -> Icache.misses ic
+
+let retired t = t.retired
+let vector_retired t = t.vector_retired
+let indirect_retired t = t.indirect_retired
+let cycles t = t.cycles
+let charge t n = t.cycles <- t.cycles + n
+
+let reset_counters t =
+  t.retired <- 0;
+  t.vector_retired <- 0;
+  t.indirect_retired <- 0;
+  t.cycles <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Efault of Fault.t
+
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+let bool64 b = if b then 1L else 0L
+
+let mulh a b =
+  (* High 64 bits of the signed 128-bit product. *)
+  let open Int64 in
+  let lo_mask = 0xFFFFFFFFL in
+  let a_lo = logand a lo_mask and a_hi = shift_right a 32 in
+  let b_lo = logand b lo_mask and b_hi = shift_right b 32 in
+  let ll = mul a_lo b_lo in
+  let lh = mul a_lo b_hi in
+  let hl = mul a_hi b_lo in
+  let hh = mul a_hi b_hi in
+  let carry =
+    shift_right_logical
+      (add (add (logand lh lo_mask) (logand hl lo_mask)) (shift_right_logical ll 32))
+      32
+  in
+  add (add hh (add (shift_right lh 32) (shift_right hl 32))) carry
+
+let alu op a b =
+  let open Int64 in
+  match op with
+  | Inst.Add -> add a b
+  | Inst.Sub -> sub a b
+  | Inst.Sll -> shift_left a (to_int b land 63)
+  | Inst.Slt -> bool64 (compare a b < 0)
+  | Inst.Sltu -> bool64 (unsigned_compare a b < 0)
+  | Inst.Xor -> logxor a b
+  | Inst.Srl -> shift_right_logical a (to_int b land 63)
+  | Inst.Sra -> shift_right a (to_int b land 63)
+  | Inst.Or -> logor a b
+  | Inst.And -> logand a b
+  | Inst.Mul -> mul a b
+  | Inst.Mulh -> mulh a b
+  | Inst.Div ->
+      if b = 0L then -1L
+      else if a = min_int && b = -1L then min_int
+      else div a b
+  | Inst.Divu -> if b = 0L then -1L else unsigned_div a b
+  | Inst.Rem ->
+      if b = 0L then a else if a = min_int && b = -1L then 0L else rem a b
+  | Inst.Remu -> if b = 0L then a else unsigned_rem a b
+  | Inst.Addw -> sext32 (add a b)
+  | Inst.Subw -> sext32 (sub a b)
+  | Inst.Sllw -> sext32 (shift_left a (to_int b land 31))
+  | Inst.Srlw -> sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (to_int b land 31))
+  | Inst.Sraw -> sext32 (shift_right (sext32 a) (to_int b land 31))
+  | Inst.Mulw -> sext32 (mul a b)
+  | Inst.Divw ->
+      let a = sext32 a and b = sext32 b in
+      if b = 0L then -1L
+      else if a = 0xFFFFFFFF80000000L && b = -1L then sext32 a
+      else sext32 (div a b)
+  | Inst.Remw ->
+      let a = sext32 a and b = sext32 b in
+      if b = 0L then a
+      else if a = 0xFFFFFFFF80000000L && b = -1L then 0L
+      else sext32 (rem a b)
+  | Inst.Sh1add -> add (shift_left a 1) b
+  | Inst.Sh2add -> add (shift_left a 2) b
+  | Inst.Sh3add -> add (shift_left a 3) b
+  | Inst.Andn -> logand a (lognot b)
+  | Inst.Orn -> logor a (lognot b)
+  | Inst.Xnor -> lognot (logxor a b)
+  | Inst.Min -> if compare a b < 0 then a else b
+  | Inst.Max -> if compare a b > 0 then a else b
+  | Inst.Minu -> if unsigned_compare a b < 0 then a else b
+  | Inst.Maxu -> if unsigned_compare a b > 0 then a else b
+
+let alui op a imm =
+  let open Int64 in
+  let b = of_int imm in
+  match op with
+  | Inst.Addi -> add a b
+  | Inst.Slti -> bool64 (compare a b < 0)
+  | Inst.Sltiu -> bool64 (unsigned_compare a b < 0)
+  | Inst.Xori -> logxor a b
+  | Inst.Ori -> logor a b
+  | Inst.Andi -> logand a b
+  | Inst.Slli -> shift_left a (imm land 63)
+  | Inst.Srli -> shift_right_logical a (imm land 63)
+  | Inst.Srai -> shift_right a (imm land 63)
+  | Inst.Addiw -> sext32 (add a b)
+  | Inst.Slliw -> sext32 (shift_left a (imm land 31))
+  | Inst.Srliw -> sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (imm land 31))
+  | Inst.Sraiw -> sext32 (shift_right (sext32 a) (imm land 31))
+
+let branch_taken c a b =
+  match c with
+  | Inst.Beq -> Int64.equal a b
+  | Inst.Bne -> not (Int64.equal a b)
+  | Inst.Blt -> Int64.compare a b < 0
+  | Inst.Bge -> Int64.compare a b >= 0
+  | Inst.Bltu -> Int64.unsigned_compare a b < 0
+  | Inst.Bgeu -> Int64.unsigned_compare a b >= 0
+
+let addr_of v = Int64.to_int v
+
+let load_value mem width unsigned addr =
+  match (width, unsigned) with
+  | Inst.B, false -> Int64.of_int (Encode.sext (Memory.load_u8 mem addr) 8)
+  | Inst.B, true -> Int64.of_int (Memory.load_u8 mem addr)
+  | Inst.H, false -> Int64.of_int (Encode.sext (Memory.load_u16 mem addr) 16)
+  | Inst.H, true -> Int64.of_int (Memory.load_u16 mem addr)
+  | Inst.W, false -> sext32 (Int64.of_int (Memory.load_u32 mem addr))
+  | Inst.W, true -> Int64.of_int (Memory.load_u32 mem addr)
+  | Inst.D, _ -> Memory.load_u64 mem addr
+
+let store_value mem width addr v =
+  match width with
+  | Inst.B -> Memory.store_u8 mem addr (Int64.to_int v land 0xFF)
+  | Inst.H -> Memory.store_u16 mem addr (Int64.to_int v land 0xFFFF)
+  | Inst.W -> Memory.store_u32 mem addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  | Inst.D -> Memory.store_u64 mem addr v
+
+(* Vector element accessors at the current sew. *)
+
+let vget t vr i =
+  let base = (Reg.v_to_int vr * t.vlen) in
+  match t.vsew with
+  | Inst.E64 -> Bytes.get_int64_le t.vregs (base + (i * 8))
+  | Inst.E32 -> Int64.of_int32 (Bytes.get_int32_le t.vregs (base + (i * 4)))
+  | Inst.E16 -> Int64.of_int (Encode.sext (Bytes.get_uint16_le t.vregs (base + (i * 2))) 16)
+  | Inst.E8 -> Int64.of_int (Encode.sext (Bytes.get_uint8 t.vregs (base + i)) 8)
+
+let vset t vr i v =
+  let base = (Reg.v_to_int vr * t.vlen) in
+  match t.vsew with
+  | Inst.E64 -> Bytes.set_int64_le t.vregs (base + (i * 8)) v
+  | Inst.E32 -> Bytes.set_int32_le t.vregs (base + (i * 4)) (Int64.to_int32 v)
+  | Inst.E16 -> Bytes.set_uint16_le t.vregs (base + (i * 2)) (Int64.to_int v land 0xFFFF)
+  | Inst.E8 -> Bytes.set_uint8 t.vregs (base + i) (Int64.to_int v land 0xFF)
+
+let vop_apply op acc a b =
+  match op with
+  | Inst.Vadd -> Int64.add a b
+  | Inst.Vsub -> Int64.sub a b
+  | Inst.Vmul -> Int64.mul a b
+  | Inst.Vmacc -> Int64.add acc (Int64.mul a b)
+
+let vlmax t sew = t.vlen / Inst.sew_bytes sew
+
+(* Decode at pc through the current view's cache. *)
+let fetch_decode t =
+  match Hashtbl.find_opt t.cur.cache t.pc with
+  | Some (Cok (i, n)) -> (i, n)
+  | Some (Cill reason) -> raise (Efault (Fault.Illegal_instruction { pc = t.pc; reason }))
+  | None -> (
+      let lo = Memory.fetch_u16 t.cur.vmem t.pc in
+      let needs_hi = lo land 0b11 = 0b11 && lo land 0b11111 <> 0b11111 in
+      let hi = if needs_hi then Memory.fetch_u16 t.cur.vmem (t.pc + 2) else 0 in
+      match Decode.decode ~lo ~hi with
+      | Decode.Ok (i, n) ->
+          Hashtbl.replace t.cur.cache t.pc (Cok (i, n));
+          (i, n)
+      | Decode.Illegal reason ->
+          Hashtbl.replace t.cur.cache t.pc (Cill reason);
+          raise (Efault (Fault.Illegal_instruction { pc = t.pc; reason })))
+
+(* Execute one decoded instruction; updates pc; may raise Efault.
+   Returns the [stop] if the instruction is a control event the caller's
+   handlers must see. *)
+type event = Enone | Eebreak of int | Eecall | Echeck of Reg.t * Reg.t * int
+
+let exec t inst size =
+  let next = t.pc + size in
+  let get = get_reg t and set = set_reg t in
+  let jump_aligned target =
+    if target land 1 <> 0 || (target land 3 <> 0 && not (Ext.mem Ext.C t.isa)) then
+      raise (Efault (Fault.Misaligned_fetch { pc = t.pc; target }));
+    t.pc <- target
+  in
+  match inst with
+  | Inst.Lui (rd, imm20) ->
+      set rd (Int64.of_int (imm20 lsl 12));
+      t.pc <- next;
+      Enone
+  | Inst.Auipc (rd, imm20) ->
+      set rd (Int64.of_int (t.pc + (imm20 lsl 12)));
+      t.pc <- next;
+      Enone
+  | Inst.Jal (rd, off) ->
+      set rd (Int64.of_int next);
+      jump_aligned (t.pc + off);
+      Enone
+  | Inst.Jalr (rd, rs1, imm) ->
+      let target = addr_of (Int64.add (get rs1) (Int64.of_int imm)) land lnot 1 in
+      set rd (Int64.of_int next);
+      t.indirect_retired <- t.indirect_retired + 1;
+      jump_aligned target;
+      Enone
+  | Inst.Branch (c, rs1, rs2, off) ->
+      if branch_taken c (get rs1) (get rs2) then jump_aligned (t.pc + off)
+      else t.pc <- next;
+      Enone
+  | Inst.Load { width; unsigned; rd; rs1; imm } ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int imm)) in
+      set rd (load_value t.cur.vmem width unsigned addr);
+      t.pc <- next;
+      Enone
+  | Inst.Store { width; rs2; rs1; imm } ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int imm)) in
+      store_value t.cur.vmem width addr (get rs2);
+      t.pc <- next;
+      Enone
+  | Inst.Op (op, rd, rs1, rs2) ->
+      set rd (alu op (get rs1) (get rs2));
+      t.pc <- next;
+      Enone
+  | Inst.Opi (op, rd, rs1, imm) ->
+      set rd (alui op (get rs1) imm);
+      t.pc <- next;
+      Enone
+  | Inst.Ecall -> Eecall
+  | Inst.Ebreak -> Eebreak 4
+  | Inst.C_nop ->
+      t.pc <- next;
+      Enone
+  | Inst.C_ebreak -> Eebreak 2
+  | Inst.C_addi (rd, imm) ->
+      set rd (Int64.add (get rd) (Int64.of_int imm));
+      t.pc <- next;
+      Enone
+  | Inst.C_li (rd, imm) ->
+      set rd (Int64.of_int imm);
+      t.pc <- next;
+      Enone
+  | Inst.C_mv (rd, rs2) ->
+      set rd (get rs2);
+      t.pc <- next;
+      Enone
+  | Inst.C_add (rd, rs2) ->
+      set rd (Int64.add (get rd) (get rs2));
+      t.pc <- next;
+      Enone
+  | Inst.C_j off ->
+      jump_aligned (t.pc + off);
+      Enone
+  | Inst.C_jr rs1 ->
+      t.indirect_retired <- t.indirect_retired + 1;
+      jump_aligned (addr_of (get rs1) land lnot 1);
+      Enone
+  | Inst.C_jalr rs1 ->
+      let target = addr_of (get rs1) land lnot 1 in
+      t.indirect_retired <- t.indirect_retired + 1;
+      set Reg.ra (Int64.of_int next);
+      jump_aligned target;
+      Enone
+  | Inst.C_beqz (rs1, off) ->
+      if Int64.equal (get rs1) 0L then jump_aligned (t.pc + off) else t.pc <- next;
+      Enone
+  | Inst.C_bnez (rs1, off) ->
+      if Int64.equal (get rs1) 0L then t.pc <- next else jump_aligned (t.pc + off);
+      Enone
+  | Inst.C_ld (rd, rs1, uimm) ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int uimm)) in
+      set rd (Memory.load_u64 t.cur.vmem addr);
+      t.pc <- next;
+      Enone
+  | Inst.C_sd (rs2, rs1, uimm) ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int uimm)) in
+      Memory.store_u64 t.cur.vmem addr (get rs2);
+      t.pc <- next;
+      Enone
+  | Inst.C_slli (rd, sh) ->
+      set rd (Int64.shift_left (get rd) sh);
+      t.pc <- next;
+      Enone
+  | Inst.C_lw (rd, rs1, uimm) ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int uimm)) in
+      set rd (sext32 (Int64.of_int (Memory.load_u32 t.cur.vmem addr)));
+      t.pc <- next;
+      Enone
+  | Inst.C_sw (rs2, rs1, uimm) ->
+      let addr = addr_of (Int64.add (get rs1) (Int64.of_int uimm)) in
+      Memory.store_u32 t.cur.vmem addr (Int64.to_int (Int64.logand (get rs2) 0xFFFFFFFFL));
+      t.pc <- next;
+      Enone
+  | Inst.C_lui (rd, imm) ->
+      set rd (Int64.of_int (imm lsl 12));
+      t.pc <- next;
+      Enone
+  | Inst.C_addiw (rd, imm) ->
+      set rd (sext32 (Int64.add (get rd) (Int64.of_int imm)));
+      t.pc <- next;
+      Enone
+  | Inst.C_andi (rd, imm) ->
+      set rd (Int64.logand (get rd) (Int64.of_int imm));
+      t.pc <- next;
+      Enone
+  | Inst.C_alu (op, rd, rs2) ->
+      let a = get rd and b = get rs2 in
+      set rd
+        (match op with
+        | Inst.Csub -> Int64.sub a b
+        | Inst.Cxor -> Int64.logxor a b
+        | Inst.Cor -> Int64.logor a b
+        | Inst.Cand -> Int64.logand a b
+        | Inst.Csubw -> sext32 (Int64.sub a b)
+        | Inst.Caddw -> sext32 (Int64.add a b));
+      t.pc <- next;
+      Enone
+  | Inst.Vsetvli (rd, rs1, sew) ->
+      let vlmax = vlmax t sew in
+      let avl =
+        if Reg.equal rs1 Reg.x0 then
+          if Reg.equal rd Reg.x0 then t.vl else vlmax
+        else
+          let v = get rs1 in
+          if Int64.unsigned_compare v (Int64.of_int vlmax) > 0 then vlmax
+          else Int64.to_int v
+      in
+      t.vsew <- sew;
+      t.vl <- min avl vlmax;
+      set rd (Int64.of_int t.vl);
+      t.pc <- next;
+      Enone
+  | Inst.Vle (sew, vd, rs1) ->
+      if sew <> t.vsew then
+        raise
+          (Efault
+             (Fault.Illegal_instruction { pc = t.pc; reason = "vle sew/vtype mismatch" }));
+      let base = addr_of (get rs1) in
+      let sz = Inst.sew_bytes sew in
+      for i = 0 to t.vl - 1 do
+        vset t vd i (load_value t.cur.vmem
+                       (match sew with
+                        | Inst.E8 -> Inst.B | Inst.E16 -> Inst.H
+                        | Inst.E32 -> Inst.W | Inst.E64 -> Inst.D)
+                       false (base + (i * sz)))
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vlse (sew, vd, rs1, rs2) ->
+      if sew <> t.vsew then
+        raise
+          (Efault
+             (Fault.Illegal_instruction { pc = t.pc; reason = "vlse sew/vtype mismatch" }));
+      let base = addr_of (get rs1) in
+      let stride = Int64.to_int (get rs2) in
+      for i = 0 to t.vl - 1 do
+        vset t vd i
+          (load_value t.cur.vmem
+             (match sew with
+              | Inst.E8 -> Inst.B | Inst.E16 -> Inst.H
+              | Inst.E32 -> Inst.W | Inst.E64 -> Inst.D)
+             false (base + (i * stride)))
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vse (sew, vs3, rs1) ->
+      if sew <> t.vsew then
+        raise
+          (Efault
+             (Fault.Illegal_instruction { pc = t.pc; reason = "vse sew/vtype mismatch" }));
+      let base = addr_of (get rs1) in
+      let sz = Inst.sew_bytes sew in
+      for i = 0 to t.vl - 1 do
+        store_value t.cur.vmem
+          (match sew with
+           | Inst.E8 -> Inst.B | Inst.E16 -> Inst.H
+           | Inst.E32 -> Inst.W | Inst.E64 -> Inst.D)
+          (base + (i * sz)) (vget t vs3 i)
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vsse (sew, vs3, rs1, rs2) ->
+      if sew <> t.vsew then
+        raise
+          (Efault
+             (Fault.Illegal_instruction { pc = t.pc; reason = "vsse sew/vtype mismatch" }));
+      let base = addr_of (get rs1) in
+      let stride = Int64.to_int (get rs2) in
+      for i = 0 to t.vl - 1 do
+        store_value t.cur.vmem
+          (match sew with
+           | Inst.E8 -> Inst.B | Inst.E16 -> Inst.H
+           | Inst.E32 -> Inst.W | Inst.E64 -> Inst.D)
+          (base + (i * stride)) (vget t vs3 i)
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vop_vv (op, vd, vs2, vs1) ->
+      for i = 0 to t.vl - 1 do
+        vset t vd i (vop_apply op (vget t vd i) (vget t vs2 i) (vget t vs1 i))
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vop_vx (op, vd, vs2, rs1) ->
+      let x = get rs1 in
+      for i = 0 to t.vl - 1 do
+        vset t vd i (vop_apply op (vget t vd i) (vget t vs2 i) x)
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vmv_v_x (vd, rs1) ->
+      let x = get rs1 in
+      for i = 0 to t.vl - 1 do
+        vset t vd i x
+      done;
+      t.pc <- next;
+      Enone
+  | Inst.Vmv_x_s (rd, vs2) ->
+      set rd (vget t vs2 0);
+      t.pc <- next;
+      Enone
+  | Inst.Vredsum (vd, vs2, vs1) ->
+      let acc = ref (vget t vs1 0) in
+      for i = 0 to t.vl - 1 do
+        acc := Int64.add !acc (vget t vs2 i)
+      done;
+      vset t vd 0 !acc;
+      t.pc <- next;
+      Enone
+  | Inst.Xcheck_jalr (rd, rs1, imm) ->
+      let target = addr_of (Int64.add (get rs1) (Int64.of_int imm)) land lnot 1 in
+      Echeck (rd, rs1, target)
+  | Inst.P_add16 (rd, rs1, rs2) ->
+      let a = get rs1 and b = get rs2 in
+      let lane i =
+        let sh = 16 * i in
+        let sum =
+          Int64.add
+            (Int64.logand (Int64.shift_right_logical a sh) 0xFFFFL)
+            (Int64.logand (Int64.shift_right_logical b sh) 0xFFFFL)
+        in
+        Int64.shift_left (Int64.logand sum 0xFFFFL) sh
+      in
+      set rd (Int64.logor (Int64.logor (lane 0) (lane 1)) (Int64.logor (lane 2) (lane 3)));
+      t.pc <- next;
+      Enone
+  | Inst.P_smaqa (rd, rs1, rs2) ->
+      let a = get rs1 and b = get rs2 in
+      let byte v i =
+        (* sign-extended byte lane i *)
+        Int64.shift_right (Int64.shift_left v (56 - (8 * i))) 56
+      in
+      let acc = ref (get rd) in
+      for i = 0 to 7 do
+        acc := Int64.add !acc (Int64.mul (byte a i) (byte b i))
+      done;
+      set rd !acc;
+      t.pc <- next;
+      Enone
+
+let step ?(handlers = default_handlers) t =
+  let apply_action = function
+    | Resume pc ->
+        t.pc <- pc;
+        None
+    | Stop s -> Some s
+  in
+  match
+    let inst, size = fetch_decode t in
+    (match t.icache with
+    | None -> ()
+    | Some ic ->
+        if not (Icache.access ic t.pc) then
+          t.cycles <- t.cycles + t.costs.Costs.icache_miss;
+        (* a fetch spanning two lines touches both *)
+        if not (Icache.access ic (t.pc + size - 1)) then
+          t.cycles <- t.cycles + t.costs.Costs.icache_miss);
+    if not (Ext.supports t.isa inst) then
+      raise
+        (Efault
+           (Fault.Illegal_instruction
+              { pc = t.pc;
+                reason =
+                  Printf.sprintf "extension %s not supported by this hart"
+                    (match Ext.required inst with
+                     | Some e -> Ext.ext_name e
+                     | None -> "?") }));
+    let ev = exec t inst size in
+    t.retired <- t.retired + 1;
+    (match Ext.required inst with
+     | Some Ext.V ->
+         t.vector_retired <- t.vector_retired + 1;
+         t.cycles <- t.cycles + t.costs.Costs.vector_op
+     | Some _ | None -> t.cycles <- t.cycles + 1);
+    (ev, size)
+  with
+  | Enone, _ -> None
+  | Eebreak sz, _ -> apply_action (handlers.on_ebreak t ~pc:t.pc ~size:sz)
+  | Eecall, size ->
+      let a7 = get_reg t (Reg.of_int 17) in
+      if Int64.equal a7 93L then Some (Exited (Int64.to_int (get_reg t Reg.a0)))
+      else
+        let pc0 = t.pc in
+        (* advance past the ecall by default; handler may override. *)
+        t.pc <- t.pc + size;
+        apply_action (handlers.on_ecall t ~pc:pc0)
+  | Echeck (rd, _, target), size ->
+      let pc0 = t.pc in
+      set_reg t rd (Int64.of_int (pc0 + size));
+      apply_action (handlers.on_check t ~pc:pc0 ~rd ~target)
+  | exception Efault f -> apply_action (handlers.on_fault t f)
+  | exception Memory.Violation { addr; access } ->
+      apply_action (handlers.on_fault t (Fault.Segfault { pc = t.pc; addr; access }))
+
+let run ?(handlers = default_handlers) ~fuel t =
+  let remaining = ref fuel in
+  let result = ref None in
+  while !result = None && !remaining > 0 do
+    (match step ~handlers t with Some s -> result := Some s | None -> ());
+    decr remaining
+  done;
+  match !result with Some s -> s | None -> Fuel_exhausted

@@ -1,0 +1,108 @@
+(** The simulated RV64 hart: fetch/decode/execute with deterministic faults.
+
+    A [Machine.t] is one task's execution context: integer and vector
+    register files, program counter, a reference to the memory (address-space
+    view) it executes in, and cycle counters. Hart heterogeneity is the
+    [isa] capability set: executing an instruction outside it raises an
+    illegal-instruction fault, exactly the behaviour FAM scheduling and lazy
+    rewriting rely on.
+
+    Control events (faults, [ebreak] traps, syscalls, the Safer check
+    instruction) are delivered to caller-supplied {!handlers}; the runtime
+    library installs policy-specific ones. *)
+
+type t
+
+type stop =
+  | Exited of int  (** The program issued the exit syscall. *)
+  | Faulted of Fault.t  (** An unhandled deterministic fault. *)
+  | Fuel_exhausted  (** The [fuel] instruction budget ran out. *)
+
+type action =
+  | Resume of int  (** Continue executing at the given pc. *)
+  | Stop of stop
+
+type handlers = {
+  on_fault : t -> Fault.t -> action;
+  on_ebreak : t -> pc:int -> size:int -> action;
+      (** [ebreak]/[c.ebreak] executed; [size] distinguishes the two. *)
+  on_ecall : t -> pc:int -> action;
+      (** Syscall other than exit (exit is handled internally: a7 = 93). *)
+  on_check : t -> pc:int -> rd:Reg.t -> target:int -> action;
+      (** The custom-0 checked indirect jump was executed with the given
+          untranslated [target]; the handler performs the translation. *)
+}
+
+val default_handlers : handlers
+(** Halts on every event (faults become [Faulted], etc.). *)
+
+val create : ?vlen:int -> ?costs:Costs.t -> mem:Memory.t -> isa:Ext.t -> unit -> t
+(** [vlen] is the vector register width in bytes (default 32 = 256 bits). *)
+
+(** {1 State access} *)
+
+val mem : t -> Memory.t
+val isa : t -> Ext.t
+val set_isa : t -> Ext.t -> unit
+val costs : t -> Costs.t
+val vlen : t -> int
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val get_reg : t -> Reg.t -> int64
+val set_reg : t -> Reg.t -> int64 -> unit
+val get_vreg : t -> Reg.v -> bytes
+(** A copy of the 256-bit register contents. *)
+
+val set_vreg : t -> Reg.v -> bytes -> unit
+val vl : t -> int
+val vsew : t -> Inst.sew
+
+val set_vstate : t -> vl:int -> vsew:Inst.sew -> unit
+(** Restore the vector CSR state (used when migrating a task between
+    harts/views). *)
+
+val switch_view : t -> Memory.t -> unit
+(** Point the hart at a different address-space view (MMView switch). The
+    decode cache is per-view and switches with it. *)
+
+val invalidate_code : t -> addr:int -> len:int -> unit
+(** Drop decode-cache entries for a patched code range, in every view seen
+    so far (physical pages may be shared between views). *)
+
+(** {1 Counters} *)
+
+val enable_icache : ?sets:int -> ?line:int -> t -> unit
+(** Attach an {!Icache} model: every fetch checks it and misses charge
+    {!Costs.t.icache_miss} cycles. Off by default — the headline numbers in
+    EXPERIMENTS.md are produced without it; the ablation harness turns it on
+    to show the microarchitectural side of trampoline overhead. *)
+
+val icache_misses : t -> int
+(** Misses so far (0 when the model is off). *)
+
+val retired : t -> int
+(** Instructions retired. *)
+
+val vector_retired : t -> int
+
+val indirect_retired : t -> int
+(** Register-indirect jumps/calls/returns retired — the flows prior binary
+    rewriters must check or rebound on every execution. *)
+
+val cycles : t -> int
+(** Retired-instruction cycles plus charged penalties. *)
+
+val charge : t -> int -> unit
+(** Add penalty cycles (used by runtime handlers for traps, checks, ...). *)
+
+val reset_counters : t -> unit
+
+(** {1 Execution} *)
+
+val run : ?handlers:handlers -> fuel:int -> t -> stop
+(** Execute until a stop event, at most [fuel] instructions. *)
+
+val step : ?handlers:handlers -> t -> stop option
+(** Execute one instruction; [None] means it retired normally. *)

@@ -1,0 +1,210 @@
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_none = { r = false; w = false; x = false }
+let perm_r = { r = true; w = false; x = false }
+let perm_rw = { r = true; w = true; x = false }
+let perm_rx = { r = true; w = false; x = true }
+let perm_rwx = { r = true; w = true; x = true }
+
+let pp_perm fmt p =
+  Format.fprintf fmt "%c%c%c"
+    (if p.r then 'r' else '-')
+    (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+exception Violation of { addr : int; access : Fault.access }
+
+let page_size = 4096
+let page_bits = 12
+
+type page = { data : bytes; mutable perm : perm }
+type t = { pages : (int, page) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_index addr = addr lsr page_bits
+let page_offset addr = addr land (page_size - 1)
+
+let map t ~addr ~len perm =
+  if len <= 0 then invalid_arg "Memory.map: non-positive length";
+  for idx = page_index addr to page_index (addr + len - 1) do
+    if Hashtbl.mem t.pages idx then
+      invalid_arg
+        (Printf.sprintf "Memory.map: page 0x%x already mapped" (idx lsl page_bits));
+    Hashtbl.replace t.pages idx { data = Bytes.make page_size '\000'; perm }
+  done
+
+let set_perm t ~addr ~len perm =
+  for idx = page_index addr to page_index (addr + len - 1) do
+    match Hashtbl.find_opt t.pages idx with
+    | Some p -> p.perm <- perm
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Memory.set_perm: page 0x%x unmapped" (idx lsl page_bits))
+  done
+
+let perm_at t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | Some p -> Some p.perm
+  | None -> None
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let share_range ~from ~into ~addr ~len =
+  for idx = page_index addr to page_index (addr + len - 1) do
+    match Hashtbl.find_opt from.pages idx with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Memory.share_range: source page 0x%x unmapped"
+             (idx lsl page_bits))
+    | Some p ->
+        if Hashtbl.mem into.pages idx then
+          invalid_arg
+            (Printf.sprintf "Memory.share_range: destination page 0x%x mapped"
+               (idx lsl page_bits));
+        Hashtbl.replace into.pages idx p
+  done
+
+let violate addr access = raise (Violation { addr; access })
+
+let checked_page t addr access =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> violate addr access
+  | Some p ->
+      let ok =
+        match access with
+        | Fault.Read -> p.perm.r
+        | Fault.Write -> p.perm.w
+        | Fault.Execute -> p.perm.x
+      in
+      if ok then p else violate addr access
+
+let unchecked_page t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None ->
+      (* Kernel accessors allocate on demand so loaders can poke anywhere. *)
+      let p = { data = Bytes.make page_size '\000'; perm = perm_none } in
+      Hashtbl.replace t.pages (page_index addr) p;
+      p
+
+  | Some p -> p
+
+(* Fast path: access within one page; slow path crosses a boundary. *)
+
+let load_u8 t addr =
+  let p = checked_page t addr Fault.Read in
+  Bytes.get_uint8 p.data (page_offset addr)
+
+let rec load_multi t addr n access =
+  (* Little-endian read of n bytes, possibly across pages. *)
+  if n = 0 then 0L
+  else
+    let p = checked_page t addr access in
+    let b = Bytes.get_uint8 p.data (page_offset addr) in
+    Int64.logor (Int64.of_int b) (Int64.shift_left (load_multi t (addr + 1) (n - 1) access) 8)
+
+let load_u16 t addr =
+  let off = page_offset addr in
+  if off + 2 <= page_size then
+    let p = checked_page t addr Fault.Read in
+    Bytes.get_uint16_le p.data off
+  else Int64.to_int (load_multi t addr 2 Fault.Read)
+
+let load_u32 t addr =
+  let off = page_offset addr in
+  if off + 4 <= page_size then
+    let p = checked_page t addr Fault.Read in
+    Int32.to_int (Bytes.get_int32_le p.data off) land 0xFFFFFFFF
+  else Int64.to_int (load_multi t addr 4 Fault.Read)
+
+let load_u64 t addr =
+  let off = page_offset addr in
+  if off + 8 <= page_size then
+    let p = checked_page t addr Fault.Read in
+    Bytes.get_int64_le p.data off
+  else load_multi t addr 8 Fault.Read
+
+let store_u8 t addr v =
+  let p = checked_page t addr Fault.Write in
+  Bytes.set_uint8 p.data (page_offset addr) (v land 0xFF)
+
+let rec store_multi t addr n v =
+  if n > 0 then begin
+    let p = checked_page t addr Fault.Write in
+    Bytes.set_uint8 p.data (page_offset addr) (Int64.to_int v land 0xFF);
+    store_multi t (addr + 1) (n - 1) (Int64.shift_right_logical v 8)
+  end
+
+let store_u16 t addr v =
+  let off = page_offset addr in
+  if off + 2 <= page_size then
+    let p = checked_page t addr Fault.Write in
+    Bytes.set_uint16_le p.data off (v land 0xFFFF)
+  else store_multi t addr 2 (Int64.of_int v)
+
+let store_u32 t addr v =
+  let off = page_offset addr in
+  if off + 4 <= page_size then
+    let p = checked_page t addr Fault.Write in
+    Bytes.set_int32_le p.data off (Int32.of_int v)
+  else store_multi t addr 4 (Int64.of_int v)
+
+let store_u64 t addr v =
+  let off = page_offset addr in
+  if off + 8 <= page_size then
+    let p = checked_page t addr Fault.Write in
+    Bytes.set_int64_le p.data off v
+  else store_multi t addr 8 v
+
+let fetch_u16 t addr =
+  let off = page_offset addr in
+  if off + 2 <= page_size then
+    let p = checked_page t addr Fault.Execute in
+    Bytes.get_uint16_le p.data off
+  else Int64.to_int (load_multi t addr 2 Fault.Execute)
+
+let peek_u8 t addr = Bytes.get_uint8 (unchecked_page t addr).data (page_offset addr)
+
+let peek_u16 t addr = peek_u8 t addr lor (peek_u8 t (addr + 1) lsl 8)
+
+let peek_u32 t addr = peek_u16 t addr lor (peek_u16 t (addr + 2) lsl 16)
+
+let peek_u64 t addr =
+  Int64.logor
+    (Int64.of_int (peek_u32 t addr))
+    (Int64.shift_left (Int64.of_int (peek_u32 t (addr + 4))) 32)
+
+let poke_u8 t addr v =
+  Bytes.set_uint8 (unchecked_page t addr).data (page_offset addr) (v land 0xFF)
+
+let poke_u16 t addr v =
+  poke_u8 t addr v;
+  poke_u8 t (addr + 1) (v lsr 8)
+
+let poke_u32 t addr v =
+  poke_u16 t addr v;
+  poke_u16 t (addr + 2) (v lsr 16)
+
+let poke_u64 t addr v =
+  poke_u32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  poke_u32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+
+let poke_bytes t addr b =
+  Bytes.iteri (fun i c -> poke_u8 t (addr + i) (Char.code c)) b
+
+let peek_bytes t addr len = Bytes.init len (fun i -> Char.chr (peek_u8 t (addr + i)))
+
+let mapped_ranges t =
+  let idxs = Hashtbl.fold (fun idx _ acc -> idx :: acc) t.pages [] in
+  let idxs = List.sort_uniq compare idxs in
+  let rec runs = function
+    | [] -> []
+    | idx :: rest ->
+        let rec extend last = function
+          | next :: rest' when next = last + 1 -> extend next rest'
+          | rest' -> (last, rest')
+        in
+        let last, rest' = extend idx rest in
+        (idx lsl page_bits, (last - idx + 1) * page_size) :: runs rest'
+  in
+  runs idxs

@@ -1,0 +1,77 @@
+(** Sparse paged memory with per-page R/W/X permissions.
+
+    Pages are 4 KiB and allocated lazily, so address-space layouts with large
+    gaps (the congruence-constrained Chimera target sections live far from
+    the text) cost nothing. Permissions are enforced on the checked accessors
+    ([load_*]/[store_*]/[fetch_u16]); the [peek_*]/[poke_*] accessors bypass
+    them and model kernel/loader access.
+
+    Pages can be shared between two memories ({!share_range}): the MMView
+    process model maps each core class's rewritten code into a distinct view
+    while all views alias the same physical data pages. *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+val perm_none : perm
+val perm_r : perm
+val perm_rw : perm
+val perm_rx : perm
+val perm_rwx : perm
+val pp_perm : Format.formatter -> perm -> unit
+
+exception Violation of { addr : int; access : Fault.access }
+(** Raised by checked accessors on a permission or unmapped-page violation. *)
+
+type t
+
+val create : unit -> t
+val page_size : int
+
+val map : t -> addr:int -> len:int -> perm -> unit
+(** Allocate zero-filled pages covering [addr, addr+len).
+    @raise Invalid_argument if a covered page is already mapped. *)
+
+val set_perm : t -> addr:int -> len:int -> perm -> unit
+(** Change permissions of already-mapped pages.
+    @raise Invalid_argument on an unmapped page. *)
+
+val perm_at : t -> int -> perm option
+(** Permissions of the page containing an address, if mapped. *)
+
+val is_mapped : t -> int -> bool
+
+val share_range : from:t -> into:t -> addr:int -> len:int -> unit
+(** Alias the pages of [from] covering the range into [into]: both memories
+    then see the same bytes (and permissions).
+    @raise Invalid_argument if a source page is unmapped or a destination
+    page already mapped. *)
+
+(** {1 Checked accessors (raise {!Violation})} *)
+
+val load_u8 : t -> int -> int
+val load_u16 : t -> int -> int
+val load_u32 : t -> int -> int
+val load_u64 : t -> int -> int64
+val store_u8 : t -> int -> int -> unit
+val store_u16 : t -> int -> int -> unit
+val store_u32 : t -> int -> int -> unit
+val store_u64 : t -> int -> int64 -> unit
+
+val fetch_u16 : t -> int -> int
+(** 16-bit instruction fetch: requires execute permission. *)
+
+(** {1 Unchecked accessors (loader / kernel)} *)
+
+val peek_u8 : t -> int -> int
+val peek_u16 : t -> int -> int
+val peek_u32 : t -> int -> int
+val peek_u64 : t -> int -> int64
+val poke_u8 : t -> int -> int -> unit
+val poke_u16 : t -> int -> int -> unit
+val poke_u32 : t -> int -> int -> unit
+val poke_u64 : t -> int -> int64 -> unit
+val poke_bytes : t -> int -> bytes -> unit
+val peek_bytes : t -> int -> int -> bytes
+
+val mapped_ranges : t -> (int * int) list
+(** Sorted [(addr, len)] list of maximal mapped runs (diagnostics). *)

@@ -1,0 +1,44 @@
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let note s = Printf.printf "  %s\n" s
+
+let print_aligned rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let w = String.length cell in
+            match List.nth_opt acc i with Some w' -> max w w' | None -> w)
+          row
+        @
+        (* keep the widths of trailing columns absent from this row *)
+        let n = List.length row in
+        List.filteri (fun i _ -> i >= n) acc)
+      [] rows
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          let w = try List.nth widths i with _ -> String.length cell in
+          Printf.printf "%s%s  " cell (String.make (max 0 (w - String.length cell)) ' '))
+        row;
+      print_newline ())
+    rows
+
+let table ~title ~header ~rows =
+  heading title;
+  print_aligned (header :: List.map (fun r -> r) rows)
+
+let series ~title ~xlabel ~xs ~lines =
+  heading title;
+  let header = xlabel :: List.map fst lines in
+  let rows =
+    List.mapi
+      (fun i x -> x :: List.map (fun (_, ys) -> Printf.sprintf "%.3f" (List.nth ys i)) lines)
+      xs
+  in
+  print_aligned (header :: rows)

@@ -1,0 +1,19 @@
+(** ASCII rendering of the benchmark harness's tables and figure series. *)
+
+val table :
+  title:string -> header:string list -> rows:string list list -> unit
+(** Print an aligned table to stdout. *)
+
+val series :
+  title:string ->
+  xlabel:string ->
+  xs:string list ->
+  lines:(string * float list) list ->
+  unit
+(** Print a figure as aligned numeric series: one row per x value, one
+    column per line. *)
+
+val note : string -> unit
+(** Print an indented free-form note. *)
+
+val heading : string -> unit

@@ -1,0 +1,1 @@
+lib/rewriter/chbp.ml: Binfile Buffer Bytes Cfg Codebuf Decode Disasm Encode Ext Fault_table Format Hashtbl Inst Layout List Liveness Memory Printf Reg Regmask Smile String Translate Upgrade Vregs

@@ -1,0 +1,1 @@
+lib/rewriter/chbp.mli: Binfile Fault_table Format Reg

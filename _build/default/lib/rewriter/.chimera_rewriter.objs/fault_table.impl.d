@@ -1,0 +1,1 @@
+lib/rewriter/fault_table.ml: Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/rewriter/scavenge.ml: Codebuf Inst List Printf Reg Regmask

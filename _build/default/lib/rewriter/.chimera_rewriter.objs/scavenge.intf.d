@@ -1,0 +1,1 @@
+lib/rewriter/scavenge.mli: Codebuf Reg Regmask

@@ -1,0 +1,1 @@
+lib/rewriter/smile.ml: Encode Inst Printf Reg

@@ -1,0 +1,1 @@
+lib/rewriter/smile.mli: Inst

@@ -1,0 +1,1 @@
+lib/rewriter/translate.ml: Codebuf Inst List Printf Reg Regmask Scavenge Vregs

@@ -1,0 +1,1 @@
+lib/rewriter/translate.mli: Codebuf Inst Reg

@@ -1,0 +1,1 @@
+lib/rewriter/upgrade.ml: Cfg Codebuf Disasm Inst List Liveness Option Printf Reg Regmask Scavenge

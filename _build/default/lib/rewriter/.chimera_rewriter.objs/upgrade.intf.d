@@ -1,0 +1,1 @@
+lib/rewriter/upgrade.mli: Cfg Codebuf Inst Liveness Reg

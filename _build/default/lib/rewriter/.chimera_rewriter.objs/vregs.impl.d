@@ -1,0 +1,1 @@
+lib/rewriter/vregs.ml: Binfile Bytes Memory Reg

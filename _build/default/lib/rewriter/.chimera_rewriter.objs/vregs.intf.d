@@ -1,0 +1,1 @@
+lib/rewriter/vregs.mli: Binfile Reg

@@ -1,0 +1,13 @@
+type t = (int, int) Hashtbl.t
+
+let create () = Hashtbl.create 256
+
+let add t ~key ~redirect =
+  if Hashtbl.mem t key then
+    invalid_arg (Printf.sprintf "Fault_table.add: duplicate key 0x%x" key);
+  Hashtbl.replace t key redirect
+
+let find t key = Hashtbl.find_opt t key
+let count t = Hashtbl.length t
+let iter t f = Hashtbl.iter f t
+let merge_into ~src ~dst = Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src

@@ -1,0 +1,53 @@
+let pool =
+  Reg.temporaries
+  @ [ Reg.a7; Reg.a6; Reg.a5; Reg.a4; Reg.a3; Reg.a2; Reg.a1; Reg.a0; Reg.s11;
+      Reg.s10; Reg.s9; Reg.s8; Reg.s7; Reg.s6; Reg.s5; Reg.s4; Reg.s3; Reg.s2;
+      Reg.s1; Reg.s0; Reg.ra ]
+
+let pick_free ~n ~exclude ~free =
+  let free = List.filter (fun r -> not (Regmask.mem r exclude)) free in
+  let free = List.sort_uniq Reg.compare free in
+  (* stable preference order: free registers first, then the pool *)
+  let free_in_order = List.filter (fun r -> List.exists (Reg.equal r) free) pool in
+  let rest =
+    List.filter
+      (fun r ->
+        (not (Regmask.mem r exclude)) && not (List.exists (Reg.equal r) free))
+      pool
+  in
+  let candidates = free_in_order @ rest in
+  if List.length candidates < n then
+    invalid_arg (Printf.sprintf "Scavenge.pick_free: cannot find %d registers" n);
+  let chosen = List.filteri (fun i _ -> i < n) candidates in
+  let to_spill =
+    List.filter (fun r -> not (List.exists (Reg.equal r) free_in_order)) chosen
+  in
+  (chosen, to_spill)
+
+let pick ~n ~exclude =
+  let free = List.filter (fun r -> not (Regmask.mem r exclude)) pool in
+  if List.length free < n then
+    invalid_arg (Printf.sprintf "Scavenge.pick: cannot find %d registers" n);
+  List.filteri (fun i _ -> i < n) free
+
+let with_spills cb regs body =
+  let n = List.length regs in
+  if n = 0 then body ()
+  else begin
+    Codebuf.inst cb (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, -8 * n));
+    List.iteri
+      (fun i r ->
+        Codebuf.inst cb (Inst.Store { width = Inst.D; rs2 = r; rs1 = Reg.sp; imm = 8 * i }))
+      regs;
+    body ();
+    (* first-in, last-out: restore in reverse order, from the slot each
+       register was saved to *)
+    List.iteri
+      (fun i r ->
+        let slot = n - 1 - i in
+        Codebuf.inst cb
+          (Inst.Load
+             { width = Inst.D; unsigned = false; rd = r; rs1 = Reg.sp; imm = 8 * slot }))
+      (List.rev regs);
+    Codebuf.inst cb (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, 8 * n))
+  end

@@ -1,0 +1,53 @@
+(** The SMILE trampoline: Secure Multiple-Instruction Long-distancE
+    trampoline (paper §4.2, Figs. 2, 4, 7).
+
+    A SMILE trampoline is [auipc gp, imm20; jalr gp, jalr_imm(gp)] written
+    over 8 bytes of original code. Its two guarantees:
+
+    - entering at the second word (P1) executes [jalr] with the *unmodified*
+      gp, which the ABI pins to the non-executable data segment → a
+      deterministic segfault whose fault site is recoverable from the link
+      value [jalr] wrote into gp;
+    - in binaries with the compressed extension, entering at either word's
+      midpoint (P2/P3) parses a halfword that is a reserved encoding → a
+      deterministic illegal-instruction fault at that pc.
+
+    The second guarantee constrains the encodings: word bits 16–20 of the
+    [auipc] must be [11111] (its upper halfword then starts the reserved
+    ≥48-bit prefix), and the [jalr] immediate is the fixed constant
+    {!jalr_imm} (its upper halfword then is a reserved C1 compressed
+    encoding). The [auipc] constraint restricts reachable targets to 16-page
+    windows every 2 MiB; {!next_target} solves the congruence. *)
+
+val jalr_imm : int
+(** The fixed, negative 12-bit immediate of the SMILE [jalr]. *)
+
+val jalr_inst : Inst.t
+(** [jalr gp, jalr_imm(gp)]. *)
+
+val auipc_inst : imm20:int -> Inst.t
+(** [auipc gp, imm20]. *)
+
+val imm20_compressed_safe : int -> bool
+(** Whether an [auipc] immediate puts word bits 16–20 at [11111]. *)
+
+val target_of : pc:int -> imm20:int -> int
+(** The address a SMILE trampoline at [pc] with the given immediate jumps
+    to: [pc + (imm20 << 12) + jalr_imm]. *)
+
+val solve_imm20 : pc:int -> target:int -> int option
+(** The immediate reaching [target] exactly, if the congruence admits it
+    (4096-divisibility and 20-bit range; no compressed-safety demanded). *)
+
+val next_target : pc:int -> min:int -> compressed:bool -> int
+(** The smallest admissible target address ≥ [min] for a trampoline at
+    [pc]. With [compressed:true] the result additionally satisfies the
+    compressed-safe [auipc] constraint.
+    @raise Invalid_argument if no 20-bit immediate reaches that far. *)
+
+val write : bytes -> off:int -> pc:int -> target:int -> compressed:bool -> unit
+(** Write the 8-byte trampoline (checking admissibility of [target]).
+    @raise Invalid_argument if [target] is not admissible for [pc]. *)
+
+val size : int
+(** 8 bytes. *)

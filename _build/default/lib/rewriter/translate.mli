@@ -1,0 +1,36 @@
+(** Downgrade translation templates (paper §4.1).
+
+    Each vector (or bit-manipulation) instruction is translated into a
+    semantically equivalent base-instruction sequence, in the role the
+    paper's QEMU-TCG templates play. Vector state is read from and written
+    to the simulated register file ({!Vregs}); scavenged base registers are
+    saved/restored around the computation.
+
+    The element width of most vector operations is dynamic state set by the
+    last [vsetvli]. When the patcher can prove the width statically (a
+    dominating [vsetvli] in the same block) the template specializes;
+    otherwise it emits a dispatch on the simulated [vsew] with one loop per
+    supported width (e32/e64 — the widths our workloads and the paper's RVV
+    benchmarks use; e8/e16 fall back to a loop over bytes/halves as well). *)
+
+val can_downgrade : Inst.t -> bool
+(** True for every V-extension instruction and Zba/Zbb instruction. *)
+
+val downgrade :
+  Codebuf.t ->
+  static_sew:Inst.sew option ->
+  ?free:Reg.t list ->
+  ?vctx:Reg.t * Reg.t ->
+  Inst.t ->
+  unit
+(** Emit the base-only translation of one instruction into the buffer.
+    [free] names registers statically known dead at the site: the template
+    prefers them as scratch registers and skips their save/restore (the
+    paper's register-pressure story in reverse — low pressure makes
+    translations cheap).
+
+    [vctx = (rbase, rvl)] is the batch context: registers the caller has
+    loaded with the simulated-state base address and the current [vl],
+    shared across a run of adjacent translations. The template then skips
+    its own state setup; a [vsetvli] translation refreshes [rvl].
+    @raise Invalid_argument if [can_downgrade] is false. *)

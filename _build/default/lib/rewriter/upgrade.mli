@@ -1,0 +1,77 @@
+(** Instruction upgrade: recognize scalar loop idioms and vectorize them
+    (paper §3.4 "instruction upgrade", Fig. 6b).
+
+    The recognizer matches the canonical element-wise loop our toolchain (and
+    any -O2 compiler) emits for [dst[i] = src1[i] op src2[i]] over 64- or
+    32-bit elements:
+
+    {v
+    loop: ld/lw   x, 0(p1)
+          ld/lw   y, 0(p2)
+          add/sub/mul z, x, y
+          sd/sw   z, 0(p3)
+          addi    p1, p1, sz
+          addi    p2, p2, sz
+          addi    p3, p3, sz
+          addi    n, n, -1
+          bne     n, x0, loop
+    v}
+
+    the axpy accumulate loop
+
+    {v
+    loop: ld/lw   y, 0(p1)
+          mul     t, y, s        ; s loop-invariant
+          ld/lw   z, 0(p2)
+          add     z, z, t
+          sd/sw   z, 0(p2)
+          addi    p1, p1, sz
+          addi    p2, p2, sz
+          addi    n, n, -1
+          bne     n, x0, loop
+    v}
+
+    plus the analogous copy ([dst[i] = src[i]]), fill ([dst[i] = s]) and
+    sum-reduction ([acc += src[i]]) bodies. Pointer updates larger than the
+    element size (column walks over row-major matrices) are recognized too
+    and vectorized with the strided [vlse]/[vsse] forms. The whole loop is
+    replaced by a strip-mined RVV equivalent. The
+    replacement is only proposed when the loop's scratch registers are dead
+    at the loop exit (the vector version does not compute them). *)
+
+(** The recognized loop shapes: element-wise [dst[i] = a[i] op b[i]],
+    axpy-style accumulate [dst[i] += s * a[i]] (the inner loop of a
+    k-outer matrix multiplication), memcpy-style copy, memset-style fill,
+    and a sum reduction. *)
+type kind =
+  | Elementwise of Inst.vop
+  | Axpy of Reg.t  (** the loop-invariant scalar multiplier register *)
+  | Copy  (** [dst[i] = src[i]] *)
+  | Fill of Reg.t  (** [dst[i] = s], [s] loop-invariant *)
+  | Reduce of Reg.t  (** [acc += src[i]]; the accumulator stays live *)
+
+type candidate = {
+  c_addr : int;  (** loop head (the patch site) *)
+  c_len : int;  (** loop body length in bytes *)
+  c_exit : int;  (** fallthrough address after the loop *)
+  c_kind : kind;
+  c_sew : Inst.sew;
+  c_p1 : Reg.t;
+  c_p2 : Reg.t;
+  c_p3 : Reg.t;  (** destination pointer (equals [c_p2] for axpy) *)
+  c_n : Reg.t;
+  c_st1 : int;  (** byte stride of [c_p1] (= element size when unit-stride) *)
+  c_st2 : int;
+  c_st3 : int;
+  c_x : Reg.t;
+  c_y : Reg.t;
+  c_z : Reg.t;
+}
+
+val find : Cfg.t -> Liveness.t -> candidate list
+(** All vectorizable loops, in address order. *)
+
+val emit_vector_loop : Codebuf.t -> candidate -> unit
+(** Emit the strip-mined RVV replacement. On loop exit the pointer and
+    counter registers hold the same values the scalar loop would have
+    produced; control falls through (the caller appends the exit jump). *)

@@ -1,0 +1,1 @@
+lib/runtime/chimera_rt.ml: Binfile Bytes Chbp Costs Counters Decode Ext Fault Fault_table Inst Int64 List Loader Machine Memory Reg

@@ -1,0 +1,1 @@
+lib/runtime/chimera_rt.mli: Binfile Chbp Costs Counters Ext Machine Memory

@@ -1,0 +1,1 @@
+lib/runtime/signals.ml: Array Binfile Chimera_rt Fault Int64 List Loader Machine Reg

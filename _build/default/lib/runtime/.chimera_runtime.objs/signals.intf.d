@@ -1,0 +1,1 @@
+lib/runtime/signals.mli: Chimera_rt Ext Machine

@@ -1,0 +1,34 @@
+(** Chimera's runtime mechanisms for one rewritten binary (paper §4.3).
+
+    Models the kernel-side machinery: deterministic-fault recovery through
+    the fault-handling table, trap-trampoline redirection, and lazy rewriting
+    of extension instructions that static disassembly missed. Produces the
+    {!Machine.handlers} a hart runs the rewritten binary under.
+
+    Fault-address determination follows the paper exactly: an
+    illegal-instruction fault carries its address in [pc]; a segmentation
+    fault with execute access means the latter SMILE instruction ([jalr])
+    ran alone, and the fault site is the link value it wrote into gp minus
+    4. After recovery the handler restores gp to its static value. *)
+
+type t
+
+val create : ?costs:Costs.t -> Chbp.t -> t
+(** Wrap a completed rewriting context. *)
+
+val load : t -> Memory.t
+(** A fresh address-space view with the rewritten binary and a stack. *)
+
+val counters : t -> Counters.t
+val rewritten : t -> Binfile.t
+val chbp : t -> Chbp.t
+
+val handlers : t -> Machine.handlers
+(** Fault/trap handlers implementing the runtime mechanisms. Lazy rewriting
+    patches every memory view this runtime has loaded and the machine's
+    decode caches. *)
+
+val run : t -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop
+(** Convenience: point the machine at [load t]'s view (loading one if none
+    was created yet), initialize pc/sp/gp, and run under {!handlers}. [isa]
+    defaults to the machine's current capability set. *)

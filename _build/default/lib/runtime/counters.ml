@@ -1,0 +1,27 @@
+type t = {
+  mutable faults_recovered : int;
+  mutable traps : int;
+  mutable checks : int;
+  mutable lazy_rewrites : int;
+  mutable migrations : int;
+  mutable signals : int;
+}
+
+let create () =
+  { faults_recovered = 0; traps = 0; checks = 0; lazy_rewrites = 0;
+    migrations = 0; signals = 0 }
+
+let total_correctness_events t = t.faults_recovered + t.traps + t.checks
+
+let add acc src =
+  acc.faults_recovered <- acc.faults_recovered + src.faults_recovered;
+  acc.traps <- acc.traps + src.traps;
+  acc.checks <- acc.checks + src.checks;
+  acc.lazy_rewrites <- acc.lazy_rewrites + src.lazy_rewrites;
+  acc.migrations <- acc.migrations + src.migrations;
+  acc.signals <- acc.signals + src.signals
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{faults=%d; traps=%d; checks=%d; lazy=%d; migrations=%d; signals=%d}"
+    t.faults_recovered t.traps t.checks t.lazy_rewrites t.migrations t.signals

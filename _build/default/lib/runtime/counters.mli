@@ -1,0 +1,26 @@
+(** Event counters of the runtime mechanisms — the data behind the paper's
+    Table 2 ("fault handling trigger count"). *)
+
+type t = {
+  mutable faults_recovered : int;
+      (** deterministic faults recovered via the fault-handling table
+          (Chimera's passive mechanism — the paper counts these for CHBP) *)
+  mutable traps : int;
+      (** trap-based trampoline round trips (ARMore / strawman / CHBP
+          fallback exits) *)
+  mutable checks : int;
+      (** indirect-jump checks (the Safer baseline's proactive mechanism) *)
+  mutable lazy_rewrites : int;  (** unrecognized instructions rewritten at runtime *)
+  mutable migrations : int;  (** cross-core task migrations *)
+  mutable signals : int;  (** signals delivered through the gp-restoring path *)
+}
+
+val create : unit -> t
+val total_correctness_events : t -> int
+(** The Table 2 metric: every invocation of a correctness-guarantee
+    mechanism ([faults_recovered + traps + checks]). *)
+
+val add : t -> t -> unit
+(** Accumulate [src] into the first argument. *)
+
+val pp : Format.formatter -> t -> unit

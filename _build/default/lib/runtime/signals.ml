@@ -1,0 +1,94 @@
+type saved = { s_regs : int64 array; s_pc : int }
+
+type t = {
+  rt : Chimera_rt.t;
+  handler_addr : int;
+  gp_value : int;
+  mutable schedule : int list;
+  mutable observed : int64 list;  (* reversed *)
+  mutable delivered : int;
+  mutable restorations : int;
+  mutable stack : saved list;
+}
+
+let sigreturn_nr = 139L
+
+let create rt ~handler_sym ~deliver_after =
+  let bin = Chimera_rt.rewritten rt in
+  let sym = Binfile.symbol bin handler_sym in
+  { rt;
+    handler_addr = sym.Binfile.sym_addr;
+    gp_value = bin.Binfile.gp_value;
+    schedule = List.sort compare deliver_after;
+    observed = [];
+    delivered = 0;
+    restorations = 0;
+    stack = [] }
+
+let observed_gp t = List.rev t.observed
+let signals_delivered t = t.delivered
+let gp_restorations t = t.restorations
+
+let save_context m =
+  { s_regs = Array.init 32 (fun i -> Machine.get_reg m (Reg.of_int i));
+    s_pc = Machine.pc m }
+
+let restore_context m saved =
+  Array.iteri (fun i v -> Machine.set_reg m (Reg.of_int i) v) saved.s_regs;
+  saved.s_pc
+
+let deliver t m =
+  let true_gp = Machine.get_reg m Reg.gp in
+  t.stack <- save_context m :: t.stack;
+  (* the kernel presents the handler a context with the ABI gp, whatever
+     the SMILE trampoline left in the register (paper Fig. 10) *)
+  if not (Int64.equal true_gp (Int64.of_int t.gp_value)) then
+    t.restorations <- t.restorations + 1;
+  Machine.set_reg m Reg.gp (Int64.of_int t.gp_value);
+  t.observed <- Machine.get_reg m Reg.gp :: t.observed;
+  t.delivered <- t.delivered + 1;
+  Machine.set_pc m t.handler_addr
+
+let handlers t =
+  let base = Chimera_rt.handlers t.rt in
+  let on_ecall m ~pc =
+    if Int64.equal (Machine.get_reg m (Reg.of_int 17)) sigreturn_nr then
+      match t.stack with
+      | saved :: rest ->
+          t.stack <- rest;
+          (* sigreturn restores the *true* context, including the gp value
+             the trampoline was in the middle of using *)
+          Machine.Resume (restore_context m saved)
+      | [] ->
+          Machine.Stop
+            (Machine.Faulted
+               (Fault.Illegal_instruction { pc; reason = "sigreturn without signal" }))
+    else base.Machine.on_ecall m ~pc
+  in
+  { base with Machine.on_ecall }
+
+let run t ?isa ~fuel m =
+  Machine.switch_view m (Chimera_rt.load t.rt);
+  (match isa with Some i -> Machine.set_isa m i | None -> ());
+  Loader.init_machine m (Chimera_rt.rewritten t.rt);
+  let handlers = handlers t in
+  let rec go remaining =
+    if remaining <= 0 then Machine.Fuel_exhausted
+    else
+      let until_signal =
+        match t.schedule with
+        | next :: _ -> max 1 (next - Machine.retired m)
+        | [] -> remaining
+      in
+      let slice = min remaining until_signal in
+      match Machine.run ~handlers ~fuel:slice m with
+      | Machine.Fuel_exhausted ->
+          (match t.schedule with
+          | next :: rest when Machine.retired m >= next ->
+              t.schedule <- rest;
+              deliver t m
+          | _ -> ());
+          go (remaining - slice)
+      | stop -> stop
+  in
+  go fuel

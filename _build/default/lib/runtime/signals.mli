@@ -1,0 +1,40 @@
+(** Signal delivery with gp restoration (paper §4.3, Fig. 10).
+
+    Two kernel modifications are modelled:
+
+    - {b priority routing}: SIGSEGV/SIGILL raised by CHBP's trampolines are
+      consumed by Chimera's fault handler and never reach the user handler;
+      genuine program faults still do;
+    - {b gp restoration}: if a signal arrives while the SMILE trampoline has
+      temporarily overwritten gp (between its [auipc] and the completion of
+      the jump, or on the erroneous path before recovery), the user-space
+      handler must still observe the ABI gp value. The kernel saves the true
+      context, presents the handler a context with the static gp, and
+      restores the true gp on [sigreturn].
+
+    The user handler is a function in the binary (symbol ["sig_handler"])
+    ending in the sigreturn syscall (a7 = 139). *)
+
+type t
+
+val create :
+  Chimera_rt.t ->
+  handler_sym:string ->
+  deliver_after:int list ->
+  t
+(** Deliver one signal after each given number of retired instructions
+    (ascending). @raise Not_found if the rewritten binary lacks the
+    handler symbol. *)
+
+val observed_gp : t -> int64 list
+(** The gp values the user handler observed on entry, in delivery order
+    (read at handler entry, most recent last). *)
+
+val signals_delivered : t -> int
+
+val gp_restorations : t -> int
+(** Deliveries that found gp temporarily overwritten by a trampoline (the
+    case the kernel modification exists for). *)
+
+val run : t -> ?isa:Ext.t -> fuel:int -> Machine.t -> Machine.stop
+(** Like {!Chimera_rt.run} but with the signal schedule active. *)

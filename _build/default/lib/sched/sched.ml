@@ -1,0 +1,180 @@
+type core_class = Base | Extension
+
+let core_class_name = function Base -> "base" | Extension -> "extension"
+
+type step = Done of { cycles : int; accelerated : bool } | Migrate of { cycles : int }
+
+type task = { t_id : int; t_prefer_ext : bool; t_run : core_class -> step }
+
+type config = {
+  base_cores : int;
+  ext_cores : int;
+  steal : bool;
+  migrate_cost : int;
+  steal_ext_tasks : bool;
+}
+
+let default_config =
+  { base_cores = 4;
+    ext_cores = 4;
+    steal = true;
+    migrate_cost = Costs.default.Costs.migrate;
+    steal_ext_tasks = true }
+
+type result = {
+  latency : int;
+  cpu_time : int;
+  tasks_total : int;
+  tasks_accelerated : int;
+  migrations : int;
+  per_core_busy : (core_class * int) array;
+}
+
+type item = { task : task; mutable forced_ext : bool }
+
+type core = { cls : core_class; mutable clock : int; mutable busy : int }
+
+(* FIFO queue with predicate-driven extraction. *)
+module Q = struct
+  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+  let create () = { front = []; back = [] }
+  let push q x = q.back <- x :: q.back
+
+  let normalize q =
+    if q.front = [] then begin
+      q.front <- List.rev q.back;
+      q.back <- []
+    end
+
+  let is_empty q =
+    normalize q;
+    q.front = []
+
+  let take_first q pred =
+    normalize q;
+    let rec split acc = function
+      | [] -> None
+      | x :: rest ->
+          if pred x then begin
+            q.front <- List.rev_append acc rest;
+            Some x
+          end
+          else split (x :: acc) rest
+    in
+    match split [] q.front with
+    | Some x -> Some x
+    | None ->
+        (* the element may be in [back] *)
+        normalize q;
+        if q.back = [] then None
+        else begin
+          q.front <- q.front @ List.rev q.back;
+          q.back <- [];
+          split [] q.front
+        end
+
+  let take q = take_first q (fun _ -> true)
+end
+
+let run config tasks =
+  let base_q : item Q.t = Q.create () and ext_q : item Q.t = Q.create () in
+  List.iter
+    (fun t ->
+      let item = { task = t; forced_ext = false } in
+      if t.t_prefer_ext then Q.push ext_q item else Q.push base_q item)
+    tasks;
+  let cores =
+    Array.init
+      (config.base_cores + config.ext_cores)
+      (fun i ->
+        { cls = (if i < config.base_cores then Base else Extension);
+          clock = 0;
+          busy = 0 })
+  in
+  let accelerated = ref 0 and migrations = ref 0 and completed = ref 0 in
+  (* what work could the given core take right now? *)
+  let take_for core =
+    match core.cls with
+    | Extension -> (
+        match Q.take ext_q with
+        | Some it -> Some it
+        | None -> if config.steal then Q.take base_q else None)
+    | Base -> (
+        match Q.take base_q with
+        | Some it -> Some it
+        | None ->
+            if config.steal && config.steal_ext_tasks then
+              Q.take_first ext_q (fun it -> not it.forced_ext)
+            else None)
+  in
+  let could_take core =
+    match core.cls with
+    | Extension -> (not (Q.is_empty ext_q)) || (config.steal && not (Q.is_empty base_q))
+    | Base ->
+        (not (Q.is_empty base_q))
+        || config.steal && config.steal_ext_tasks
+           &&
+           (* at least one non-forced item in the extension queue *)
+           (match Q.take_first ext_q (fun it -> not it.forced_ext) with
+           | Some it ->
+               (* put it back at the front *)
+               ext_q.Q.front <- it :: ext_q.Q.front;
+               true
+           | None -> false)
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    if Q.is_empty base_q && Q.is_empty ext_q then continue_ := false
+    else begin
+      (* earliest-clock core that can take something; on ties prefer a core
+         whose own pool has work, so stealing happens only when needed *)
+      let own_work c =
+        match c.cls with
+        | Base -> not (Q.is_empty base_q)
+        | Extension -> not (Q.is_empty ext_q)
+      in
+      let better c c' =
+        c.clock < c'.clock || (c.clock = c'.clock && own_work c && not (own_work c'))
+      in
+      let chosen = ref None in
+      Array.iter
+        (fun c ->
+          if could_take c then
+            match !chosen with
+            | None -> chosen := Some c
+            | Some c' -> if better c c' then chosen := Some c)
+        cores;
+      match !chosen with
+      | None -> continue_ := false  (* only forced work remains but no ext core *)
+      | Some core -> (
+          match take_for core with
+          | None -> continue_ := false
+          | Some item -> (
+              match item.task.t_run core.cls with
+              | Done { cycles; accelerated = acc } ->
+                  core.clock <- core.clock + cycles;
+                  core.busy <- core.busy + cycles;
+                  incr completed;
+                  if acc then incr accelerated
+              | Migrate { cycles } ->
+                  core.clock <- core.clock + cycles + config.migrate_cost;
+                  core.busy <- core.busy + cycles + config.migrate_cost;
+                  incr migrations;
+                  item.forced_ext <- true;
+                  Q.push ext_q item))
+    end
+  done;
+  let latency = Array.fold_left (fun acc c -> max acc c.clock) 0 cores in
+  let cpu_time = Array.fold_left (fun acc c -> acc + c.busy) 0 cores in
+  { latency;
+    cpu_time;
+    tasks_total = !completed;
+    tasks_accelerated = !accelerated;
+    migrations = !migrations;
+    per_core_busy = Array.map (fun c -> (c.cls, c.busy)) cores }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "latency %d, cpu %d, tasks %d (%d accelerated), migrations %d" r.latency
+    r.cpu_time r.tasks_total r.tasks_accelerated r.migrations

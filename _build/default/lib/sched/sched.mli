@@ -1,0 +1,56 @@
+(** Discrete-event heterogeneous scheduler (paper §6.1).
+
+    Models the paper's evaluation platform: two pools of harts (base cores
+    and extension cores) with per-pool FIFO queues and work stealing — a
+    worker whose queue is empty steals from the other pool. Task durations
+    come from measured simulator cycles; the simulation tracks accumulated
+    CPU time (busy cycles) and end-to-end latency (makespan).
+
+    Fault-and-migrate (FAM) is expressed through the task interface: a task
+    may report that running on a base core aborted after a prefix (the
+    illegal-instruction fault) and must migrate to the extension pool. *)
+
+type core_class = Base | Extension
+
+val core_class_name : core_class -> string
+
+(** Result of running (or attempting to run) a task on a core. *)
+type step =
+  | Done of { cycles : int; accelerated : bool }
+      (** Completed; [accelerated] means the vector extension did real work. *)
+  | Migrate of { cycles : int }
+      (** Consumed [cycles], then hit an unsupported instruction: the task
+          must continue on an extension core (FAM). *)
+
+type task = {
+  t_id : int;
+  t_prefer_ext : bool;
+      (** Initial queue: tasks with extension instructions start on the
+          extension pool (the paper's allocation policy). *)
+  t_run : core_class -> step;
+}
+
+type config = {
+  base_cores : int;
+  ext_cores : int;
+  steal : bool;  (** work stealing between pools *)
+  migrate_cost : int;  (** added on each FAM migration *)
+  steal_ext_tasks : bool;
+      (** whether base cores may steal extension-preferring tasks (true for
+          every system; under FAM they will bounce back) *)
+}
+
+val default_config : config
+
+type result = {
+  latency : int;  (** end-to-end makespan in cycles *)
+  cpu_time : int;  (** accumulated busy cycles over all cores *)
+  tasks_total : int;
+  tasks_accelerated : int;
+  migrations : int;
+  per_core_busy : (core_class * int) array;
+}
+
+val run : config -> task list -> result
+
+val pp_result : Format.formatter -> result -> unit

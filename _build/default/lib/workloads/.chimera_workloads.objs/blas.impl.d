@@ -1,0 +1,1 @@
+lib/workloads/blas.ml: Chbp Ext Hashtbl Inst List Measure Printf Programs Sched

@@ -1,0 +1,1 @@
+lib/workloads/measure.ml: Armore Binfile Chimera_rt Ext Fault Loader Machine Printf Safer

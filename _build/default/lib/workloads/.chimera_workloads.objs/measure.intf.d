@@ -1,0 +1,1 @@
+lib/workloads/measure.mli: Armore Binfile Chbp Counters Ext Safer

@@ -1,0 +1,1 @@
+lib/workloads/mixgen.ml: Chbp Ext Format List Measure Programs Safer Sched

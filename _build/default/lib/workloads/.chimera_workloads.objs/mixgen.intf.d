@@ -1,0 +1,1 @@
+lib/workloads/mixgen.mli: Format Sched

@@ -1,0 +1,1 @@
+lib/workloads/specgen.ml: Asm Inst Int64 List Printf Random Reg

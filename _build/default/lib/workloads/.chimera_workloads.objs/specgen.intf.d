@@ -1,0 +1,1 @@
+lib/workloads/specgen.mli: Binfile

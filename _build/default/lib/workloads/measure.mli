@@ -1,0 +1,27 @@
+(** Measured single-task executions on the simulator.
+
+    Every duration used by the scheduler experiments comes from actually
+    executing the binary (original, rewritten, or regenerated) on the
+    simulated machine and reading its cycle counter. *)
+
+type run = {
+  cycles : int;
+  exit_code : int;
+  retired : int;
+  vector_retired : int;
+  indirect_retired : int;
+}
+
+val native : ?fuel:int -> Binfile.t -> isa:Ext.t -> run
+(** Run to completion. @raise Failure on fault or fuel exhaustion. *)
+
+val native_until_fault : ?fuel:int -> Binfile.t -> isa:Ext.t -> run
+(** Run until the first fault (the FAM migration prefix); [exit_code] is -1.
+    @raise Failure if the program completes without faulting. *)
+
+val chimera : ?fuel:int -> Chbp.t -> isa:Ext.t -> run * Counters.t
+val safer : ?fuel:int -> Safer.t -> isa:Ext.t -> run * Counters.t
+val armore : ?fuel:int -> Armore.t -> isa:Ext.t -> run * Counters.t
+
+val check_exit : expected:int -> run -> run
+(** @raise Failure if the exit code differs (correctness oracle). *)

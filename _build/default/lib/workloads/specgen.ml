@@ -1,0 +1,482 @@
+type profile = {
+  sp_name : string;
+  sp_code_kb : int;
+  sp_ext_pct : float;
+  sp_ind_weight : int;
+  sp_vec_heat : int;
+  sp_pressure : float;
+  sp_hidden : float;
+  sp_compressed : bool;
+  sp_rounds : int;
+  sp_plain : int;
+  sp_victim_period : int;
+  sp_seed : int;
+}
+
+let scale = 64
+let armore_jal_range = (1 lsl 20) / scale
+
+(* Parameters per benchmark, scaled from the paper's Table 3 (code size,
+   extension share) and shaped by its Table 2 trigger counts (indirect heat
+   for the Safer/ARMore columns, vector heat for the strawman column). *)
+let p ~name ~mb ~ext ~ind ~vec ?(pressure = 0.3) ?(hidden = 0.02) ?(compressed = true)
+    ?(rounds = 240) ?plain ?(victim_period = 64) ~seed () =
+  { sp_name = name;
+    sp_code_kb = max 8 (int_of_float (mb *. 1024.) / scale);
+    sp_ext_pct = ext /. 100.;
+    sp_ind_weight = ind;
+    sp_vec_heat = vec;
+    sp_pressure = pressure;
+    sp_hidden = hidden;
+    sp_compressed = compressed;
+    sp_rounds =
+      (if rounds <> 240 then rounds
+       else
+         let kb = max 8 (int_of_float (mb *. 1024.) / scale) in
+         max 64 (min 256 (24576 / kb)));
+    sp_plain = (match plain with Some n -> n | None -> 2 * (vec + ind + 2));
+    sp_victim_period = victim_period;
+    sp_seed = seed }
+
+let spec_profiles =
+  [ p ~name:"perlbench_r" ~mb:1.52 ~ext:0.58 ~ind:28 ~vec:2 ~pressure:0.25 ~plain:18 ~victim_period:1 ~seed:101 ();
+    p ~name:"perlbench_s" ~mb:1.52 ~ext:0.58 ~ind:28 ~vec:2 ~pressure:0.25 ~plain:18 ~victim_period:1 ~seed:102 ();
+    p ~name:"gcc_r" ~mb:6.88 ~ext:0.44 ~ind:8 ~vec:1 ~pressure:0.3 ~victim_period:8 ~seed:103 ();
+    p ~name:"gcc_s" ~mb:6.88 ~ext:0.44 ~ind:8 ~vec:1 ~pressure:0.3 ~victim_period:8 ~seed:104 ();
+    p ~name:"omnetpp_r" ~mb:1.14 ~ext:0.95 ~ind:10 ~vec:2 ~pressure:0.25 ~victim_period:4 ~seed:105 ();
+    p ~name:"omnetpp_s" ~mb:1.14 ~ext:0.95 ~ind:10 ~vec:2 ~pressure:0.25 ~victim_period:4 ~seed:106 ();
+    p ~name:"xalancbmk_r" ~mb:2.91 ~ext:1.36 ~ind:7 ~vec:3 ~pressure:0.35 ~victim_period:1 ~seed:107 ();
+    p ~name:"xalancbmk_s" ~mb:2.91 ~ext:1.36 ~ind:7 ~vec:3 ~pressure:0.35 ~victim_period:1 ~seed:108 ();
+    p ~name:"cactuBSSN_r" ~mb:3.49 ~ext:3.24 ~ind:1 ~vec:1 ~pressure:0.45 ~plain:22 ~victim_period:8 ~seed:109 ();
+    p ~name:"cactuBSSN_s" ~mb:3.49 ~ext:3.24 ~ind:1 ~vec:1 ~pressure:0.45 ~plain:22 ~victim_period:8 ~seed:110 ();
+    p ~name:"parest_r" ~mb:6.1 ~ext:2.4 ~ind:4 ~vec:4 ~pressure:0.4 ~victim_period:4 ~seed:111 ();
+    p ~name:"wrf_r" ~mb:16.79 ~ext:3.21 ~ind:4 ~vec:3 ~pressure:0.4 ~victim_period:8 ~seed:112 ();
+    p ~name:"wrf_s" ~mb:16.78 ~ext:3.2 ~ind:4 ~vec:3 ~pressure:0.4 ~victim_period:8 ~seed:113 ();
+    p ~name:"blender_r" ~mb:7.31 ~ext:1.51 ~ind:5 ~vec:3 ~pressure:0.35 ~victim_period:4 ~seed:114 ();
+    p ~name:"cam4_r" ~mb:4.29 ~ext:3.37 ~ind:5 ~vec:3 ~pressure:0.4 ~victim_period:4 ~seed:115 ();
+    p ~name:"cam4_s" ~mb:4.47 ~ext:3.27 ~ind:6 ~vec:4 ~pressure:0.4 ~victim_period:4 ~seed:116 ();
+    p ~name:"imagick_r" ~mb:1.41 ~ext:1.63 ~ind:6 ~vec:2 ~pressure:0.3 ~victim_period:4 ~seed:117 ();
+    p ~name:"imagick_s" ~mb:1.46 ~ext:1.47 ~ind:6 ~vec:2 ~pressure:0.3 ~victim_period:4 ~seed:118 ();
+    p ~name:"pop2_s" ~mb:3.57 ~ext:3.71 ~ind:5 ~vec:3 ~pressure:0.4 ~victim_period:4 ~seed:119 ();
+    p ~name:"cam4_rx" ~mb:4.29 ~ext:3.37 ~ind:5 ~vec:9 ~pressure:0.4 ~seed:120 () ]
+  |> List.filter (fun pr -> pr.sp_name <> "cam4_rx")
+
+let realworld_profiles =
+  [ p ~name:"Git" ~mb:3.11 ~ext:2.7 ~ind:5 ~vec:1 ~pressure:0.2 ~hidden:0.03 ~victim_period:8 ~seed:201 ();
+    p ~name:"Vim" ~mb:2.91 ~ext:2.31 ~ind:8 ~vec:1 ~pressure:0.25 ~hidden:0.03 ~victim_period:4 ~seed:202 ();
+    p ~name:"GIMP" ~mb:5.2 ~ext:2.1 ~ind:5 ~vec:4 ~pressure:0.3 ~victim_period:4 ~seed:203 ();
+    p ~name:"CMake" ~mb:7.6 ~ext:3.32 ~ind:9 ~vec:5 ~pressure:0.3 ~victim_period:8 ~seed:204 ();
+    p ~name:"CTest" ~mb:8.5 ~ext:3.3 ~ind:9 ~vec:6 ~pressure:0.3 ~victim_period:8 ~seed:205 ();
+    p ~name:"Python" ~mb:2.31 ~ext:1.77 ~ind:7 ~vec:2 ~pressure:0.25 ~victim_period:4 ~seed:206 ();
+    p ~name:"Libopenblas" ~mb:6.72 ~ext:0.59 ~ind:5 ~vec:8 ~pressure:0.35 ~victim_period:16 ~seed:207 () ]
+
+let find name =
+  match
+    List.find_opt
+      (fun pr -> pr.sp_name = name)
+      (spec_profiles @ realworld_profiles)
+  with
+  | Some pr -> pr
+  | None -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Scratch data: each function owns a 64-byte slot (32 B input, 32 B
+   output), plus a driver-owned phase counter reachable gp-relative. *)
+let scratch_slots = 480
+
+(* keep the addi-encodable range: 31 distinct slots *)
+let slot_off idx = 64 * (idx mod 31)
+
+type blockk =
+  | Alu  (** arithmetic noise, reads/writes the slot *)
+  | Strip  (** a vector strip over the slot (source instructions) *)
+  | Pressure_strip  (** strip with a live indirect-jump target across it *)
+  | Dispatch  (** jump-table dispatch on the driver phase *)
+  | Callee_hostile_call  (** call to a function with no dead entry regs *)
+
+type funspec = {
+  f_idx : int;
+  f_hidden : bool;
+  f_blocks : blockk list;
+  f_victim : bool;  (** hosts the erroneous-jump victim strip *)
+}
+
+let v1 = Reg.v_of_int 1
+let v2 = Reg.v_of_int 2
+let v3 = Reg.v_of_int 3
+
+let fname i = Printf.sprintf "f%d" i
+let lname i s = Printf.sprintf "f%d_%s" i s
+
+(* The vector strip: reads slot[0..31], accumulates into slot[32..63].
+   Register roles: t0 = slot base (set at function entry), t1/t2/t3
+   scratch. 6 instructions, 5 of them vector. *)
+let emit_strip ?(fig5 = false) a ~idx ~vop ~victim =
+  (if fig5 then begin
+     (* uncompressed targets re-derive the slot base through the lui+load
+        static-data idiom (the Fig. 5 trampoline anchor) *)
+     Asm.lui_hi a Reg.t0 "scratch";
+     Asm.load_lo a Inst.D ~rd:Reg.t5 ~base:Reg.t0 "scratch";
+     Asm.addi_lo a Reg.t0 "scratch";
+     Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, slot_off idx))
+   end);
+  Asm.li a Reg.t1 4;
+  Asm.inst a (Inst.Vsetvli (Reg.t2, Reg.t1, Inst.E64));
+  (* the victim label points at the vsetvli's space neighbor: after
+     rewriting it is overwritten by the SMILE jalr (P1) *)
+  if victim then Asm.label a "victim_mid";
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t3, Reg.t0, 32));
+  Asm.inst a (Inst.Vle (Inst.E64, v2, Reg.t3));
+  Asm.inst a (Inst.Vop_vv (vop, v3, v1, v2));
+  Asm.inst a (Inst.Vse (Inst.E64, v3, Reg.t3))
+
+let emit_alu a rng ~compressed =
+  (* ABI discipline: caller-saved scratches are re-seeded at block start,
+     never read across a call or return (as compiled code behaves) *)
+  Asm.li a Reg.t1 (Random.State.int rng 1024);
+  Asm.li a Reg.t2 (1 + Random.State.int rng 64);
+  (if compressed then begin
+     (* a5/a4 live in the compressed register file (x8..x15) *)
+     Asm.inst a (Inst.C_li (Reg.a5, Random.State.int rng 32));
+     Asm.inst a (Inst.C_li (Reg.a4, 1 + Random.State.int rng 31))
+   end);
+  let n = 3 + Random.State.int rng 5 in
+  for _ = 1 to n do
+    match Random.State.int rng (if compressed then 10 else 4) with
+    | 0 -> Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, Random.State.int rng 64))
+    | 1 -> Asm.inst a (Inst.Op (Inst.Xor, Reg.t2, Reg.t1, Reg.t2))
+    | 2 -> Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.t1, Reg.t2))
+    | 3 -> Asm.inst a (Inst.Opi (Inst.Slli, Reg.t2, Reg.t2, 1 + Random.State.int rng 3))
+    | 4 -> Asm.inst a (Inst.C_addi (Reg.t1, 1 + Random.State.int rng 15))
+    | 5 -> Asm.inst a (Inst.C_mv (Reg.t3, Reg.t1))
+    | 6 ->
+        Asm.inst a
+          (Inst.C_alu
+             ( (match Random.State.int rng 4 with
+               | 0 -> Inst.Cxor | 1 -> Inst.Cor | 2 -> Inst.Cand | _ -> Inst.Caddw),
+               Reg.a5, Reg.a4 ))
+    | 7 -> Asm.inst a (Inst.C_andi (Reg.a5, Random.State.int rng 32))
+    | 8 -> Asm.inst a (Inst.C_addiw (Reg.a4, 1 + Random.State.int rng 15))
+    | _ ->
+        Asm.inst a (Inst.C_alu (Inst.Csub, Reg.a5, Reg.a4));
+        Asm.inst a (Inst.C_add (Reg.t1, Reg.a5))
+  done;
+  (if compressed then
+     (* fold the compressed register noise into t1 as well *)
+     Asm.inst a (Inst.C_add (Reg.t1, Reg.a5)));
+  (* fold the noise into the slot so it is checksum-visible *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.t0; imm = 32 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t3, Reg.t3, Reg.t1));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t3; rs1 = Reg.t0; imm = 32 })
+
+(* phase counter lives at gp + 0x700 (inside the first data page) *)
+let phase_gp_off = 0x700
+
+let emit_dispatch a ~idx ~tag =
+  (* two-way jump-table dispatch on the low bit of the phase counter *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t4; rs1 = Reg.gp; imm = phase_gp_off });
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.t4, Reg.t4, 8));
+  Asm.la a Reg.t5 (lname idx (Printf.sprintf "jt%d" tag));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t5, Reg.t5, Reg.t4));
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t6; rs1 = Reg.t5; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t6, 0));
+  Asm.label a (lname idx (Printf.sprintf "case%d_0" tag));
+  Asm.li a Reg.t1 3;
+  Asm.j a (lname idx (Printf.sprintf "join%d" tag));
+  Asm.label a (lname idx (Printf.sprintf "case%d_1" tag));
+  Asm.li a Reg.t1 7;
+  Asm.label a (lname idx (Printf.sprintf "join%d" tag));
+  (* fold the taken case into the slot *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.t0; imm = 48 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t3, Reg.t3, Reg.t1));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t3; rs1 = Reg.t0; imm = 48 })
+
+let emit_dispatch_tables a ~idx ~tags =
+  List.iter
+    (fun tag ->
+      Asm.rlabel a (lname idx (Printf.sprintf "jt%d" tag));
+      Asm.rword_label a (lname idx (Printf.sprintf "case%d_0" tag));
+      Asm.rword_label a (lname idx (Printf.sprintf "case%d_1" tag)))
+    tags
+
+(* a strip whose exit position has an indirect-jump target alive across it:
+   plain liveness finds no dead register at the exit, forcing CHBP to shift
+   the exit to the terminator *)
+let emit_pressure_strip ?(fig5 = false) a rng ~idx ~tag =
+  Asm.la a Reg.t5 (lname idx (Printf.sprintf "pjt%d" tag));
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t6; rs1 = Reg.t5; imm = 0 });
+  (* keep a1/a2/a3/a4/a5 live across the strip as well *)
+  Asm.li a Reg.a1 (Random.State.int rng 100);
+  Asm.li a Reg.a2 (Random.State.int rng 100);
+  Asm.li a Reg.a3 (Random.State.int rng 100);
+  Asm.li a Reg.a4 (Random.State.int rng 100);
+  Asm.li a Reg.a5 (Random.State.int rng 100);
+  emit_strip ~fig5 a ~idx ~vop:Inst.Vadd ~victim:false;
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t6, 0));
+  Asm.label a (lname idx (Printf.sprintf "pland%d" tag));
+  (* consume the live registers *)
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.a1, Reg.a2));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t2, Reg.a3, Reg.a4));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.t1, Reg.a5));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t1; rs1 = Reg.t0; imm = 40 })
+
+let emit_pressure_table a ~idx ~tag =
+  Asm.rlabel a (lname idx (Printf.sprintf "pjt%d" tag));
+  Asm.rword_label a (lname idx (Printf.sprintf "pland%d" tag))
+
+(* A callee that reads every scratch register at entry: no dead register at
+   its entry, so an exit shift that reaches the call must fall back to a
+   trap trampoline. *)
+let emit_hostile_callee a =
+  Asm.func a "hostile";
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.t0, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t2));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t4));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t5));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t6));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a2));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a4));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a5));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a6));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a7));
+  Asm.ret a
+
+(* each function repeats its body a few times so call/return (indirect)
+   density matches compiled code rather than micro-benchmarks *)
+let body_reps = 6
+
+let emit_function a rng ~compressed (f : funspec) =
+  if f.f_hidden then Asm.hidden_func a (fname f.f_idx)
+  else Asm.func a (fname f.f_idx);
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, -16));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.ra; rs1 = Reg.sp; imm = 8 });
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.s2; rs1 = Reg.sp; imm = 0 });
+  (if compressed then begin
+     Asm.la a Reg.t0 "scratch";
+     Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, slot_off f.f_idx))
+   end
+   else begin
+     (* the lui+load static-data idiom compilers emit for uncompressed
+        targets — and the anchor the general-register SMILE variant uses *)
+     Asm.lui_hi a Reg.t0 "scratch";
+     Asm.load_lo a Inst.D ~rd:Reg.t5 ~base:Reg.t0 "scratch";
+     Asm.addi_lo a Reg.t0 "scratch";
+     Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, slot_off f.f_idx))
+   end);
+  Asm.li a Reg.s2 body_reps;
+  Asm.label a (lname f.f_idx "rep");
+  let tag = ref 0 in
+  let tags = ref [] in
+  let ptags = ref [] in
+  List.iter
+    (fun b ->
+      incr tag;
+      match b with
+      | Alu -> emit_alu a rng ~compressed
+      | Strip ->
+          let vop = if Random.State.bool rng then Inst.Vadd else Inst.Vmacc in
+          emit_strip ~fig5:(not compressed) a ~idx:f.f_idx ~vop ~victim:false
+      | Pressure_strip ->
+          emit_pressure_strip ~fig5:(not compressed) a rng ~idx:f.f_idx ~tag:!tag;
+          ptags := !tag :: !ptags
+      | Dispatch ->
+          emit_dispatch a ~idx:f.f_idx ~tag:!tag;
+          tags := !tag :: !tags
+      | Callee_hostile_call ->
+          emit_strip ~fig5:(not compressed) a ~idx:f.f_idx ~vop:Inst.Vadd ~victim:false;
+          Asm.call a "hostile";
+          (* the call clobbers the caller-saved slot base: re-establish it *)
+          Asm.la a Reg.t0 "scratch";
+          Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, slot_off f.f_idx)))
+    f.f_blocks;
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.s2, Reg.s2, -1));
+  Asm.branch_to a Inst.Bne Reg.s2 Reg.x0 (lname f.f_idx "rep");
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.s2; rs1 = Reg.sp; imm = 0 });
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.ra; rs1 = Reg.sp; imm = 8 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, 16));
+  Asm.ret a;
+  (!tags, !ptags)
+
+let build pr =
+  let rng = Random.State.make [| pr.sp_seed |] in
+  let a = Asm.create ~name:pr.sp_name () in
+  (* function specs: sized so the text reaches sp_code_kb *)
+  let avg_func_bytes = 220 in
+  let nf = max 8 (pr.sp_code_kb * 1024 / avg_func_bytes) in
+  (* strip share chosen to hit the target extension-instruction percentage:
+     a strip block contributes ~5 vector of ~12 instructions, other blocks
+     ~8 plain instructions *)
+  let r = pr.sp_ext_pct in
+  let q = 6. *. r /. (5. -. (6. *. r)) in
+  let funspecs =
+    List.init nf (fun i ->
+        let nblocks = 5 + Random.State.int rng 5 in
+        let blocks =
+          List.init nblocks (fun _ ->
+              let x = Random.State.float rng 1.0 in
+              if x < q then
+                if Random.State.float rng 1.0 < pr.sp_pressure then Pressure_strip
+                else if Random.State.float rng 1.0 < 0.02 then Callee_hostile_call
+                else Strip
+              else if x < q +. 0.03 then Dispatch
+              else Alu)
+        in
+        { f_idx = i;
+          f_hidden = Random.State.float rng 1.0 < pr.sp_hidden && i > 0;
+          f_blocks = blocks;
+          f_victim = i = 0 })
+  in
+  let funspecs =
+    match funspecs with
+    | f0 :: rest -> { f0 with f_hidden = false } :: rest
+    | [] -> assert false
+  in
+  let has_strip f =
+    List.exists
+      (function Strip | Pressure_strip | Callee_hostile_call -> true | Alu | Dispatch -> false)
+      f.f_blocks
+  in
+  let has_hostile f =
+    List.exists (function Callee_hostile_call -> true | _ -> false) f.f_blocks
+  in
+  (* hot vector functions: prefer ones without trap-fallback call sites —
+     those are the paper's rare, cold high-register-pressure cases *)
+  let hot_vec =
+    let clean =
+      List.filter (fun f -> has_strip f && (not f.f_hidden) && not (has_hostile f)) funspecs
+    in
+    let dirty =
+      List.filter (fun f -> has_strip f && (not f.f_hidden) && has_hostile f) funspecs
+    in
+    List.filteri (fun i _ -> i < pr.sp_vec_heat) (clean @ dirty)
+  in
+  let hot_ind =
+    funspecs
+    |> List.filter (fun f ->
+           (not f.f_hidden)
+           && List.exists (function Dispatch -> true | _ -> false) f.f_blocks)
+    |> List.filteri (fun i _ -> i < pr.sp_ind_weight)
+  in
+  (* plain (scalar, dispatch-free) hot functions dilute the special flows
+     to compiled-code densities *)
+  let hot_plain =
+    funspecs
+    |> List.filter (fun f ->
+           (not f.f_hidden)
+           && (not (has_strip f))
+           && not (List.exists (function Dispatch -> true | _ -> false) f.f_blocks))
+    |> List.filteri (fun i _ -> i < pr.sp_plain)
+  in
+  let hidden_funcs = List.filter (fun f -> f.f_hidden) funspecs in
+  (* ---- driver ---- *)
+  Asm.func a "_start";
+  Asm.li a Reg.s1 pr.sp_rounds;
+  Asm.label a "Louter";
+  Asm.branch_to a Inst.Beq Reg.s1 Reg.x0 "Lend";
+  (* bump the phase counter *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.gp; imm = phase_gp_off });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, 1));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t1; rs1 = Reg.gp; imm = phase_gp_off });
+  (* hot calls *)
+  List.iter (fun f -> Asm.call a (fname f.f_idx)) hot_vec;
+  List.iter (fun f -> Asm.call a (fname f.f_idx)) hot_ind;
+  List.iter (fun f -> Asm.call a (fname f.f_idx)) hot_plain;
+  Asm.la a Reg.t0 "scratch";
+  Asm.call a "victim_fn";
+  (* periodically take the erroneous jump-table entry into the middle of
+     the victim strip; the period is the profile's odd-entry rate, shaped
+     from the paper's Table 2 trigger counts *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.gp; imm = phase_gp_off });
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.t1, Reg.t1, pr.sp_victim_period - 1));
+  Asm.branch_to a Inst.Bne Reg.t1 Reg.x0 "no_victim";
+  Asm.la a Reg.t0 "scratch";
+  Asm.la a Reg.t5 "victim_jt";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t6; rs1 = Reg.t5; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.ra, Reg.t6, 0));
+  Asm.label a "no_victim";
+  (* the cold sweep runs once (first round): every function executes at
+     least once, including the hidden ones through their pointers *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.gp; imm = phase_gp_off });
+  Asm.li a Reg.t2 1;
+  Asm.branch_to a Inst.Bne Reg.t1 Reg.t2 "no_cold";
+  Asm.call a "cold_sweep";
+  Asm.label a "no_cold";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.s1, Reg.s1, -1));
+  Asm.j a "Louter";
+  Asm.label a "Lend";
+  (* checksum over the scratch area *)
+  Asm.la a Reg.a0 "scratch";
+  Asm.li a Reg.a1 512;
+  Asm.li a Reg.a2 0;
+  Asm.label a "cks";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  (* cold sweep: call every visible function, and every hidden function
+     through its pointer *)
+  Asm.func a "cold_sweep";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, -16));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.ra; rs1 = Reg.sp; imm = 8 });
+  List.iter
+    (fun f ->
+      if not f.f_hidden then Asm.call a (fname f.f_idx))
+    funspecs;
+  List.iteri
+    (fun k _ ->
+      Asm.la a Reg.t5 (Printf.sprintf "hptr%d" k);
+      Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t6; rs1 = Reg.t5; imm = 0 });
+      Asm.inst a (Inst.Jalr (Reg.ra, Reg.t6, 0)))
+    hidden_funcs;
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.ra; rs1 = Reg.sp; imm = 8 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.sp, Reg.sp, 16));
+  Asm.ret a;
+  emit_hostile_callee a;
+  (* The victim leaf: a strip in a prologue-free leaf function. The
+     jump-table entry "victim_jt" points into the middle of the strip —
+     after rewriting, that address is an overwritten neighbor, so taking
+     the entry exercises the deterministic-fault recovery path. Entering
+     at the victim label is well-defined in the original binary too: the
+     driver sets t0 before jumping and ra carries the return. *)
+  Asm.func a "victim_fn";
+  (if pr.sp_compressed then Asm.la a Reg.t0 "scratch"
+   else begin
+     Asm.lui_hi a Reg.t0 "scratch";
+     Asm.load_lo a Inst.D ~rd:Reg.t5 ~base:Reg.t0 "scratch";
+     Asm.addi_lo a Reg.t0 "scratch"
+   end);
+  emit_strip a ~idx:0 ~vop:Inst.Vadd ~victim:true;
+  Asm.ret a;
+  (* ---- all functions + their tables ---- *)
+  List.iter
+    (fun f ->
+      let tags, ptags = emit_function a rng ~compressed:pr.sp_compressed f in
+      emit_dispatch_tables a ~idx:f.f_idx ~tags;
+      List.iter (fun tg -> emit_pressure_table a ~idx:f.f_idx ~tag:tg) ptags)
+    funspecs;
+  (* victim entry: into the middle of the victim leaf's strip *)
+  Asm.rlabel a "victim_jt";
+  Asm.rword_label a "victim_mid";
+  (* hidden-function pointers *)
+  List.iteri
+    (fun k f ->
+      Asm.rlabel a (Printf.sprintf "hptr%d" k);
+      Asm.rword_label a (fname f.f_idx))
+    hidden_funcs;
+  (* scratch data *)
+  Asm.dlabel a "scratch";
+  for i = 0 to (scratch_slots * 8) - 1 do
+    Asm.dword64 a (Int64.of_int ((i * 37) mod 251))
+  done;
+  Asm.assemble a

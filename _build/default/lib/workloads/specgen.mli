@@ -1,0 +1,64 @@
+(** Synthetic SPEC CPU2017-like binaries (paper §6.2–6.3, Fig. 13,
+    Tables 2–3).
+
+    SPEC CPU2017 compiled with RVV auto-vectorization is not available in
+    this environment, so each benchmark is replaced by a seeded synthetic
+    binary whose *rewriting-relevant statistics* are taken from the paper's
+    Table 3: code-section size (scaled down by {!scale}), the share of
+    extension instructions, the density of indirect control flow
+    (interpreter/OOP-style benchmarks like perlbench and omnetpp dispatch
+    through jump tables constantly; HPC codes like cactuBSSN barely do),
+    the register pressure around vector sites (what drives exit-position
+    shifting), the amount of code hidden from static disassembly, and how
+    hot the vector regions run (cam4/pop2/wrf execute their rewritten sites
+    far more often than gcc — the paper's Table 2 strawman column).
+
+    Every generated binary computes a deterministic checksum, so original
+    and rewritten runs are compared exactly (the §6.3 correctness oracle). *)
+
+type profile = {
+  sp_name : string;
+  sp_code_kb : int;  (** target text size in KiB (paper MB ÷ {!scale}) *)
+  sp_ext_pct : float;  (** extension instructions / all instructions *)
+  sp_ind_weight : int;
+      (** jump-table dispatches executed per driver round (indirect-flow
+          heat: perlbench ≫ cactuBSSN) *)
+  sp_vec_heat : int;
+      (** how many times each driver round enters vector regions (the
+          strawman/trap-cost driver: cam4/pop2/wrf high, gcc low) *)
+  sp_pressure : float;
+      (** fraction of vector sites placed in high-register-pressure
+          context (immediately before indirect flow), where plain liveness
+          cannot find an exit register *)
+  sp_hidden : float;  (** fraction of functions invisible to disassembly *)
+  sp_compressed : bool;  (** binary uses the C extension *)
+  sp_rounds : int;  (** driver iterations (dynamic instruction volume) *)
+  sp_plain : int;
+      (** plain scalar functions called per round — dilutes the special
+          flows to the benchmark's real densities (interpreters are
+          indirect-dense, HPC codes are not) *)
+  sp_victim_period : int;
+      (** one erroneous (original-valid, mid-strip) indirect entry every
+          [sp_victim_period] driver rounds — the odd-entry rate, shaped
+          from the paper's Table 2 CHBP trigger counts (power of two) *)
+  sp_seed : int;
+}
+
+val scale : int
+(** Code sizes (and the ARMore jump reach) are divided by this factor
+    (64) relative to the paper's hardware. *)
+
+val spec_profiles : profile list
+(** The 18 SPEC CPU2017 rows of the paper's Tables 2–3. *)
+
+val realworld_profiles : profile list
+(** Git, Vim, GIMP, CMake, CTest, Python, Libopenblas. *)
+
+val find : string -> profile
+(** @raise Not_found *)
+
+val build : profile -> Binfile.t
+(** Deterministic: same profile, same binary. *)
+
+val armore_jal_range : int
+(** The scaled ±1 MiB reach for ARMore on these binaries. *)

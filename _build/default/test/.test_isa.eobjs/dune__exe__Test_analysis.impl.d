@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Asm Binfile Cfg Disasm Format Inst Layout List Liveness Reg Regmask String

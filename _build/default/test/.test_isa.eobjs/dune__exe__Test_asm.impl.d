@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Binfile Encode Ext Fault Filename Fun Inst Layout List Loader Machine Memory Reg Sys

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Armore Asm Binfile Chbp Chimera_rt Counters Egalito Ext Fault Inst Int64 Loader Machine Melf Memory Multiverse Printf Reg Safer Specgen Strawman

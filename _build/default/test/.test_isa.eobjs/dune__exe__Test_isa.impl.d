@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Decode Encode Ext Inst List Printf QCheck QCheck_alcotest Reg String

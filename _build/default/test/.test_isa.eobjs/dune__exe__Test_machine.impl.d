@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Binfile Bytes Costs Encode Ext Fault Icache Inst Int64 Layout List Loader Machine Memory Printf Reg

@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Asm Binfile Bytes Chbp Chimera_rt Costs Counters Decode Encode Ext Fault Fault_table Inst Int64 Layout List Loader Machine Printf Reg Smile

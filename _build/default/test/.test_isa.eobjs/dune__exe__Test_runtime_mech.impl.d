@@ -1,0 +1,1 @@
+test/test_runtime_mech.ml: Alcotest Asm Binfile Bytes Chbp Chimera_rt Chimera_system Disasm Ext Fault Inst Int64 Layout List Loader Machine Memory Mmview Printf Programs Reg Signals

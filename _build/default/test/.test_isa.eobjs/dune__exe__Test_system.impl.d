@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Asm Binfile Chbp Chimera_rt Chimera_system Counters Ext Fault Fault_table Inst Int32 Int64 List Loader Machine Memory Programs Reg Specgen String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Armore Asm Binfile Blas Bytes Chbp Counters Ext Fault Inst Int64 List Loader Machine Measure Mixgen Printf Programs Reg Safer Sched Specgen Strawman

@@ -1,0 +1,315 @@
+(* Tests for riscv_analysis: recursive-descent coverage, CFG shape, and
+   the conservative liveness the rewriter's dead-register search uses. *)
+
+let exit_seq a =
+  [ Inst.Opi (Inst.Addi, Reg.a7, Reg.x0, 93); Inst.Opi (Inst.Addi, Reg.a0, Reg.x0, a);
+    Inst.Ecall ]
+
+(* --- disassembler ------------------------------------------------------- *)
+
+let test_linear_coverage () =
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.li a Reg.t0 1;
+  Asm.li a Reg.t1 2;
+  Asm.insts a (exit_seq 0);
+  let bin = Asm.assemble a in
+  let dis = Disasm.of_binfile bin in
+  Alcotest.(check int) "all insns found" 5 (Disasm.count dis);
+  Alcotest.(check int) "all bytes covered" (Binfile.code_size bin)
+    (Disasm.covered_bytes dis)
+
+let test_follows_branches_and_calls () =
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.li a Reg.a0 0;
+  Asm.call a "helper";
+  Asm.branch_to a Inst.Beq Reg.a0 Reg.x0 "done";
+  Asm.li a Reg.a0 1;
+  Asm.label a "done";
+  Asm.insts a (exit_seq 0);
+  Asm.func a "helper";
+  Asm.ret a;
+  let bin = Asm.assemble a in
+  let dis = Disasm.of_binfile bin in
+  Alcotest.(check int) "covered = code size" (Binfile.code_size bin)
+    (Disasm.covered_bytes dis)
+
+let test_jump_table_targets_missed_without_symbols () =
+  (* Cases reachable only through an indirect jump are invisible to
+     recursive descent — the paper's incompleteness scenario (§4.1). *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.la a Reg.t1 "table";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.t1; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t2, 0));
+  Asm.hidden_func a "case0";
+  Asm.insts a (exit_seq 0);
+  Asm.rlabel a "table";
+  Asm.rword_label a "case0";
+  let bin = Asm.assemble a in
+  let dis = Disasm.of_binfile bin in
+  let case0 = ref 0 in
+  (* find case0's address: right after the jalr (4+4+4+4+4 = 20 bytes in) *)
+  case0 := Layout.text_base + 20;
+  Alcotest.(check bool) "case0 not discovered" true (Disasm.find dis !case0 = None);
+  Alcotest.(check bool) "entry discovered" true
+    (Disasm.find dis Layout.text_base <> None)
+
+let test_flow_classification () =
+  let mk inst = { Disasm.addr = 0x1000; inst; size = Inst.size inst } in
+  let check name inst expect =
+    Alcotest.(check bool) name true (Disasm.flow_of (mk inst) = expect)
+  in
+  check "ret" (Inst.Jalr (Reg.x0, Reg.ra, 0)) Disasm.Ret;
+  check "indirect jump" (Inst.Jalr (Reg.x0, Reg.t0, 0)) Disasm.Indirect_jump;
+  check "indirect call" (Inst.Jalr (Reg.ra, Reg.t0, 0)) Disasm.Indirect_call;
+  check "call" (Inst.Jal (Reg.ra, 64)) (Disasm.Call (0x1000 + 64));
+  check "jump" (Inst.Jal (Reg.x0, -8)) (Disasm.Jump (0x1000 - 8));
+  check "branch" (Inst.Branch (Inst.Beq, Reg.a0, Reg.a1, 16)) (Disasm.Branch 0x1010);
+  check "cbnez" (Inst.C_bnez (Reg.s0, 32)) (Disasm.Branch 0x1020);
+  check "fall" (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 1)) Disasm.Fallthrough
+
+(* --- CFG ----------------------------------------------------------------- *)
+
+let diamond_binary () =
+  (* _start:  beq a0, x0, else
+              li a1, 1
+              j join
+     else:    li a1, 2
+     join:    exit *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.branch_to a Inst.Beq Reg.a0 Reg.x0 "else_";
+  Asm.li a Reg.a1 1;
+  Asm.j a "join";
+  Asm.label a "else_";
+  Asm.li a Reg.a1 2;
+  Asm.label a "join";
+  Asm.insts a (exit_seq 0);
+  Asm.assemble a
+
+let test_cfg_diamond () =
+  let bin = diamond_binary () in
+  let dis = Disasm.of_binfile bin in
+  let cfg = Cfg.of_disasm dis in
+  let blocks = Cfg.blocks cfg in
+  Alcotest.(check int) "4 blocks" 4 (List.length blocks);
+  let entry = List.hd blocks in
+  Alcotest.(check int) "entry block has 1 insn" 1 (List.length entry.Cfg.b_insns);
+  Alcotest.(check int) "entry has 2 successors" 2 (List.length entry.Cfg.b_succs);
+  (* join block has two predecessors *)
+  let join =
+    List.find
+      (fun b ->
+        match b.Cfg.b_insns with
+        | { Disasm.inst = Inst.Opi (Inst.Addi, rd, _, 93); _ } :: _ ->
+            Reg.equal rd Reg.a7
+        | _ -> false)
+      blocks
+  in
+  Alcotest.(check int) "join preds" 2 (List.length (Cfg.preds cfg join.Cfg.b_addr))
+
+let test_cfg_indirect_is_unknown () =
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t0, 0));
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  match Cfg.blocks cfg with
+  | [ b ] -> Alcotest.(check bool) "unknown succ" true (b.Cfg.b_succs = [ Cfg.Sunknown ])
+  | bs -> Alcotest.failf "expected 1 block, got %d" (List.length bs)
+
+(* --- liveness ------------------------------------------------------------ *)
+
+let test_liveness_simple_dead_reg () =
+  (* t0 is overwritten before any use -> dead at entry; a0 is read -> live. *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.label a "probe";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.a0, 1));  (* uses a0 *)
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.x0, 5));  (* defs t0 *)
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.t0, Reg.t1));
+  Asm.insts a (exit_seq 0);
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  let live = Liveness.compute cfg in
+  match Liveness.live_in_at live Layout.text_base with
+  | None -> Alcotest.fail "no liveness at entry"
+  | Some mask ->
+      Alcotest.(check bool) "a0 live" true (Regmask.mem Reg.a0 mask);
+      Alcotest.(check bool) "t0 dead" false (Regmask.mem Reg.t0 mask);
+      (match Liveness.dead_at live Layout.text_base with
+      | Some r -> Alcotest.(check bool) "found a dead temp" true
+                    (not (Regmask.mem r mask))
+      | None -> Alcotest.fail "expected a dead register")
+
+let test_liveness_conservative_at_indirect () =
+  (* Before an indirect jump everything is live (unknown continuation). *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.x0, 0));
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t0, 0));
+  let bin = Asm.assemble a in
+  let live = Liveness.compute (Cfg.of_disasm (Disasm.of_binfile bin)) in
+  (* at the jalr itself: everything except its own defs is live *)
+  match Liveness.live_in_at live (Layout.text_base + 4) with
+  | None -> Alcotest.fail "no liveness"
+  | Some mask ->
+      Alcotest.(check bool) "s0 live (conservative)" true (Regmask.mem Reg.s0 mask);
+      Alcotest.(check bool) "a0 live (conservative)" true (Regmask.mem Reg.a0 mask);
+      Alcotest.(check bool) "dead_at finds nothing" true
+        (Liveness.dead_at live (Layout.text_base + 4) = None)
+
+let test_liveness_call_clobbers () =
+  (* After a call, caller-saved registers are dead (clobbered by the call)
+     unless reloaded; callee-saved survive. *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.call a "f";
+  Asm.label a "after";
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.s0, Reg.s0));  (* uses s0 *)
+  Asm.insts a (exit_seq 0);
+  Asm.func a "f";
+  Asm.ret a;
+  let bin = Asm.assemble a in
+  let live = Liveness.compute (Cfg.of_disasm (Disasm.of_binfile bin)) in
+  (* at the call: argument registers are live (callee may read them), and
+     s0 is live (used after return). t-registers are not. *)
+  match Liveness.live_in_at live Layout.text_base with
+  | None -> Alcotest.fail "no liveness"
+  | Some mask ->
+      Alcotest.(check bool) "a0 live at call" true (Regmask.mem Reg.a0 mask);
+      Alcotest.(check bool) "s0 live at call" true (Regmask.mem Reg.s0 mask);
+      Alcotest.(check bool) "t3 dead at call" false (Regmask.mem Reg.t3 mask)
+
+let test_liveness_loop () =
+  (* Loop counter stays live around the back edge. *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.li a Reg.t0 10;
+  Asm.label a "loop";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, -1));
+  Asm.branch_to a Inst.Bne Reg.t0 Reg.x0 "loop";
+  Asm.insts a (exit_seq 0);
+  let bin = Asm.assemble a in
+  let live = Liveness.compute (Cfg.of_disasm (Disasm.of_binfile bin)) in
+  (* inside the loop body, t0 is live *)
+  match Liveness.live_in_at live (Layout.text_base + 4) with
+  | None -> Alcotest.fail "no liveness"
+  | Some mask -> Alcotest.(check bool) "t0 live in loop" true (Regmask.mem Reg.t0 mask)
+
+let test_liveness_return_abi () =
+  (* at a ret, only a0/a1 + callee-saved are live: t-registers are dead *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.call a "f";
+  Asm.insts a (exit_seq 0);
+  Asm.func a "f";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t3, Reg.x0, 7));
+  Asm.ret a;
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  let live = Liveness.compute cfg in
+  let f = (Binfile.symbol bin "f").Binfile.sym_addr in
+  let dead = Liveness.dead_regs_at live f in
+  Alcotest.(check bool) "t3 dead before its own def... is live-out as write target"
+    true
+    (List.exists (Reg.equal Reg.t4) dead);
+  Alcotest.(check bool) "a0 not dead at a return-reaching point" false
+    (List.exists (Reg.equal Reg.a0) dead)
+
+let test_liveness_avoid_filter () =
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.insts a (exit_seq 3);
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  let live = Liveness.compute cfg in
+  let entry = bin.Binfile.entry in
+  (match Liveness.dead_at live entry with
+  | Some r ->
+      (* asking to avoid that exact register must yield a different one *)
+      (match Liveness.dead_at live ~avoid:[ r ] entry with
+      | Some r' -> Alcotest.(check bool) "avoided" false (Reg.equal r r')
+      | None -> ())
+  | None -> Alcotest.fail "trivial program must have a dead register")
+
+let test_cfg_splits_at_branch_target () =
+  (* a backwards branch into the middle of straight-line code must split
+     the containing block exactly at the target *)
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.li a Reg.t0 3;
+  Asm.label a "top";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, 1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, -1));
+  Asm.branch_to a Inst.Bne Reg.t0 Reg.x0 "top";
+  Asm.insts a (exit_seq 0);
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  (* the loop head starts its own block even though control falls into it *)
+  let top = bin.Binfile.entry + 4 in  (* li = one addi *)
+  match Cfg.block_containing cfg top with
+  | Some b -> Alcotest.(check int) "block starts at branch target" top b.Cfg.b_addr
+  | None -> Alcotest.fail "no block at loop head"
+
+let test_cfg_dot_render () =
+  let a = Asm.create () in
+  Asm.func a "_start";
+  Asm.branch_to a Inst.Beq Reg.a0 Reg.x0 "z";
+  Asm.li a Reg.a0 1;
+  Asm.label a "z";
+  Asm.insts a (exit_seq 0);
+  let bin = Asm.assemble a in
+  let cfg = Cfg.of_disasm (Disasm.of_binfile bin) in
+  let dot = Format.asprintf "%a" Cfg.pp_dot cfg in
+  Alcotest.(check bool) "digraph wrapper" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  (* one node line per block *)
+  let blocks = List.length (Cfg.blocks cfg) in
+  let count_sub sub =
+    let n = ref 0 and i = ref 0 in
+    let ls = String.length sub in
+    while !i + ls <= String.length dot do
+      if String.sub dot !i ls = sub then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "one label per block" blocks (count_sub "label=")
+
+let test_regmask () =
+  let m = Regmask.of_list [ Reg.a0; Reg.t0 ] in
+  Alcotest.(check bool) "mem a0" true (Regmask.mem Reg.a0 m);
+  Alcotest.(check bool) "not mem a1" false (Regmask.mem Reg.a1 m);
+  Alcotest.(check bool) "x0 never in mask" false (Regmask.mem Reg.x0 Regmask.all);
+  Alcotest.(check int) "diff" (Regmask.singleton Reg.t0)
+    (Regmask.diff m (Regmask.singleton Reg.a0));
+  Alcotest.(check (list string)) "to_list" [ "t0"; "a0" ]
+    (List.map Reg.name (Regmask.to_list m))
+
+let () =
+  Alcotest.run "riscv_analysis"
+    [ ("disasm",
+       [ Alcotest.test_case "linear coverage" `Quick test_linear_coverage;
+         Alcotest.test_case "branches and calls" `Quick test_follows_branches_and_calls;
+         Alcotest.test_case "jump table gap" `Quick
+           test_jump_table_targets_missed_without_symbols;
+         Alcotest.test_case "flow classification" `Quick test_flow_classification ]);
+      ("cfg",
+       [ Alcotest.test_case "diamond" `Quick test_cfg_diamond;
+         Alcotest.test_case "indirect unknown" `Quick test_cfg_indirect_is_unknown ]);
+      ("liveness",
+       [ Alcotest.test_case "dead register" `Quick test_liveness_simple_dead_reg;
+         Alcotest.test_case "conservative at indirect" `Quick
+           test_liveness_conservative_at_indirect;
+         Alcotest.test_case "call clobbers" `Quick test_liveness_call_clobbers;
+         Alcotest.test_case "loop" `Quick test_liveness_loop;
+         Alcotest.test_case "return ABI mask" `Quick test_liveness_return_abi;
+         Alcotest.test_case "avoid filter" `Quick test_liveness_avoid_filter;
+         Alcotest.test_case "regmask" `Quick test_regmask ]);
+      ("cfg-extra",
+       [ Alcotest.test_case "splits at branch target" `Quick
+           test_cfg_splits_at_branch_target;
+         Alcotest.test_case "dot rendering" `Quick test_cfg_dot_render ]) ]

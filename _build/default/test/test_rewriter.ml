@@ -1,0 +1,786 @@
+(* End-to-end tests for chimera_rewriter + chimera_runtime: the SMILE
+   congruence solver, downgrade/upgrade/empty rewriting, deterministic-fault
+   recovery, and lazy rewriting. *)
+
+let base_isa = Ext.rv64gc
+let ext_isa = Ext.rv64gcv
+
+(* --- Smile unit tests ---------------------------------------------------- *)
+
+let test_smile_solver () =
+  let pc = 0x10040 in
+  (* uncompressed: the next admissible target at or after min *)
+  let t1 = Smile.next_target ~pc ~min:0x1000_0000 ~compressed:false in
+  Alcotest.(check bool) "t1 >= min" true (t1 >= 0x1000_0000);
+  (match Smile.solve_imm20 ~pc ~target:t1 with
+  | Some imm -> Alcotest.(check int) "roundtrip" t1 (Smile.target_of ~pc ~imm20:imm)
+  | None -> Alcotest.fail "solver rejected its own target");
+  (* compressed: imm20 must carry the reserved bits *)
+  let t2 = Smile.next_target ~pc ~min:0x1000_0000 ~compressed:true in
+  (match Smile.solve_imm20 ~pc ~target:t2 with
+  | Some imm ->
+      Alcotest.(check bool) "compressed-safe" true (Smile.imm20_compressed_safe imm)
+  | None -> Alcotest.fail "no imm for compressed target");
+  Alcotest.(check bool) "t2 >= min" true (t2 >= 0x1000_0000)
+
+let test_smile_write_bytes () =
+  let pc = 0x10000 in
+  let target = Smile.next_target ~pc ~min:0x1200_0000 ~compressed:true in
+  let buf = Bytes.make 8 '\xFF' in
+  Smile.write buf ~off:0 ~pc ~target ~compressed:true;
+  (* first word decodes as auipc gp, second as the fixed jalr *)
+  (match Decode.decode_word (Bytes.get_uint16_le buf 0 lor (Bytes.get_uint16_le buf 2 lsl 16)) with
+  | Decode.Ok (Inst.Auipc (rd, _), 4) ->
+      Alcotest.(check string) "auipc rd" "gp" (Reg.name rd)
+  | _ -> Alcotest.fail "bad auipc");
+  (match Decode.decode_word (Bytes.get_uint16_le buf 4 lor (Bytes.get_uint16_le buf 6 lsl 16)) with
+  | Decode.Ok (Inst.Jalr (rd, rs1, imm), 4) ->
+      Alcotest.(check string) "jalr rd" "gp" (Reg.name rd);
+      Alcotest.(check string) "jalr rs1" "gp" (Reg.name rs1);
+      Alcotest.(check int) "jalr imm" Smile.jalr_imm imm
+  | _ -> Alcotest.fail "bad jalr");
+  (* the two middle halfwords are illegal (P2/P3) *)
+  List.iter
+    (fun off ->
+      let hi = if off + 4 <= Bytes.length buf then Bytes.get_uint16_le buf (off + 2) else 0 in
+      match Decode.decode ~lo:(Bytes.get_uint16_le buf off) ~hi with
+      | Decode.Illegal _ -> ()
+      | Decode.Ok (i, _) -> Alcotest.failf "halfword at %d decodes: %s" off (Inst.to_string i))
+    [ 2; 6 ]
+
+(* --- program builders ---------------------------------------------------- *)
+
+let n_elems = 10
+
+(* Strip-mined vector add over two arrays, then a scalar checksum. *)
+let vector_add_program ?(with_jump_table_victim = false) () =
+  let a = Asm.create ~name:"vecadd" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "src1";
+  Asm.la a Reg.a1 "src2";
+  Asm.la a Reg.a2 "dst";
+  Asm.li a Reg.a3 n_elems;
+  Asm.label a "vloop";
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.branch_to a Inst.Beq Reg.t0 Reg.x0 "vdone";
+  Asm.inst a (Inst.Vle (Inst.E64, Reg.v_of_int 1, Reg.a0));
+  Asm.label a "vloop_vle2";
+  Asm.inst a (Inst.Vle (Inst.E64, Reg.v_of_int 2, Reg.a1));
+  Asm.inst a (Inst.Vop_vv (Inst.Vadd, Reg.v_of_int 3, Reg.v_of_int 1, Reg.v_of_int 2));
+  Asm.inst a (Inst.Vse (Inst.E64, Reg.v_of_int 3, Reg.a2));
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t1, Reg.t0, 3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a1, Reg.a1, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t1));
+  Asm.inst a (Inst.Op (Inst.Sub, Reg.a3, Reg.a3, Reg.t0));
+  Asm.j a "vloop";
+  Asm.label a "vdone";
+  (if with_jump_table_victim then begin
+     (* An indirect jump whose table entry points at the *second* vector
+        load — after rewriting that address is an overwritten neighbor
+        (the SMILE jalr, P1), so control arrives via the
+        deterministic-fault path. Taken exactly once (a4 flags it). *)
+     Asm.la a Reg.t2 "jt";
+     Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.t2; imm = 0 });
+     Asm.branch_to a Inst.Bne Reg.a4 Reg.x0 "checksum";
+     Asm.li a Reg.a4 1;
+     Asm.inst a (Inst.Jalr (Reg.x0, Reg.t3, 0))
+   end);
+  Asm.label a "checksum";
+  Asm.la a Reg.a0 "dst";
+  Asm.li a Reg.a1 n_elems;
+  Asm.li a Reg.a2 0;
+  Asm.label a "sloop";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "sloop";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  (* data *)
+  Asm.dlabel a "src1";
+  for i = 1 to n_elems do
+    Asm.dword64 a (Int64.of_int i)
+  done;
+  Asm.dlabel a "src2";
+  for i = 1 to n_elems do
+    Asm.dword64 a (Int64.of_int (10 * i))
+  done;
+  Asm.dlabel a "dst";
+  Asm.dspace a (8 * n_elems);
+  if with_jump_table_victim then begin
+    Asm.rlabel a "jt";
+    (* address of the second vle: vloop + 8 *)
+    Asm.rword_label a "vloop_vle2"
+  end;
+  a
+
+(* expected checksum: sum (11i) for i=1..10 = 11*55 = 605; & 255 = 93 *)
+let expected_exit = 11 * (n_elems * (n_elems + 1) / 2) land 255
+
+let run_bin ~isa bin ~fuel =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa () in
+  Loader.init_machine m bin;
+  Machine.run ~fuel m
+
+let test_vector_program_native () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+  | Machine.Exited c -> Alcotest.(check int) "native exit" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_vector_program_faults_on_base_core () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  match run_bin ~isa:base_isa bin ~fuel:100_000 with
+  | Machine.Faulted (Fault.Illegal_instruction _) -> ()
+  | _ -> Alcotest.fail "expected SIGILL on base core"
+
+let test_downgrade_end_to_end () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "downgraded exit" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  (* no vector instructions were executed *)
+  Alcotest.(check int) "no vector retired" 0 (Machine.vector_retired m);
+  let st = Chbp.stats ctx in
+  Alcotest.(check bool) "sites placed" true (st.Chbp.sites > 0);
+  Alcotest.(check bool) "rewritten isa has no V" false
+    (Ext.mem Ext.V (Chimera_rt.rewritten rt).Binfile.isa)
+
+let test_downgrade_no_batching () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx =
+    Chbp.rewrite ~options:{ (Chbp.default_options Chbp.Downgrade) with batch = false } bin
+  in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "unbatched exit" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_downgrade_dynamic_sew () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options Chbp.Downgrade) with static_sew = false }
+      bin
+  in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "dynamic-sew exit" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_empty_patching () =
+  (* empty patching: rewrite RVV sites into identical copies; the binary
+     still needs the extension core but goes through trampolines. *)
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Empty) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:ext_isa () in
+  match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c ->
+      Alcotest.(check int) "empty-patched exit" expected_exit c;
+      Alcotest.(check bool) "vector insts executed" true (Machine.vector_retired m > 0)
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_erroneous_jump_recovered () =
+  (* A jump-table entry points at an overwritten neighbor (the second vle):
+     after rewriting, taking it must raise a deterministic fault that the
+     runtime recovers, and the program must still compute the right sum. *)
+  let bin = Asm.assemble (vector_add_program ~with_jump_table_victim:true ()) in
+  (* sanity: the original binary behaves identically on an extension core *)
+  (match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+  | Machine.Exited c -> Alcotest.(check int) "native exit" expected_exit c
+  | _ -> Alcotest.fail "native run failed");
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "recovered exit" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  let c = Chimera_rt.counters rt in
+  Alcotest.(check bool) "deterministic fault recovered" true
+    (c.Counters.faults_recovered > 0)
+
+let test_lazy_rewriting () =
+  (* A vector function reachable only through a function pointer: recursive
+     descent misses it; the first execution on a base core faults and is
+     rewritten at runtime. *)
+  let a = Asm.create ~name:"lazy" () in
+  Asm.func a "_start";
+  (* call hidden function via pointer from rodata *)
+  Asm.la a Reg.t0 "fptr";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.t0; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.ra, Reg.t1, 0));
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a0, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  (* unreachable self-loop: stops recursive descent before the hidden code *)
+  Asm.label a "hang";
+  Asm.j a "hang";
+  Asm.hidden_func a "vecsum";
+  (* sum 4 elements of src via vector ops; result in a0 *)
+  Asm.la a Reg.a1 "src";
+  Asm.li a Reg.a2 4;
+  Asm.inst a (Inst.Vsetvli (Reg.x0, Reg.a2, Inst.E64));
+  Asm.inst a (Inst.Vle (Inst.E64, Reg.v_of_int 1, Reg.a1));
+  Asm.inst a (Inst.Vmv_v_x (Reg.v_of_int 0, Reg.x0));
+  Asm.inst a (Inst.Vredsum (Reg.v_of_int 2, Reg.v_of_int 1, Reg.v_of_int 0));
+  Asm.inst a (Inst.Vmv_x_s (Reg.a0, Reg.v_of_int 2));
+  Asm.ret a;
+  Asm.rlabel a "fptr";
+  Asm.rword_label a "vecsum";
+  Asm.dlabel a "src";
+  List.iter (fun v -> Asm.dword64 a (Int64.of_int v)) [ 7; 11; 13; 17 ];
+  let bin = Asm.assemble a in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let st = Chbp.stats ctx in
+  let static_sources = st.Chbp.source_insts in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "lazy exit" (7 + 11 + 13 + 17) c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "hidden function was invisible statically" true
+    (static_sources = 0);
+  Alcotest.(check bool) "lazy rewrites happened" true
+    ((Chimera_rt.counters rt).Counters.lazy_rewrites > 0);
+  Alcotest.(check bool) "lazy sites recorded" true ((Chbp.stats ctx).Chbp.lazy_sites > 0)
+
+let test_upgrade_end_to_end () =
+  (* Scalar canonical loop upgraded to RVV: same results, vector
+     instructions executed, fewer cycles. *)
+  let n = 64 in
+  let build () =
+    let a = Asm.create ~name:"scalar-add" () in
+    Asm.func a "_start";
+    Asm.la a Reg.a0 "src1";
+    Asm.la a Reg.a1 "src2";
+    Asm.la a Reg.a2 "dst";
+    Asm.li a Reg.a3 n;
+    Asm.label a "loop";
+    Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+    Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a1; imm = 0 });
+    Asm.inst a (Inst.Op (Inst.Add, Reg.t2, Reg.t0, Reg.t1));
+    Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.a2; imm = 0 });
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, 8));
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a3, Reg.a3, -1));
+    Asm.branch_to a Inst.Bne Reg.a3 Reg.x0 "loop";
+    (* checksum *)
+    Asm.la a Reg.a0 "dst";
+    Asm.li a Reg.a1 n;
+    Asm.li a Reg.a2 0;
+    Asm.label a "sloop";
+    Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+    Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+    Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+    Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "sloop";
+    Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+    Asm.li a Reg.a7 93;
+    Asm.inst a Inst.Ecall;
+    Asm.dlabel a "src1";
+    for i = 1 to n do Asm.dword64 a (Int64.of_int i) done;
+    Asm.dlabel a "src2";
+    for i = 1 to n do Asm.dword64 a (Int64.of_int (i * 3)) done;
+    Asm.dlabel a "dst";
+    Asm.dspace a (8 * n);
+    Asm.assemble a
+  in
+  let bin = build () in
+  let expected = 4 * (n * (n + 1) / 2) land 255 in
+  (* native scalar run *)
+  let scalar_cycles =
+    let mem = Loader.load bin in
+    let m = Machine.create ~mem ~isa:ext_isa () in
+    Loader.init_machine m bin;
+    (match Machine.run ~fuel:100_000 m with
+    | Machine.Exited c -> Alcotest.(check int) "scalar exit" expected c
+    | _ -> Alcotest.fail "scalar run failed");
+    Machine.cycles m
+  in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Alcotest.(check bool) "found a loop to upgrade" true ((Chbp.stats ctx).Chbp.sites > 0);
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:ext_isa () in
+  (match Chimera_rt.run rt ~fuel:100_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "upgraded exit" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "vector insts executed" true (Machine.vector_retired m > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "upgraded faster (%d < %d)" (Machine.cycles m) scalar_cycles)
+    true
+    (Machine.cycles m < scalar_cycles)
+
+let test_bitmanip_downgrade () =
+  let a = Asm.create ~name:"bitmanip" () in
+  Asm.func a "_start";
+  Asm.li a Reg.a1 20;
+  Asm.li a Reg.a2 2;
+  Asm.inst a (Inst.Op (Inst.Sh1add, Reg.a0, Reg.a1, Reg.a2));  (* 42 *)
+  Asm.li a Reg.t0 50;
+  Asm.inst a (Inst.Op (Inst.Min, Reg.a0, Reg.a0, Reg.t0));  (* 42 *)
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  let bin = Asm.assemble a in
+  (* B instructions fault on a hart without B *)
+  (match run_bin ~isa:base_isa bin ~fuel:100 with
+  | Machine.Faulted (Fault.Illegal_instruction _) -> ()
+  | _ -> Alcotest.fail "expected SIGILL for B ext");
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:10_000 m with
+  | Machine.Exited 42 -> ()
+  | Machine.Exited c -> Alcotest.failf "exit %d" c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+(* --- general-register SMILE (paper Fig. 5) ------------------------------ *)
+
+(* A non-compressed program whose vector strip is preceded by the
+   [lui rd, hi; lw rd2, lo(rd)] static-data idiom, with a jump-table entry
+   aimed at the load (P1 after rewriting). *)
+let greg_program () =
+  let a = Asm.create ~name:"greg" () in
+  let v1 = Reg.v_of_int 1 and v2 = Reg.v_of_int 2 in
+  let data_hi = Encode.hi20 Layout.data_base in
+  Asm.func a "_start";
+  Asm.li a Reg.a3 4;
+  (* the idiom: a0 <- data page; a1 <- first element *)
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.label a "p1";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.a1; rs1 = Reg.a0; imm = 0 });
+  (* vector work over the data page *)
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.a0));
+  Asm.inst a (Inst.Vop_vx (Inst.Vmul, v2, v1, Reg.a1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.a0, 64));
+  Asm.inst a (Inst.Vse (Inst.E64, v2, Reg.t1));
+  (* take the erroneous entry once *)
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.gp; imm = 0x100 });
+  Asm.branch_to a Inst.Bne Reg.t2 Reg.x0 "fin";
+  Asm.li a Reg.t2 1;
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.gp; imm = 0x100 });
+  Asm.la a Reg.t3 "jt";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t4; rs1 = Reg.t3; imm = 0 });
+  (* re-establish the idiom's precondition, then jump to the load *)
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t4, 0));
+  Asm.label a "fin";
+  (* checksum: sum the stored products *)
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 64));
+  Asm.li a Reg.a1 4;
+  Asm.li a Reg.a2 0;
+  Asm.label a "cks";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.rlabel a "jt";
+  Asm.rword_label a "p1";
+  Asm.dlabel a "vals";
+  List.iter (fun x -> Asm.dword64 a (Int64.of_int x)) [ 3; 4; 5; 6 ];
+  Asm.assemble a
+
+let test_general_register_smile () =
+  let bin = greg_program () in
+  Alcotest.(check bool) "binary is uncompressed" false (Ext.mem Ext.C bin.Binfile.isa);
+  let expected =
+    match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options Chbp.Downgrade) with use_gp = false }
+      bin
+  in
+  let st = Chbp.stats ctx in
+  Alcotest.(check bool) "greg trampolines placed" true
+    (List.length (Chbp.greg_sites ctx) > 0);
+  Alcotest.(check bool) "some sites" true (st.Chbp.sites > 0);
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "greg-downgraded exit" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "partial execution recovered" true
+    ((Chimera_rt.counters rt).Counters.faults_recovered > 0)
+
+(* A hidden indirect entry aimed directly at a mid-block vector source:
+   the only deterministic cover is the resident trap written over it. *)
+let greg_midblock_entry_program () =
+  let a = Asm.create ~name:"greg-midblock" () in
+  let v1 = Reg.v_of_int 1 and v2 = Reg.v_of_int 2 in
+  let data_hi = Encode.hi20 Layout.data_base in
+  Asm.func a "_start";
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.a1; rs1 = Reg.a0; imm = 0 });
+  Asm.label a "ventry";
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.a0));
+  Asm.inst a (Inst.Vop_vx (Inst.Vmul, v2, v1, Reg.a1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.a0, 64));
+  Asm.inst a (Inst.Vse (Inst.E64, v2, Reg.t1));
+  (* take the hidden entry once *)
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.gp; imm = 0x100 });
+  Asm.branch_to a Inst.Bne Reg.t2 Reg.x0 "fin";
+  Asm.li a Reg.t2 1;
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.gp; imm = 0x100 });
+  Asm.la a Reg.t3 "jt";
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t4; rs1 = Reg.t3; imm = 0 });
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a (Inst.Jalr (Reg.x0, Reg.t4, 0));
+  Asm.label a "fin";
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 64));
+  Asm.li a Reg.a1 4;
+  Asm.li a Reg.a2 0;
+  Asm.label a "cks";
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.rlabel a "jt";
+  Asm.rword_label a "ventry";
+  Asm.dlabel a "vals";
+  List.iter (fun x -> Asm.dword64 a (Int64.of_int x)) [ 3; 4; 5; 6 ];
+  Asm.assemble a
+
+let test_greg_midblock_entry_uses_resident_trap () =
+  let bin = greg_midblock_entry_program () in
+  let expected =
+    match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options Chbp.Downgrade) with use_gp = false }
+      bin
+  in
+  let st = Chbp.stats ctx in
+  Alcotest.(check bool) "resident traps placed over in-place sources" true
+    (st.Chbp.odd_entry_traps > 0);
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "exit preserved" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "hidden entry went through the trap table" true
+    ((Chimera_rt.counters rt).Counters.traps >= 1)
+
+(* A function invisible to recursive descent (reached only through a data
+   pointer), whose vector strip follows the idiom pair at a distance: lazy
+   extension must find the pair by scanning backwards from the fault site
+   and install a trampoline, so later calls bypass fault recovery. *)
+let greg_hidden_fn_program () =
+  let a = Asm.create ~name:"greg-lazy" () in
+  let v1 = Reg.v_of_int 1 and v2 = Reg.v_of_int 2 in
+  let data_hi = Encode.hi20 Layout.data_base in
+  Asm.func a "_start";
+  Asm.li a Reg.s1 3;
+  Asm.label a "loop";
+  Asm.la a Reg.t3 "jtf";
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t4; rs1 = Reg.t3; imm = 0 });
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Jalr (Reg.ra, Reg.t4, 0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.s1, Reg.s1, -1));
+  Asm.branch_to a Inst.Bne Reg.s1 Reg.x0 "loop";
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 64));
+  Asm.li a Reg.a1 4;
+  Asm.li a Reg.a2 0;
+  Asm.label a "cks";
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  (* terminate the fall-through so descent cannot walk into the kernel *)
+  Asm.ret a;
+  Asm.hidden_func a "hidden_kernel";
+  Asm.inst a (Inst.Lui (Reg.a0, data_hi));
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.a1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.a0, 64));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.x0, 0));
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.a0));
+  Asm.inst a (Inst.Vop_vx (Inst.Vmul, v2, v1, Reg.a1));
+  Asm.inst a (Inst.Vse (Inst.E64, v2, Reg.t1));
+  Asm.ret a;
+  Asm.rlabel a "jtf";
+  Asm.rword_label a "hidden_kernel";
+  Asm.dlabel a "vals";
+  List.iter (fun x -> Asm.dword64 a (Int64.of_int x)) [ 3; 4; 5; 6 ];
+  Asm.assemble a
+
+let test_greg_lazy_backward_pair () =
+  let bin = greg_hidden_fn_program () in
+  let expected =
+    match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options Chbp.Downgrade) with use_gp = false }
+      bin
+  in
+  Alcotest.(check int) "nothing visible statically" 0
+    (List.length (Chbp.greg_sites ctx));
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:2_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "exit preserved" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel");
+  let c = Chimera_rt.counters rt in
+  Alcotest.(check int) "one lazy extension" 1 c.Counters.lazy_rewrites;
+  Alcotest.(check bool) "backward scan found the pair" true
+    (List.length (Chbp.greg_sites ctx) > 0);
+  (* three calls, but only the first pays: the resume after extension hits
+     the resident trap once; later calls enter through the trampoline *)
+  Alcotest.(check int) "later calls bypass the trap table" 1 c.Counters.traps
+
+let test_greg_mode_on_compressed_falls_back_to_traps () =
+  (* compressed binaries cannot use the fixed-immediate trick with an
+     arbitrary register: every entry must be trap-based *)
+  let a = vector_add_program () in
+  Asm.inst a Inst.C_nop;  (* force the C extension *)
+  let bin = Asm.assemble a in
+  Alcotest.(check bool) "compressed" true (Ext.mem Ext.C bin.Binfile.isa);
+  let ctx =
+    Chbp.rewrite
+      ~options:{ (Chbp.default_options Chbp.Downgrade) with use_gp = false }
+      bin
+  in
+  let st = Chbp.stats ctx in
+  Alcotest.(check int) "no SMILE sites" 0 st.Chbp.sites;
+  Alcotest.(check bool) "all trap entries" true (st.Chbp.trap_entries > 0);
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:5_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "still correct" expected_exit c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+(* --- packed-SIMD (draft-P) downgrade ------------------------------------ *)
+
+let p_dsp_program () =
+  let a = Asm.create ~name:"dsp" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "xs";
+  Asm.la a Reg.a1 "ws";
+  Asm.li a Reg.a2 4;
+  Asm.li a Reg.a3 0;
+  Asm.label a "dot";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.a1; imm = 0 });
+  Asm.inst a (Inst.P_smaqa (Reg.a3, Reg.t1, Reg.t2));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+  Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "dot";
+  Asm.inst a (Inst.P_add16 (Reg.a4, Reg.a3, Reg.a3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a0, Reg.a3, Reg.a4));
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a0, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "xs";
+  for i = 0 to 31 do
+    Asm.dbyte a ((((i * 11) mod 29) - 14) land 0xFF)
+  done;
+  Asm.dlabel a "ws";
+  for i = 0 to 31 do
+    Asm.dbyte a ((((i * 3) mod 13) - 6) land 0xFF)
+  done;
+  Asm.assemble a
+
+let test_packed_simd_downgrade () =
+  let bin = p_dsp_program () in
+  Alcotest.(check bool) "binary declares P" true (Ext.mem Ext.P bin.Binfile.isa);
+  let expected =
+    match run_bin ~isa:Ext.all bin ~fuel:100_000 with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let st = Chbp.stats ctx in
+  Alcotest.(check int) "both P instructions are sources" 2 st.Chbp.source_insts;
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c -> Alcotest.(check int) "downgraded exit" expected c
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_strided_vector_downgrade () =
+  (* a vlse/vsse transpose-style kernel must downgrade correctly *)
+  let a = Asm.create ~name:"strided" () in
+  let v1 = Reg.v_of_int 1 in
+  Asm.func a "_start";
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.la a Reg.a0 "mat";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.li a Reg.a1 32;
+  (* gather column 1, double it, scatter it back *)
+  Asm.inst a (Inst.Vlse (Inst.E64, v1, Reg.a0, Reg.a1));
+  Asm.inst a (Inst.Vop_vv (Inst.Vadd, v1, v1, v1));
+  Asm.inst a (Inst.Vsse (Inst.E64, v1, Reg.a0, Reg.a1));
+  (* checksum the whole matrix *)
+  Asm.la a Reg.a0 "mat";
+  Asm.li a Reg.a1 16;
+  Asm.li a Reg.a2 0;
+  Asm.label a "cks";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a2, Reg.a2, Reg.t0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "mat";
+  for i = 0 to 15 do
+    Asm.dword64 a (Int64.of_int (i + 1))
+  done;
+  let bin = Asm.assemble a in
+  let expected =
+    match run_bin ~isa:ext_isa bin ~fuel:100_000 with
+    | Machine.Exited c -> c
+    | _ -> Alcotest.fail "native run failed"
+  in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited c ->
+      Alcotest.(check int) "strided downgrade exit" expected c;
+      Alcotest.(check int) "no vector retired" 0 (Machine.vector_retired m)
+  | Machine.Faulted f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel"
+
+let test_cost_model_plumbs_through () =
+  (* the evaluation rests on configurable penalties: a zero-penalty runtime
+     must retire the same instructions but report fewer cycles than one with
+     expensive traps, on a trap-style (strawman) rewrite *)
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx =
+    Chbp.rewrite ~options:{ (Chbp.default_options Chbp.Downgrade) with style = `Trap } bin
+  in
+  let run costs =
+    let rt = Chimera_rt.create ~costs ctx in
+    let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+    match Chimera_rt.run rt ~fuel:2_000_000 m with
+    | Machine.Exited c ->
+        Alcotest.(check int) "exit" expected_exit c;
+        (Machine.retired m, Machine.cycles m)
+    | _ -> Alcotest.fail "run failed"
+  in
+  let free = { Costs.default with Costs.trap = 0; fault_recovery = 0 } in
+  let retired_free, cycles_free = run free in
+  let retired_dflt, cycles_dflt = run Costs.default in
+  Alcotest.(check int) "same instructions retired" retired_free retired_dflt;
+  Alcotest.(check bool) "penalties add cycles" true (cycles_dflt > cycles_free);
+  Alcotest.(check int) "zero-penalty cycles = retired" retired_free cycles_free
+
+let test_fault_table_rejects_duplicates () =
+  let t = Fault_table.create () in
+  Fault_table.add t ~key:0x1000 ~redirect:0x2000;
+  Alcotest.(check (option int)) "lookup" (Some 0x2000) (Fault_table.find t 0x1000);
+  (match Fault_table.add t ~key:0x1000 ~redirect:0x3000 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate keys must be rejected");
+  Alcotest.(check int) "count" 1 (Fault_table.count t)
+
+let test_stats_shape () =
+  let bin = Asm.assemble (vector_add_program ()) in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let st = Chbp.stats ctx in
+  Alcotest.(check bool) "sources counted" true (st.Chbp.source_insts >= 5);
+  Alcotest.(check bool) "table entries exist" true (st.Chbp.table_entries > 0);
+  Alcotest.(check int) "exit accounting adds up" st.Chbp.exits
+    (st.Chbp.exit_liveness + st.Chbp.exit_shift + st.Chbp.exit_terminator
+   + st.Chbp.exit_trap);
+  Alcotest.(check bool) "target bytes recorded" true (st.Chbp.target_bytes > 0)
+
+let () =
+  Alcotest.run "chimera_rewriter"
+    [ ("smile",
+       [ Alcotest.test_case "congruence solver" `Quick test_smile_solver;
+         Alcotest.test_case "trampoline bytes" `Quick test_smile_write_bytes ]);
+      ("native",
+       [ Alcotest.test_case "vector program on ext core" `Quick
+           test_vector_program_native;
+         Alcotest.test_case "vector program faults on base core" `Quick
+           test_vector_program_faults_on_base_core ]);
+      ("downgrade",
+       [ Alcotest.test_case "end to end" `Quick test_downgrade_end_to_end;
+         Alcotest.test_case "no batching" `Quick test_downgrade_no_batching;
+         Alcotest.test_case "dynamic sew" `Quick test_downgrade_dynamic_sew;
+         Alcotest.test_case "bitmanip" `Quick test_bitmanip_downgrade;
+         Alcotest.test_case "strided vector" `Quick test_strided_vector_downgrade;
+         Alcotest.test_case "stats shape" `Quick test_stats_shape;
+         Alcotest.test_case "fault table duplicates" `Quick
+           test_fault_table_rejects_duplicates;
+         Alcotest.test_case "cost model plumbing" `Quick
+           test_cost_model_plumbs_through ]);
+      ("modes",
+       [ Alcotest.test_case "packed-simd downgrade" `Quick test_packed_simd_downgrade;
+         Alcotest.test_case "empty patching" `Quick test_empty_patching;
+         Alcotest.test_case "upgrade" `Quick test_upgrade_end_to_end ]);
+      ("runtime",
+       [ Alcotest.test_case "erroneous jump recovered" `Quick
+           test_erroneous_jump_recovered;
+         Alcotest.test_case "lazy rewriting" `Quick test_lazy_rewriting ]);
+      ("general-register-smile",
+       [ Alcotest.test_case "fig5 end to end" `Quick test_general_register_smile;
+         Alcotest.test_case "mid-block hidden entry uses resident trap" `Quick
+           test_greg_midblock_entry_uses_resident_trap;
+         Alcotest.test_case "lazy backward pair discovery" `Quick
+           test_greg_lazy_backward_pair;
+         Alcotest.test_case "compressed falls back to traps" `Quick
+           test_greg_mode_on_compressed_falls_back_to_traps ]) ]

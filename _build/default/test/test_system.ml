@@ -1,0 +1,268 @@
+(* Tests for the chimera façade (Chimera_system) and cross-cutting
+   system-level behaviours. *)
+
+let base_isa = Ext.rv64gc
+let ext_isa = Ext.rv64gcv
+
+let expect_exit label stop expected =
+  match stop with
+  | Machine.Exited c -> Alcotest.(check int) label expected c
+  | Machine.Faulted f -> Alcotest.failf "%s: %s" label (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.failf "%s: fuel" label
+
+let native_exit bin isa =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa () in
+  Loader.init_machine m bin;
+  match Machine.run ~fuel:10_000_000 m with
+  | Machine.Exited c -> c
+  | _ -> Alcotest.fail "native run failed"
+
+let test_deploy_vector_binary () =
+  let bin = Programs.vecadd `Ext ~n:16 in
+  let expected = native_exit bin ext_isa in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa; ext_isa ] in
+  (* extension class runs native *)
+  (match Chimera_system.prepared_for dep ext_isa with
+  | Chimera_system.Native -> ()
+  | Chimera_system.Rewritten _ -> Alcotest.fail "ext class should be native");
+  (* base class is rewritten and produces the same result *)
+  (match Chimera_system.prepared_for dep base_isa with
+  | Chimera_system.Rewritten _ -> ()
+  | Chimera_system.Native -> Alcotest.fail "base class should be rewritten");
+  let stop, m = Chimera_system.run dep ~isa:base_isa ~fuel:10_000_000 in
+  expect_exit "base class result" stop expected;
+  Alcotest.(check int) "no vector retired on base" 0 (Machine.vector_retired m);
+  let stop, m = Chimera_system.run dep ~isa:ext_isa ~fuel:10_000_000 in
+  expect_exit "ext class result" stop expected;
+  Alcotest.(check bool) "vector retired on ext" true (Machine.vector_retired m > 0)
+
+let test_deploy_base_binary_upgrades () =
+  let bin = Programs.vecadd `Base ~n:16 in
+  let expected = native_exit bin base_isa in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa; ext_isa ] in
+  (match Chimera_system.prepared_for dep base_isa with
+  | Chimera_system.Native -> ()
+  | Chimera_system.Rewritten _ -> Alcotest.fail "base class should be native");
+  (match Chimera_system.prepared_for dep ext_isa with
+  | Chimera_system.Rewritten _ -> ()
+  | Chimera_system.Native -> Alcotest.fail "ext class should be upgraded");
+  let stop, m = Chimera_system.run dep ~isa:ext_isa ~fuel:10_000_000 in
+  expect_exit "upgraded result" stop expected;
+  Alcotest.(check bool) "vector retired after upgrade" true (Machine.vector_retired m > 0)
+
+let test_deploy_no_upgrade_flag () =
+  let bin = Programs.fibonacci ~rounds:5 () in
+  let dep = Chimera_system.deploy ~upgrade:false bin ~cores:[ base_isa; ext_isa ] in
+  List.iter
+    (fun cls ->
+      match Chimera_system.prepared_for dep cls with
+      | Chimera_system.Native -> ()
+      | Chimera_system.Rewritten _ -> Alcotest.fail "nothing to rewrite")
+    (Chimera_system.classes dep)
+
+let test_deploy_unvectorizable_falls_back_native () =
+  (* fibonacci has no vectorizable loops: upgrade finds nothing *)
+  let bin = Programs.fibonacci ~rounds:5 () in
+  let dep = Chimera_system.deploy bin ~cores:[ ext_isa ] in
+  match Chimera_system.prepared_for dep ext_isa with
+  | Chimera_system.Native -> ()
+  | Chimera_system.Rewritten _ -> Alcotest.fail "expected native fallback"
+
+let test_rewrite_stats_exposed () =
+  let bin = Programs.vecadd `Ext ~n:16 in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa; ext_isa ] in
+  match Chimera_system.rewrite_stats dep with
+  | [ (cls, st) ] ->
+      Alcotest.(check bool) "base class" true (Ext.equal cls base_isa);
+      Alcotest.(check bool) "sites" true (st.Chbp.sites > 0)
+  | l -> Alcotest.failf "expected one rewritten class, got %d" (List.length l)
+
+let test_binary_for_roundtrip () =
+  let bin = Programs.vecadd `Ext ~n:16 in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa; ext_isa ] in
+  let b = Chimera_system.binary_for dep base_isa in
+  Alcotest.(check bool) "rewritten has chimera section" true
+    (List.exists
+       (fun (s : Binfile.section) ->
+         String.length s.Binfile.sec_name >= 8
+         && String.sub s.Binfile.sec_name 0 8 = ".chimera")
+       b.Binfile.sections);
+  Alcotest.(check bool) "original unchanged" true
+    (Chimera_system.binary_for dep ext_isa == bin)
+
+let test_counters_accumulate () =
+  (* the erroneous-jump workload accumulates fault recoveries in the
+     deployment counters *)
+  let pr =
+    { Specgen.sp_name = "sys"; sp_code_kb = 10; sp_ext_pct = 0.02; sp_ind_weight = 3;
+      sp_vec_heat = 2; sp_pressure = 0.2; sp_hidden = 0.0; sp_compressed = true;
+      sp_rounds = 80; sp_plain = 6; sp_victim_period = 8; sp_seed = 77 }
+  in
+  let bin = Specgen.build pr in
+  let expected = native_exit bin ext_isa in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa; ext_isa ] in
+  let stop, _ = Chimera_system.run dep ~isa:base_isa ~fuel:50_000_000 in
+  expect_exit "specgen on base" stop expected;
+  Alcotest.(check bool) "faults recovered counted" true
+    ((Chimera_system.counters dep).Counters.faults_recovered > 0)
+
+let test_lazy_patch_reaches_all_views () =
+  (* two views loaded from the same runtime: a lazy extension triggered on
+     one must be visible in the other (the patches go to every view) *)
+  let a = Asm.create ~name:"lazyviews" () in
+  let v1 = Reg.v_of_int 1 in
+  Asm.func a "_start";
+  Asm.la a Reg.t3 "hptr";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t4; rs1 = Reg.t3; imm = 0 });
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Jalr (Reg.ra, Reg.t4, 0));
+  Asm.li a Reg.a0 0;
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.ret a;
+  Asm.hidden_func a "hidden";
+  Asm.la a Reg.a0 "buf";
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.a0));
+  Asm.ret a;
+  Asm.rlabel a "hptr";
+  Asm.rword_label a "hidden";
+  Asm.dlabel a "buf";
+  for i = 1 to 4 do Asm.dword64 a (Int64.of_int i) done;
+  let bin = Asm.assemble a in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let view1 = Chimera_rt.load rt in
+  let view2 = Chimera_rt.load rt in
+  let m = Machine.create ~mem:view1 ~isa:base_isa () in
+  (match Chimera_rt.run rt ~fuel:100_000 m with
+  | Machine.Exited 0 -> ()
+  | _ -> Alcotest.fail "view-1 run failed");
+  Alcotest.(check bool) "lazy extension fired" true
+    ((Chimera_rt.counters rt).Counters.lazy_rewrites > 0);
+  (* the hidden code was patched in BOTH views: the bytes agree at the
+     first lazily rewritten site *)
+  let site =
+    let k = ref max_int in
+    Fault_table.iter (Chbp.trap_table ctx) (fun key _ -> if key < !k then k := key);
+    Fault_table.iter (Chbp.fault_table ctx) (fun key _ -> if key < !k then k := key);
+    !k
+  in
+  Alcotest.(check bool) "a rewritten site exists" true (site <> max_int);
+  Alcotest.(check int32) "views agree on the patched code"
+    (Int32.of_int (Memory.peek_u32 view1 site))
+    (Int32.of_int (Memory.peek_u32 view2 site))
+
+let test_deploy_multiple_base_classes () =
+  (* each core class gets its own rewritten image; both run correctly *)
+  let bin = Programs.vecadd `Ext ~n:12 in
+  let expected = native_exit bin ext_isa in
+  let gcb = Ext.of_list [ Ext.C; Ext.B ] in
+  let dep = Chimera_system.deploy bin ~cores:[ gcb; base_isa; ext_isa ] in
+  List.iter
+    (fun isa ->
+      let stop, _ = Chimera_system.run dep ~isa ~fuel:10_000_000 in
+      expect_exit (Ext.name isa) stop expected)
+    [ gcb; base_isa; ext_isa ];
+  (* the two rewritten classes have distinct prepared binaries *)
+  match
+    (Chimera_system.prepared_for dep gcb, Chimera_system.prepared_for dep base_isa)
+  with
+  | Chimera_system.Rewritten a, Chimera_system.Rewritten b ->
+      Alcotest.(check bool) "distinct contexts" true (not (a == b))
+  | _ -> Alcotest.fail "both non-V classes must be rewritten"
+
+(* --- failure injection ---------------------------------------------------
+   Chimera's handlers must recover only their own deterministic faults and
+   surface genuine program faults unchanged. *)
+
+let faulty_program kind =
+  let a = Asm.create ~name:"faulty" () in
+  let v1 = Reg.v_of_int 1 in
+  Asm.func a "_start";
+  (* a rewritten vector site first, so the fault tables are non-empty *)
+  Asm.li a Reg.a3 4;
+  Asm.inst a (Inst.Vsetvli (Reg.t0, Reg.a3, Inst.E64));
+  Asm.la a Reg.a0 "buf";
+  Asm.inst a (Inst.Vle (Inst.E64, v1, Reg.a0));
+  (match kind with
+  | `Wild_store ->
+      (* store to an unmapped page: a genuine SIGSEGV *)
+      Asm.inst a (Inst.Lui (Reg.t1, 0x7000));
+      Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.x0; rs1 = Reg.t1; imm = 0 })
+  | `Stray_ebreak ->
+      (* an ebreak that is not one of the rewriter's traps *)
+      Asm.inst a Inst.Ebreak);
+  Asm.li a Reg.a0 0;
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "buf";
+  for i = 1 to 4 do Asm.dword64 a (Int64.of_int i) done;
+  Asm.assemble a
+
+let test_wild_store_surfaces () =
+  let bin = faulty_program `Wild_store in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa ] in
+  match Chimera_system.run dep ~isa:base_isa ~fuel:100_000 with
+  | Machine.Faulted (Fault.Segfault { access = Fault.Write; _ }), _ -> ()
+  | Machine.Faulted f, _ ->
+      Alcotest.failf "wrong fault surfaced: %s" (Fault.to_string f)
+  | (Machine.Exited _ | Machine.Fuel_exhausted), _ ->
+      Alcotest.fail "a genuine segfault must not be recovered"
+
+let test_stray_ebreak_surfaces () =
+  let bin = faulty_program `Stray_ebreak in
+  let dep = Chimera_system.deploy bin ~cores:[ base_isa ] in
+  match Chimera_system.run dep ~isa:base_isa ~fuel:100_000 with
+  | Machine.Faulted (Fault.Illegal_instruction _), _ -> ()
+  | Machine.Faulted f, _ ->
+      Alcotest.failf "wrong fault surfaced: %s" (Fault.to_string f)
+  | (Machine.Exited _ | Machine.Fuel_exhausted), _ ->
+      Alcotest.fail "a program ebreak must not be consumed as a trampoline"
+
+let test_corrupted_trampoline_faults_cleanly () =
+  (* flip a byte inside a placed SMILE: execution through it must stop with
+     a fault, never continue with silently wrong code *)
+  let bin = Programs.vecadd `Ext ~n:16 in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let mem = Chimera_rt.load rt in
+  let site =
+    (* lowest fault-table key = an overwritten address inside a trampoline *)
+    let k = ref max_int in
+    Fault_table.iter (Chbp.fault_table ctx) (fun key _ -> if key < !k then k := key);
+    if !k = max_int then Alcotest.fail "no fault-table entries";
+    !k
+  in
+  Memory.set_perm mem ~addr:(site land lnot 4095) ~len:4096 Memory.perm_rwx;
+  Memory.poke_u8 mem site 0xFF;
+  Memory.poke_u8 mem (site + 1) 0xFF;
+  Memory.set_perm mem ~addr:(site land lnot 4095) ~len:4096 Memory.perm_rx;
+  let m = Machine.create ~mem ~isa:base_isa () in
+  match Chimera_rt.run rt ~fuel:1_000_000 m with
+  | Machine.Exited _ -> ()  (* corruption may sit on a never-executed byte *)
+  | Machine.Faulted _ -> ()  (* surfaced cleanly *)
+  | Machine.Fuel_exhausted -> Alcotest.fail "corruption must not cause a hang"
+
+let () =
+  Alcotest.run "chimera_system"
+    [ ("deploy",
+       [ Alcotest.test_case "vector binary" `Quick test_deploy_vector_binary;
+         Alcotest.test_case "base binary upgrades" `Quick test_deploy_base_binary_upgrades;
+         Alcotest.test_case "upgrade disabled" `Quick test_deploy_no_upgrade_flag;
+         Alcotest.test_case "unvectorizable fallback" `Quick
+           test_deploy_unvectorizable_falls_back_native;
+         Alcotest.test_case "rewrite stats" `Quick test_rewrite_stats_exposed;
+         Alcotest.test_case "binary_for" `Quick test_binary_for_roundtrip;
+         Alcotest.test_case "counters" `Quick test_counters_accumulate ]);
+      ("views-and-classes",
+       [ Alcotest.test_case "lazy patch reaches all views" `Quick
+           test_lazy_patch_reaches_all_views;
+         Alcotest.test_case "multiple base classes" `Quick
+           test_deploy_multiple_base_classes ]);
+      ("failure-injection",
+       [ Alcotest.test_case "wild store surfaces" `Quick test_wild_store_surfaces;
+         Alcotest.test_case "stray ebreak surfaces" `Quick test_stray_ebreak_surfaces;
+         Alcotest.test_case "corrupted trampoline" `Quick
+           test_corrupted_trampoline_faults_cleanly ]) ]

@@ -1,0 +1,399 @@
+(* Tests for chimera_workloads: program correctness across variants and
+   rewriters, specgen determinism and oracle, mixgen/blas invariants, and
+   the scheduler. *)
+
+let base_isa = Ext.rv64gc
+let ext_isa = Ext.rv64gcv
+
+let run_native bin isa =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa () in
+  Loader.init_machine m bin;
+  match Machine.run ~fuel:50_000_000 m with
+  | Machine.Exited c -> (c, m)
+  | Machine.Faulted f -> Alcotest.failf "%s: %s" bin.Binfile.name (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.failf "%s: fuel" bin.Binfile.name
+
+(* --- programs ------------------------------------------------------------ *)
+
+let test_matmul_variants_agree () =
+  let ve, _ = run_native (Programs.matmul `Ext ~n:10) ext_isa in
+  let vb, _ = run_native (Programs.matmul `Base ~n:10) base_isa in
+  Alcotest.(check int) "checksums agree" ve vb
+
+let test_gemm_row_ranges_compose () =
+  (* summing per-range checksums mod 256 must equal... they won't compose
+     linearly, but each range must agree across variants *)
+  List.iter
+    (fun rows ->
+      let ve, _ = run_native (Programs.gemm `Ext ~sew:Inst.E64 ~n:12 ~rows) ext_isa in
+      let vb, _ = run_native (Programs.gemm `Base ~sew:Inst.E64 ~n:12 ~rows) base_isa in
+      Alcotest.(check int) "range checksum" ve vb)
+    [ (0, 12); (0, 6); (6, 12); (3, 9) ]
+
+let test_gemv_variants_agree_both_widths () =
+  List.iter
+    (fun sew ->
+      let ve, mv = run_native (Programs.gemv `Ext ~sew ~n:20) ext_isa in
+      let vb, _ = run_native (Programs.gemv `Base ~sew ~n:20) base_isa in
+      Alcotest.(check int) "gemv checksum" ve vb;
+      Alcotest.(check bool) "vectorized" true (Machine.vector_retired mv > 0))
+    [ Inst.E64; Inst.E32 ]
+
+let test_e32_lanes_beat_e64 () =
+  (* same element count: e32 gemv should retire fewer vector ops per element
+     (8 lanes vs 4) *)
+  let _, m64 = run_native (Programs.gemv `Ext ~sew:Inst.E64 ~n:32) ext_isa in
+  let _, m32 = run_native (Programs.gemv `Ext ~sew:Inst.E32 ~n:32) ext_isa in
+  Alcotest.(check bool) "e32 fewer vector insts" true
+    (Machine.vector_retired m32 < Machine.vector_retired m64)
+
+let test_vecadd_upgradeable () =
+  let bin = Programs.vecadd `Base ~n:40 in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Alcotest.(check bool) "loop found" true ((Chbp.stats ctx).Chbp.sites > 0);
+  let expected, _ = run_native bin base_isa in
+  let run, _ = Measure.chimera ctx ~isa:ext_isa in
+  Alcotest.(check int) "upgraded result" expected run.Measure.exit_code
+
+let test_gemm_axpy_upgradeable () =
+  let bin = Programs.matmul `Base ~n:12 in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Alcotest.(check bool) "axpy loop found" true ((Chbp.stats ctx).Chbp.sites > 0);
+  let expected, _ = run_native bin base_isa in
+  let run, _ = Measure.chimera ctx ~isa:ext_isa in
+  Alcotest.(check int) "upgraded result" expected run.Measure.exit_code;
+  Alcotest.(check bool) "vectorized" true (run.Measure.vector_retired > 0)
+
+(* the three remaining upgrade idioms: copy, fill, reduction *)
+let idiom_program kind =
+  let a = Asm.create ~name:kind () in
+  let n = 37 in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "src";
+  Asm.la a Reg.a1 "dst";
+  Asm.li a Reg.a2 n;
+  (match kind with
+  | "copy" ->
+      Asm.label a "loop";
+      Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+      Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t1; rs1 = Reg.a1; imm = 0 });
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+      Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "loop"
+  | "fill" ->
+      Asm.li a Reg.t2 77;
+      Asm.label a "loop";
+      Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.a1; imm = 0 });
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, 8));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+      Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "loop"
+  | "reduce" ->
+      Asm.li a Reg.s2 0;
+      Asm.label a "loop";
+      Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+      Asm.inst a (Inst.Op (Inst.Add, Reg.s2, Reg.s2, Reg.t1));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+      Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "loop"
+  | _ -> assert false);
+  (* checksum dst (or the accumulator) into the exit code *)
+  (match kind with
+  | "reduce" -> Asm.inst a (Inst.Opi (Inst.Addi, Reg.a3, Reg.s2, 0))
+  | _ ->
+      Asm.la a Reg.a0 "dst";
+      Asm.li a Reg.a1 n;
+      Asm.li a Reg.a3 0;
+      Asm.label a "cks";
+      Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t0; rs1 = Reg.a0; imm = 0 });
+      Asm.inst a (Inst.Op (Inst.Add, Reg.a3, Reg.a3, Reg.t0));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));
+      Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+      Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "cks");
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a3, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "src";
+  for i = 1 to n do Asm.dword64 a (Int64.of_int (5 * i)) done;
+  Asm.dlabel a "dst";
+  Asm.dspace a (8 * n);
+  Asm.assemble a
+
+let upgrade_idiom kind =
+  let bin = idiom_program kind in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Alcotest.(check bool) (kind ^ " loop found") true ((Chbp.stats ctx).Chbp.sites > 0);
+  let expected, _ = run_native bin base_isa in
+  let run, _ = Measure.chimera ctx ~isa:ext_isa in
+  Alcotest.(check int) (kind ^ " upgraded result") expected run.Measure.exit_code;
+  Alcotest.(check bool) (kind ^ " vectorized") true (run.Measure.vector_retired > 0)
+
+(* a column walk over a row-major matrix: stride > element size, so the
+   upgrade must pick the strided vlse form *)
+let column_sum_program ~rows ~cols =
+  let a = Asm.create ~name:"colsum" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "mat";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8));  (* column 1 *)
+  Asm.li a Reg.a2 rows;
+  Asm.li a Reg.s2 0;
+  Asm.label a "loop";
+  Asm.inst a (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.s2, Reg.s2, Reg.t1));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 8 * cols));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a2, Reg.a2, -1));
+  Asm.branch_to a Inst.Bne Reg.a2 Reg.x0 "loop";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.s2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "mat";
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Asm.dword64 a (Int64.of_int ((7 * r) + c))
+    done
+  done;
+  Asm.assemble a
+
+let test_strided_column_reduce_upgradeable () =
+  let bin = column_sum_program ~rows:21 ~cols:5 in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) bin in
+  Alcotest.(check bool) "column loop found" true ((Chbp.stats ctx).Chbp.sites > 0);
+  let expected, _ = run_native bin base_isa in
+  let run, _ = Measure.chimera ctx ~isa:ext_isa in
+  Alcotest.(check int) "strided upgraded result" expected run.Measure.exit_code;
+  Alcotest.(check bool) "vectorized" true (run.Measure.vector_retired > 0)
+
+let test_copy_upgradeable () = upgrade_idiom "copy"
+let test_fill_upgradeable () = upgrade_idiom "fill"
+let test_reduce_upgradeable () = upgrade_idiom "reduce"
+
+(* --- specgen ------------------------------------------------------------- *)
+
+let small_profile ?(pressure = 0.3) ?(hidden = 0.05) ?(compressed = true)
+    ?(victim_period = 8) seed =
+  { Specgen.sp_name = Printf.sprintf "t%d" seed;
+    sp_code_kb = 12;
+    sp_ext_pct = 0.02;
+    sp_ind_weight = 4;
+    sp_vec_heat = 2;
+    sp_pressure = pressure;
+    sp_hidden = hidden;
+    sp_compressed = compressed;
+    sp_rounds = 80;
+    sp_plain = 8;
+    sp_victim_period = victim_period;
+    sp_seed = seed }
+
+let test_specgen_deterministic () =
+  let p = small_profile 42 in
+  let b1 = Specgen.build p and b2 = Specgen.build p in
+  let t1 = Binfile.text b1 and t2 = Binfile.text b2 in
+  Alcotest.(check bool) "identical bytes" true (Bytes.equal t1.Binfile.sec_data t2.Binfile.sec_data);
+  let c1, _ = run_native b1 ext_isa and c2, _ = run_native b2 ext_isa in
+  Alcotest.(check int) "identical result" c1 c2
+
+let test_specgen_oracle_all_rewriters () =
+  List.iter
+    (fun seed ->
+      let bin = Specgen.build (small_profile seed) in
+      let expected, _ = run_native bin ext_isa in
+      (* CHBP downgrade on base core *)
+      let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+      let r, _ = Measure.chimera ctx ~isa:base_isa in
+      Alcotest.(check int) (Printf.sprintf "chbp seed %d" seed) expected r.Measure.exit_code;
+      (* Safer downgrade *)
+      let rw = Safer.rewrite ~mode:Chbp.Downgrade bin in
+      let r, _ = Measure.safer rw ~isa:base_isa in
+      Alcotest.(check int) (Printf.sprintf "safer seed %d" seed) expected r.Measure.exit_code;
+      (* strawman *)
+      let ctx = Strawman.rewrite ~mode:Chbp.Downgrade bin in
+      let r, _ = Measure.chimera ctx ~isa:base_isa in
+      Alcotest.(check int) (Printf.sprintf "straw seed %d" seed) expected r.Measure.exit_code;
+      (* ARMore empty on the extension core *)
+      let rw = Armore.rewrite ~jal_range:Specgen.armore_jal_range bin in
+      let r, _ = Measure.armore rw ~isa:ext_isa in
+      Alcotest.(check int) (Printf.sprintf "armore seed %d" seed) expected r.Measure.exit_code)
+    [ 7; 8; 9 ]
+
+let test_specgen_faults_and_lazy_fire () =
+  let bin = Specgen.build (small_profile ~hidden:0.15 11) in
+  let expected, _ = run_native bin ext_isa in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let r, c = Measure.chimera ctx ~isa:base_isa in
+  Alcotest.(check int) "exit" expected r.Measure.exit_code;
+  Alcotest.(check bool) "erroneous jumps recovered" true (c.Counters.faults_recovered > 0)
+
+let test_specgen_pressure_shifts_exits () =
+  let bin = Specgen.build (small_profile ~pressure:0.9 13) in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let st = Chbp.stats ctx in
+  Alcotest.(check bool) "some exits not resolved by plain liveness" true
+    (st.Chbp.exit_terminator + st.Chbp.exit_shift > 0)
+
+let test_specgen_profiles_well_formed () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p.Specgen.sp_name ^ " code kb") true (p.Specgen.sp_code_kb >= 8);
+      Alcotest.(check bool) (p.Specgen.sp_name ^ " ext pct") true
+        (p.Specgen.sp_ext_pct > 0. && p.Specgen.sp_ext_pct < 0.2);
+      let vp = p.Specgen.sp_victim_period in
+      Alcotest.(check bool) (p.Specgen.sp_name ^ " victim period pow2") true
+        (vp >= 1 && vp land (vp - 1) = 0))
+    (Specgen.spec_profiles @ Specgen.realworld_profiles);
+  Alcotest.(check int) "19 SPEC rows (18 of Table 3 + parest_r of Fig. 13)" 19
+    (List.length Specgen.spec_profiles);
+  Alcotest.(check int) "7 real-world rows" 7 (List.length Specgen.realworld_profiles)
+
+(* --- scheduler ------------------------------------------------------------ *)
+
+let fixed_task id cycles =
+  { Sched.t_id = id; t_prefer_ext = false;
+    t_run = (fun _ -> Sched.Done { cycles; accelerated = false }) }
+
+let test_specgen_victim_period_scales_triggers () =
+  (* halving the odd-entry period must increase the recovered-fault count
+     without changing the result (the entries are original-valid) *)
+  let run period =
+    let bin = Specgen.build (small_profile ~victim_period:period 17) in
+    let expected, _ = run_native bin ext_isa in
+    let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+    let r, c = Measure.chimera ctx ~isa:base_isa in
+    Alcotest.(check int)
+      (Printf.sprintf "period %d preserves the result" period)
+      expected r.Measure.exit_code;
+    c.Counters.faults_recovered + c.Counters.traps
+  in
+  let trig_slow = run 16 in
+  let trig_fast = run 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more triggers at the faster rate (%d > %d)" trig_fast trig_slow)
+    true (trig_fast > trig_slow)
+
+let test_sched_single_core () =
+  let cfg = { Sched.default_config with base_cores = 1; ext_cores = 0; steal = false } in
+  let r = Sched.run cfg (List.init 5 (fun i -> fixed_task i 100)) in
+  Alcotest.(check int) "latency serial" 500 r.Sched.latency;
+  Alcotest.(check int) "cpu" 500 r.Sched.cpu_time;
+  Alcotest.(check int) "tasks" 5 r.Sched.tasks_total
+
+let test_sched_no_tasks () =
+  let r = Sched.run Sched.default_config [] in
+  Alcotest.(check int) "zero latency" 0 r.Sched.latency;
+  Alcotest.(check int) "zero cpu" 0 r.Sched.cpu_time;
+  Alcotest.(check int) "zero tasks" 0 r.Sched.tasks_total
+
+let test_sched_parallel () =
+  let cfg = { Sched.default_config with base_cores = 4; ext_cores = 0 } in
+  let r = Sched.run cfg (List.init 8 (fun i -> fixed_task i 100)) in
+  Alcotest.(check int) "latency parallel" 200 r.Sched.latency
+
+let test_sched_stealing () =
+  (* ext pool empty; ext cores steal base tasks *)
+  let cfg = { Sched.default_config with base_cores = 1; ext_cores = 1 } in
+  let r = Sched.run cfg (List.init 4 (fun i -> fixed_task i 100)) in
+  Alcotest.(check int) "stolen latency" 200 r.Sched.latency
+
+let test_sched_no_stealing () =
+  let cfg = { Sched.default_config with base_cores = 1; ext_cores = 1; steal = false } in
+  let r = Sched.run cfg (List.init 4 (fun i -> fixed_task i 100)) in
+  Alcotest.(check int) "no steal: serial on base" 400 r.Sched.latency
+
+let test_sched_fam_migration () =
+  (* one ext task that migrates off the base core *)
+  let task =
+    { Sched.t_id = 0; t_prefer_ext = true;
+      t_run =
+        (fun cls ->
+          match cls with
+          | Sched.Base -> Sched.Migrate { cycles = 10 }
+          | Sched.Extension -> Sched.Done { cycles = 100; accelerated = true }) }
+  in
+  (* the ext core is busy with a long task, so the idle base core steals the
+     FAM task, faults, and migrates it back *)
+  let cfg = { Sched.default_config with base_cores = 1; ext_cores = 1; migrate_cost = 5 } in
+  let long_ext =
+    { Sched.t_id = 2; t_prefer_ext = true;
+      t_run = (fun _ -> Sched.Done { cycles = 200; accelerated = false }) }
+  in
+  let busy = fixed_task 1 50 in
+  let r = Sched.run cfg [ long_ext; task; busy ] in
+  Alcotest.(check int) "migrations" 1 r.Sched.migrations;
+  Alcotest.(check int) "accelerated" 1 r.Sched.tasks_accelerated;
+  Alcotest.(check int) "completed all" 3 r.Sched.tasks_total
+
+let test_sched_forced_ext_not_restolen () =
+  (* after migration the task must not bounce back to a base core *)
+  let attempts = ref 0 in
+  let task =
+    { Sched.t_id = 0; t_prefer_ext = true;
+      t_run =
+        (fun cls ->
+          match cls with
+          | Sched.Base ->
+              incr attempts;
+              Sched.Migrate { cycles = 1 }
+          | Sched.Extension -> Sched.Done { cycles = 10; accelerated = true }) }
+  in
+  let cfg = { Sched.default_config with base_cores = 2; ext_cores = 1 } in
+  let r = Sched.run cfg [ task ] in
+  Alcotest.(check bool) "at most one base attempt" true (!attempts <= 1);
+  Alcotest.(check int) "done" 1 r.Sched.tasks_total
+
+(* --- mixgen / blas --------------------------------------------------------- *)
+
+let test_mixgen_costs_sane () =
+  let t = Mixgen.costs ~mm_n:12 () in
+  Alcotest.(check bool) "ratio near 0.5" true
+    (Mixgen.task_ratio t > 0.3 && Mixgen.task_ratio t < 0.8)
+
+let test_mixgen_task_interleaving () =
+  let t = Mixgen.costs ~mm_n:8 () in
+  let tasks = Mixgen.tasks t Mixgen.Melf_sys Mixgen.Vext ~share_pct:30 ~n_tasks:100 in
+  let ext = List.length (List.filter (fun t -> t.Sched.t_prefer_ext) tasks) in
+  Alcotest.(check int) "30% of 100" 30 ext
+
+let test_blas_acceleration_ordering () =
+  let s = Blas.prepare ~n:24 Blas.Dgemv ~threads:[ 2; 4 ] in
+  let a sys t = Blas.acceleration s sys ~threads:t in
+  Alcotest.(check bool) "MELF beats FAM Base" true (a Blas.Melf 4 > a Blas.Fam_base 4);
+  Alcotest.(check bool) "more threads help MELF" true (a Blas.Melf 4 > a Blas.Melf 2)
+
+let () =
+  Alcotest.run "chimera_workloads"
+    [ ("programs",
+       [ Alcotest.test_case "matmul variants agree" `Quick test_matmul_variants_agree;
+         Alcotest.test_case "gemm row ranges" `Quick test_gemm_row_ranges_compose;
+         Alcotest.test_case "gemv variants (e64/e32)" `Quick
+           test_gemv_variants_agree_both_widths;
+         Alcotest.test_case "e32 lane advantage" `Quick test_e32_lanes_beat_e64;
+         Alcotest.test_case "vecadd upgradeable" `Quick test_vecadd_upgradeable;
+         Alcotest.test_case "gemm axpy upgradeable" `Quick test_gemm_axpy_upgradeable;
+         Alcotest.test_case "copy upgradeable" `Quick test_copy_upgradeable;
+         Alcotest.test_case "fill upgradeable" `Quick test_fill_upgradeable;
+         Alcotest.test_case "reduce upgradeable" `Quick test_reduce_upgradeable;
+         Alcotest.test_case "strided column reduce" `Quick
+           test_strided_column_reduce_upgradeable ]);
+      ("specgen",
+       [ Alcotest.test_case "deterministic" `Quick test_specgen_deterministic;
+         Alcotest.test_case "oracle across rewriters" `Slow
+           test_specgen_oracle_all_rewriters;
+         Alcotest.test_case "faults and lazy fire" `Quick test_specgen_faults_and_lazy_fire;
+         Alcotest.test_case "victim period scales triggers" `Quick
+           test_specgen_victim_period_scales_triggers;
+         Alcotest.test_case "pressure shifts exits" `Quick
+           test_specgen_pressure_shifts_exits;
+         Alcotest.test_case "profiles well-formed" `Quick test_specgen_profiles_well_formed ]);
+      ("sched",
+       [ Alcotest.test_case "single core serial" `Quick test_sched_single_core;
+         Alcotest.test_case "no tasks" `Quick test_sched_no_tasks;
+         Alcotest.test_case "parallel" `Quick test_sched_parallel;
+         Alcotest.test_case "stealing" `Quick test_sched_stealing;
+         Alcotest.test_case "no stealing" `Quick test_sched_no_stealing;
+         Alcotest.test_case "FAM migration" `Quick test_sched_fam_migration;
+         Alcotest.test_case "forced-ext not re-stolen" `Quick
+           test_sched_forced_ext_not_restolen ]);
+      ("experiments",
+       [ Alcotest.test_case "mixgen costs" `Slow test_mixgen_costs_sane;
+         Alcotest.test_case "mixgen interleaving" `Slow test_mixgen_task_interleaving;
+         Alcotest.test_case "blas ordering" `Slow test_blas_acceleration_ordering ]) ]
