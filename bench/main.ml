@@ -18,6 +18,85 @@ let timed name f =
   r
 
 (* ------------------------------------------------------------------ *)
+(* Parallel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent benchmark cells (system x share x workload) fan out across
+   domains. Results land in input-ordered slots and exceptions are re-raised
+   in input order, so the output is deterministic regardless of the worker
+   count. Workers never print: all Report output happens in the main domain
+   after the join. *)
+module Par = struct
+  let jobs = ref 1
+
+  let map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
+   fun f xs ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let slots = Array.make n None in
+    let work i = slots.(i) <- Some (try Ok (f items.(i)) with e -> Error e) in
+    let workers = min !jobs n in
+    if workers <= 1 then
+      for i = 0 to n - 1 do work i done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then (work i; go ())
+        in
+        go ()
+      in
+      let doms = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join doms
+    end;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error e) -> raise e | None -> assert false)
+         slots)
+
+  let run_all thunks = ignore (map (fun f -> f ()) thunks)
+end
+
+(* Split [xs] into consecutive chunks of [n] (used to regroup flat cell
+   lists back into per-system rows). *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k = function
+        | x :: tl when k > 0 ->
+            let hd, rest = take (k - 1) tl in
+            (x :: hd, rest)
+        | rest -> ([], rest)
+      in
+      let hd, rest = take n xs in
+      hd :: chunks n rest
+
+(* ------------------------------------------------------------------ *)
+(* Per-experiment stats (--json)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stat = { st_name : string; st_wall : float; st_retired : int }
+
+let write_json file (stats : stat list) =
+  let oc = open_out file in
+  output_string oc "{\n  \"experiments\": [\n";
+  let n = List.length stats in
+  List.iteri
+    (fun i s ->
+      let mips =
+        if s.st_wall > 0. then float_of_int s.st_retired /. s.st_wall /. 1e6 else 0.
+      in
+      Printf.fprintf oc
+        "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \"mips\": %.1f }%s\n"
+        s.st_name s.st_wall s.st_retired mips
+        (if i = n - 1 then "" else ","))
+    stats;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: qualitative comparison                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -43,7 +122,7 @@ let table1 _quick =
 let shares quick = if quick then [ 0; 40; 80; 100 ] else [ 0; 20; 40; 60; 80; 100 ]
 
 let fig11_12 quick =
-  let t = timed "measuring task costs" (fun () -> Mixgen.costs ()) in
+  let t = timed "measuring task costs" (fun () -> Mixgen.costs ~run_all:Par.run_all ()) in
   Report.note
     (Printf.sprintf "task ratio ext-on-ext : base = 1 : %.2f (paper setup: 1 : 2)"
        (1. /. Mixgen.task_ratio t));
@@ -52,15 +131,22 @@ let fig11_12 quick =
   let xs = List.map (fun s -> Printf.sprintf "%d%%" s) (shares quick) in
   List.iter
     (fun (version, sub_cpu, sub_lat, vtag) ->
-      let results =
-        List.map
-          (fun sys ->
-            ( sys,
-              List.map
-                (fun share ->
-                  Sched.run cfg (Mixgen.tasks t sys version ~share_pct:share ~n_tasks))
-                (shares quick) ))
+      (* every (system, share) scheduling cell is independent: flatten the
+         grid, run the cells across domains, regroup per system. *)
+      let cells =
+        List.concat_map
+          (fun sys -> List.map (fun share -> (sys, share)) (shares quick))
           Mixgen.systems
+      in
+      let rs =
+        Par.map
+          (fun (sys, share) ->
+            Sched.run cfg (Mixgen.tasks t sys version ~share_pct:share ~n_tasks))
+          cells
+      in
+      let results =
+        List.map2 (fun sys row -> (sys, row)) Mixgen.systems
+          (chunks (List.length (shares quick)) rs)
       in
       Report.series
         ~title:(Printf.sprintf "Figure 11%s: %s version - CPU time [Mcycles]" sub_cpu vtag)
@@ -152,7 +238,20 @@ let fig13 quick =
       List.filter (fun p -> List.mem p.Specgen.sp_name quick_names) Specgen.spec_profiles
     else Specgen.spec_profiles
   in
-  let rows = List.map (fun pr -> timed pr.Specgen.sp_name (fun () -> empty_run pr)) profiles in
+  (* one cell per profile; timing notes are printed after the join so
+     workers never touch the report *)
+  let rows =
+    Par.map
+      (fun pr ->
+        let t0 = Unix.gettimeofday () in
+        let r = empty_run pr in
+        (r, Unix.gettimeofday () -. t0))
+      profiles
+  in
+  List.iter
+    (fun (r, dt) -> Report.note (Printf.sprintf "[%s: %.1fs]" r.r_name dt))
+    rows;
+  let rows = List.map fst rows in
   Report.table
     ~title:"Figure 13: performance degradation vs native on SPEC CPU2017 (empty patching)"
     ~header:[ "benchmark"; "Strawman"; "Safer"; "ARMore"; "CHBP" ]
@@ -182,10 +281,11 @@ let table2 quick =
      else Specgen.spec_profiles)
     @ if quick then [] else Specgen.realworld_profiles
   in
-  let rows =
-    List.map
+  let timed_rows =
+    Par.map
       (fun pr ->
-        timed pr.Specgen.sp_name (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let row =
             let bin = Specgen.build pr in
             let native = Measure.native bin ~isa:ext_isa in
             let expect = native.Measure.exit_code in
@@ -219,9 +319,16 @@ let table2 quick =
               c.Counters.traps
             in
             [ pr.Specgen.sp_name; string_of_int chbp_events; string_of_int safer_events;
-              string_of_int armore_events; string_of_int straw_events ]))
+              string_of_int armore_events; string_of_int straw_events ]
+        in
+        (row, Unix.gettimeofday () -. t0))
       profiles
   in
+  List.iter
+    (fun (row, dt) ->
+      Report.note (Printf.sprintf "[%s: %.1fs]" (List.hd row) dt))
+    timed_rows;
+  let rows = List.map fst timed_rows in
   Report.table
     ~title:"Table 2: correctness-mechanism trigger counts (scaled-down run lengths)"
     ~header:[ "benchmark"; "CHBP"; "Safer"; "ARMore"; "Strawman" ]
@@ -237,7 +344,7 @@ let table3 quick =
     else Specgen.spec_profiles @ Specgen.realworld_profiles
   in
   let stats_of =
-    List.map (fun pr ->
+    Par.map (fun pr ->
         let bin = Specgen.build pr in
         let dis = Disasm.of_binfile bin in
         let total = Disasm.count dis in
@@ -291,7 +398,10 @@ let fig14 quick =
   let kernels = if quick then [ Blas.Dgemm; Blas.Sgemv ] else Blas.kernels in
   List.iter
     (fun k ->
-      let s = timed (Blas.kernel_name k) (fun () -> Blas.prepare k ~threads) in
+      let s =
+        timed (Blas.kernel_name k) (fun () ->
+            Blas.prepare ~run_all:Par.run_all k ~threads)
+      in
       Report.series
         ~title:
           (Printf.sprintf "Figure 14 (%s): acceleration ratio vs FAM Ext at 2 threads"
@@ -308,7 +418,8 @@ let fig14 quick =
   (if not quick then
      let threads = [ 16; 24; 32; 40; 48; 56; 64 ] in
      let s =
-       timed "sgemm scalability (SG2042)" (fun () -> Blas.prepare ~n:128 Blas.Sgemm ~threads)
+       timed "sgemm scalability (SG2042)" (fun () ->
+           Blas.prepare ~n:128 ~run_all:Par.run_all Blas.Sgemm ~threads)
      in
      Report.series
        ~title:"Figure 14e: sgemm scalability on the 64-core box (vs FAM Ext at 16 threads)"
@@ -526,7 +637,8 @@ let experiments =
 let canonical_order =
   [ "table1"; "fig11"; "fig13"; "table2"; "table3"; "fig14"; "ablation"; "micro" ]
 
-let main names quick =
+let main names quick jobs json_file =
+  Par.jobs := (if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs);
   let requested = match names with [] -> canonical_order | ns -> ns in
   List.iter
     (fun n ->
@@ -540,14 +652,23 @@ let main names quick =
   (* fig11 and fig12 share one runner; run it once *)
   let canonical n = if n = "fig12" then "fig11" else n in
   let seen = Hashtbl.create 8 in
+  let stats = ref [] in
   List.iter
     (fun n ->
       let n = canonical n in
       if not (Hashtbl.mem seen n) then begin
         Hashtbl.replace seen n ();
-        (List.assoc n experiments) quick
+        let r0 = Machine.observed_retired () in
+        let w0 = Unix.gettimeofday () in
+        (List.assoc n experiments) quick;
+        stats :=
+          { st_name = n;
+            st_wall = Unix.gettimeofday () -. w0;
+            st_retired = Machine.observed_retired () - r0 }
+          :: !stats
       end)
     requested;
+  Option.iter (fun f -> write_json f (List.rev !stats)) json_file;
   Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
 
 open Cmdliner
@@ -563,9 +684,26 @@ let names_arg =
 let quick_arg =
   Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Reduced benchmark subsets and sizes.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent benchmark cells. 0 (default) means \
+           auto-detect from the core count; 1 disables parallelism. Results \
+           and report ordering are identical for every value.")
+
+let json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write per-experiment stats (wall-clock seconds, simulated \
+           instructions retired, simulated MIPS) to $(docv) as JSON.")
+
 let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const main $ names_arg $ quick_arg)
+    Term.(const main $ names_arg $ quick_arg $ jobs_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,20 @@
-type centry = Cok of Inst.t * int | Cill of string
+(* Decode-cache entries carry the generation stamp of the bytes they were
+   decoded from; a stale entry fails its stamp check and is re-decoded. *)
+type centry = Cok of Inst.t * int * int | Cill of string * int
 
-type view = { vmem : Memory.t; cache : (int, centry) Hashtbl.t }
+type view = {
+  vmem : Memory.t;
+  cache : (int, centry) Hashtbl.t;
+  blocks : (int, t Tblock.t) Hashtbl.t;  (** translation blocks, keyed by entry pc *)
+}
 
-type t = {
+and t = {
   mutable cur : view;
-  mutable views : view list;  (** every view seen, for cross-view invalidation *)
+  mutable views : view list;
+      (** recently used views, most recent first, capped at [max_views] *)
+  gens : Tblock.Gen.t;
+      (** page generations, shared by every view: physical pages may be
+          aliased between views, so a patch invalidates everywhere *)
   mutable isa : Ext.t;
   costs : Costs.t;
   vlen : int;
@@ -18,6 +28,7 @@ type t = {
   mutable indirect_retired : int;
   mutable cycles : int;
   mutable icache : Icache.t option;
+  mutable block_engine : bool;
 }
 
 type stop = Exited of int | Faulted of Fault.t | Fuel_exhausted
@@ -45,10 +56,14 @@ let default_handlers =
              (Fault.Illegal_instruction { pc; reason = "unhandled check instruction" })))
   }
 
+let new_view mem =
+  { vmem = mem; cache = Hashtbl.create 1024; blocks = Hashtbl.create 256 }
+
 let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
-  let view = { vmem = mem; cache = Hashtbl.create 1024 } in
+  let view = new_view mem in
   { cur = view;
     views = [ view ];
+    gens = Tblock.Gen.create ();
     isa;
     costs;
     vlen;
@@ -61,7 +76,8 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     vector_retired = 0;
     indirect_retired = 0;
     cycles = 0;
-    icache = None }
+    icache = None;
+    block_engine = true }
 
 let mem t = t.cur.vmem
 let isa t = t.isa
@@ -89,22 +105,27 @@ let set_vstate t ~vl ~vsew =
   t.vl <- vl;
   t.vsew <- vsew
 
-let switch_view t mem =
-  match List.find_opt (fun v -> v.vmem == mem) t.views with
-  | Some v -> t.cur <- v
-  | None ->
-      let v = { vmem = mem; cache = Hashtbl.create 1024 } in
-      t.views <- v :: t.views;
-      t.cur <- v
+(* The view list is an LRU of bounded size: a retired view only loses its
+   decode/block caches (rebuilt on demand if the view ever returns), never
+   correctness — staleness is tracked by the shared generation table, not by
+   the list. *)
+let max_views = 8
 
-let invalidate_code t ~addr ~len =
-  let doomed cache =
-    Hashtbl.fold (fun k _ acc -> if k >= addr - 3 && k < addr + len then k :: acc else acc)
-      cache []
-  in
-  List.iter
-    (fun v -> List.iter (Hashtbl.remove v.cache) (doomed v.cache))
-    t.views
+let switch_view t mem =
+  if t.cur.vmem != mem then
+    match List.find_opt (fun v -> v.vmem == mem) t.views with
+    | Some v ->
+        t.views <- v :: List.filter (fun w -> w != v) t.views;
+        t.cur <- v
+    | None ->
+        let v = new_view mem in
+        t.views <- v :: List.filteri (fun i _ -> i < max_views - 1) t.views;
+        t.cur <- v
+
+(* O(pages patched): bump the page generations; every cached decode entry
+   and translation block overlapping a bumped page fails its stamp check on
+   next use, in every view (stamps are taken from the shared table). *)
+let invalidate_code t ~addr ~len = Tblock.Gen.bump t.gens ~addr ~len
 
 let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ())
 
@@ -272,22 +293,32 @@ let vop_apply op acc a b =
 
 let vlmax t sew = t.vlen / Inst.sew_bytes sew
 
-(* Decode at pc through the current view's cache. *)
-let fetch_decode t =
-  match Hashtbl.find_opt t.cur.cache t.pc with
-  | Some (Cok (i, n)) -> (i, n)
-  | Some (Cill reason) -> raise (Efault (Fault.Illegal_instruction { pc = t.pc; reason }))
-  | None -> (
-      let lo = Memory.fetch_u16 t.cur.vmem t.pc in
-      let needs_hi = lo land 0b11 = 0b11 && lo land 0b11111 <> 0b11111 in
-      let hi = if needs_hi then Memory.fetch_u16 t.cur.vmem (t.pc + 2) else 0 in
-      match Decode.decode ~lo ~hi with
-      | Decode.Ok (i, n) ->
-          Hashtbl.replace t.cur.cache t.pc (Cok (i, n));
-          (i, n)
-      | Decode.Illegal reason ->
-          Hashtbl.replace t.cur.cache t.pc (Cill reason);
-          raise (Efault (Fault.Illegal_instruction { pc = t.pc; reason })))
+(* Decode at [pc] through the current view's cache. Entries are validated
+   against the page generations of the bytes they cover, so a patched range
+   is simply re-decoded — [invalidate_code] never walks the cache. *)
+let decode_fresh t pc =
+  let lo = Memory.fetch_u16 t.cur.vmem pc in
+  let needs_hi = lo land 0b11 = 0b11 && lo land 0b11111 <> 0b11111 in
+  let hi = if needs_hi then Memory.fetch_u16 t.cur.vmem (pc + 2) else 0 in
+  match Decode.decode ~lo ~hi with
+  | Decode.Ok (i, n) ->
+      Hashtbl.replace t.cur.cache pc
+        (Cok (i, n, Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1)));
+      (i, n)
+  | Decode.Illegal reason ->
+      Hashtbl.replace t.cur.cache pc
+        (Cill (reason, Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + 3)));
+      raise (Efault (Fault.Illegal_instruction { pc; reason }))
+
+let decode_at t pc =
+  match Hashtbl.find_opt t.cur.cache pc with
+  | Some (Cok (i, n, st)) when Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1) = st ->
+      (i, n)
+  | Some (Cill (reason, st)) when Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + 3) = st ->
+      raise (Efault (Fault.Illegal_instruction { pc; reason }))
+  | Some _ | None -> decode_fresh t pc
+
+let fetch_decode t = decode_at t t.pc
 
 (* Execute one decoded instruction; updates pc; may raise Efault.
    Returns the [stop] if the instruction is a control event the caller's
@@ -575,42 +606,46 @@ let exec t inst size =
       t.pc <- next;
       Enone
 
-let step ?(handlers = default_handlers) t =
+(* Fetch accounting + capability check + execution + retirement for one
+   instruction. Shared by the slow path ([step], after a cache-backed
+   decode) and the block engine (for decoded terminators). *)
+let exec_retire t inst size =
+  (match t.icache with
+  | None -> ()
+  | Some ic ->
+      if not (Icache.access ic t.pc) then
+        t.cycles <- t.cycles + t.costs.Costs.icache_miss;
+      (* a fetch spanning two lines touches both *)
+      if not (Icache.access ic (t.pc + size - 1)) then
+        t.cycles <- t.cycles + t.costs.Costs.icache_miss);
+  if not (Ext.supports t.isa inst) then
+    raise
+      (Efault
+         (Fault.Illegal_instruction
+            { pc = t.pc;
+              reason =
+                Printf.sprintf "extension %s not supported by this hart"
+                  (match Ext.required inst with
+                   | Some e -> Ext.ext_name e
+                   | None -> "?") }));
+  let ev = exec t inst size in
+  t.retired <- t.retired + 1;
+  (match Ext.required inst with
+   | Some Ext.V ->
+       t.vector_retired <- t.vector_retired + 1;
+       t.cycles <- t.cycles + t.costs.Costs.vector_op
+   | Some _ | None -> t.cycles <- t.cycles + 1);
+  (ev, size)
+
+(* Deliver the outcome of one instruction to the handlers. *)
+let dispatch ~handlers t thunk =
   let apply_action = function
     | Resume pc ->
         t.pc <- pc;
         None
     | Stop s -> Some s
   in
-  match
-    let inst, size = fetch_decode t in
-    (match t.icache with
-    | None -> ()
-    | Some ic ->
-        if not (Icache.access ic t.pc) then
-          t.cycles <- t.cycles + t.costs.Costs.icache_miss;
-        (* a fetch spanning two lines touches both *)
-        if not (Icache.access ic (t.pc + size - 1)) then
-          t.cycles <- t.cycles + t.costs.Costs.icache_miss);
-    if not (Ext.supports t.isa inst) then
-      raise
-        (Efault
-           (Fault.Illegal_instruction
-              { pc = t.pc;
-                reason =
-                  Printf.sprintf "extension %s not supported by this hart"
-                    (match Ext.required inst with
-                     | Some e -> Ext.ext_name e
-                     | None -> "?") }));
-    let ev = exec t inst size in
-    t.retired <- t.retired + 1;
-    (match Ext.required inst with
-     | Some Ext.V ->
-         t.vector_retired <- t.vector_retired + 1;
-         t.cycles <- t.cycles + t.costs.Costs.vector_op
-     | Some _ | None -> t.cycles <- t.cycles + 1);
-    (ev, size)
-  with
+  match thunk () with
   | Enone, _ -> None
   | Eebreak sz, _ -> apply_action (handlers.on_ebreak t ~pc:t.pc ~size:sz)
   | Eecall, size ->
@@ -629,7 +664,217 @@ let step ?(handlers = default_handlers) t =
   | exception Memory.Violation { addr; access } ->
       apply_action (handlers.on_fault t (Fault.Segfault { pc = t.pc; addr; access }))
 
-let run ?(handlers = default_handlers) ~fuel t =
+let step ?(handlers = default_handlers) t =
+  dispatch ~handlers t (fun () ->
+      let inst, size = fetch_decode t in
+      exec_retire t inst size)
+
+(* Execute a block terminator without touching the decode cache. *)
+let step_decoded ~handlers t inst size =
+  dispatch ~handlers t (fun () -> exec_retire t inst size)
+
+(* ------------------------------------------------------------------ *)
+(* Translation-block engine                                            *)
+(* ------------------------------------------------------------------ *)
+
+let retire_scalar t =
+  t.retired <- t.retired + 1;
+  t.cycles <- t.cycles + 1
+
+let retire_vector t =
+  t.retired <- t.retired + 1;
+  t.vector_retired <- t.vector_retired + 1;
+  t.cycles <- t.cycles + t.costs.Costs.vector_op
+
+(* Compile one instruction for the fast path. Control-flow and event
+   instructions terminate the block (they stay decoded and run through
+   {!step_decoded}, so handler delivery and fault pcs are identical to the
+   slow path); anything the current capability set cannot execute stops the
+   block so the slow path raises the precise illegal-instruction fault.
+   Every compiled closure replicates [exec] exactly and then retires, with
+   operands and the next pc partially evaluated at translation time. *)
+let compile_op t ~pc inst size =
+  match inst with
+  | Inst.Jal _ | Inst.Jalr _ | Inst.Branch _ | Inst.Ecall | Inst.Ebreak
+  | Inst.C_ebreak | Inst.C_j _ | Inst.C_jr _ | Inst.C_jalr _ | Inst.C_beqz _
+  | Inst.C_bnez _ | Inst.Xcheck_jalr _ -> Tblock.Term
+  | _ ->
+      if not (Ext.supports t.isa inst) then Tblock.Stop
+      else
+        let next = pc + size in
+        let retire =
+          if Ext.required inst = Some Ext.V then retire_vector else retire_scalar
+        in
+        let op =
+          match inst with
+          | Inst.Lui (rd, imm20) ->
+              let v = Int64.of_int (imm20 lsl 12) in
+              fun t ->
+                set_reg t rd v;
+                t.pc <- next;
+                retire t
+          | Inst.Auipc (rd, imm20) ->
+              let v = Int64.of_int (pc + (imm20 lsl 12)) in
+              fun t ->
+                set_reg t rd v;
+                t.pc <- next;
+                retire t
+          | Inst.Load { width; unsigned; rd; rs1; imm } ->
+              let im = Int64.of_int imm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                set_reg t rd (load_value t.cur.vmem width unsigned addr);
+                t.pc <- next;
+                retire t
+          | Inst.Store { width; rs2; rs1; imm } ->
+              let im = Int64.of_int imm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                store_value t.cur.vmem width addr (get_reg t rs2);
+                t.pc <- next;
+                retire t
+          | Inst.Op (op, rd, rs1, rs2) ->
+              fun t ->
+                set_reg t rd (alu op (get_reg t rs1) (get_reg t rs2));
+                t.pc <- next;
+                retire t
+          | Inst.Opi (Inst.Addi, rd, rs1, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (Int64.add (get_reg t rs1) im);
+                t.pc <- next;
+                retire t
+          | Inst.Opi (op, rd, rs1, imm) ->
+              fun t ->
+                set_reg t rd (alui op (get_reg t rs1) imm);
+                t.pc <- next;
+                retire t
+          | Inst.C_nop ->
+              fun t ->
+                t.pc <- next;
+                retire t
+          | Inst.C_addi (rd, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (Int64.add (get_reg t rd) im);
+                t.pc <- next;
+                retire t
+          | Inst.C_li (rd, imm) ->
+              let v = Int64.of_int imm in
+              fun t ->
+                set_reg t rd v;
+                t.pc <- next;
+                retire t
+          | Inst.C_mv (rd, rs2) ->
+              fun t ->
+                set_reg t rd (get_reg t rs2);
+                t.pc <- next;
+                retire t
+          | Inst.C_add (rd, rs2) ->
+              fun t ->
+                set_reg t rd (Int64.add (get_reg t rd) (get_reg t rs2));
+                t.pc <- next;
+                retire t
+          | Inst.C_ld (rd, rs1, uimm) ->
+              let im = Int64.of_int uimm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                set_reg t rd (Memory.load_u64 t.cur.vmem addr);
+                t.pc <- next;
+                retire t
+          | Inst.C_sd (rs2, rs1, uimm) ->
+              let im = Int64.of_int uimm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                Memory.store_u64 t.cur.vmem addr (get_reg t rs2);
+                t.pc <- next;
+                retire t
+          | Inst.C_slli (rd, sh) ->
+              fun t ->
+                set_reg t rd (Int64.shift_left (get_reg t rd) sh);
+                t.pc <- next;
+                retire t
+          | Inst.C_lw (rd, rs1, uimm) ->
+              let im = Int64.of_int uimm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                set_reg t rd (sext32 (Int64.of_int (Memory.load_u32 t.cur.vmem addr)));
+                t.pc <- next;
+                retire t
+          | Inst.C_sw (rs2, rs1, uimm) ->
+              let im = Int64.of_int uimm in
+              fun t ->
+                let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                Memory.store_u32 t.cur.vmem addr
+                  (Int64.to_int (Int64.logand (get_reg t rs2) 0xFFFFFFFFL));
+                t.pc <- next;
+                retire t
+          | Inst.C_lui (rd, imm) ->
+              let v = Int64.of_int (imm lsl 12) in
+              fun t ->
+                set_reg t rd v;
+                t.pc <- next;
+                retire t
+          | Inst.C_addiw (rd, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (sext32 (Int64.add (get_reg t rd) im));
+                t.pc <- next;
+                retire t
+          | Inst.C_andi (rd, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (Int64.logand (get_reg t rd) im);
+                t.pc <- next;
+                retire t
+          | Inst.C_alu (op, rd, rs2) ->
+              fun t ->
+                let a = get_reg t rd and b = get_reg t rs2 in
+                set_reg t rd
+                  (match op with
+                  | Inst.Csub -> Int64.sub a b
+                  | Inst.Cxor -> Int64.logxor a b
+                  | Inst.Cor -> Int64.logor a b
+                  | Inst.Cand -> Int64.logand a b
+                  | Inst.Csubw -> sext32 (Int64.sub a b)
+                  | Inst.Caddw -> sext32 (Int64.add a b));
+                t.pc <- next;
+                retire t
+          | _ ->
+              (* vector / packed-SIMD and other rare straight-line
+                 instructions: reuse the interpreter dispatch (they can
+                 only produce [Enone] — events all terminate blocks). *)
+              fun t ->
+                (match exec t inst size with
+                | Enone -> ()
+                | Eebreak _ | Eecall | Echeck _ -> assert false);
+                retire t
+        in
+        Tblock.Op op
+
+let translate_block t entry =
+  Tblock.translate ~gens:t.gens ~isa:t.isa
+    ~decode:(fun pc ->
+      match decode_at t pc with
+      | d -> Some d
+      | exception Efault _ -> None
+      | exception Memory.Violation _ -> None)
+    ~compile:(fun ~pc inst size -> compile_op t ~pc inst size)
+    entry
+
+let block_at t =
+  match Hashtbl.find_opt t.cur.blocks t.pc with
+  | Some b when Tblock.valid t.gens ~isa:t.isa b -> b
+  | Some _ | None ->
+      let b = translate_block t t.pc in
+      Hashtbl.replace t.cur.blocks t.pc b;
+      b
+
+(* ------------------------------------------------------------------ *)
+(* Run loops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_step ~handlers ~fuel t =
   let remaining = ref fuel in
   let result = ref None in
   while !result = None && !remaining > 0 do
@@ -637,3 +882,90 @@ let run ?(handlers = default_handlers) ~fuel t =
     decr remaining
   done;
   match !result with Some s -> s | None -> Fuel_exhausted
+
+(* Block-cached fast path: execute whole straight-line bodies between
+   handler-visible events. Accounting (retired, cycles, icache) is done per
+   instruction with the same ordering as [step], so both engines are
+   observably identical — including mid-block faults, where the faulting
+   instruction has consumed its fuel but not retired, and fuel exhaustion
+   mid-block. *)
+let run_blocks ~handlers ~fuel t =
+  let remaining = ref fuel in
+  let result = ref None in
+  let apply = function Resume pc -> t.pc <- pc | Stop s -> result := Some s in
+  while !result = None && !remaining > 0 do
+    let b = block_at t in
+    if Tblock.degenerate b then begin
+      (* illegal, unsupported, or unmapped entry: the slow path raises the
+         precise fault and routes it to the handlers *)
+      (match step ~handlers t with Some s -> result := Some s | None -> ());
+      decr remaining
+    end
+    else begin
+      let ops = b.Tblock.ops in
+      let nbody = Array.length ops in
+      let k = if nbody < !remaining then nbody else !remaining in
+      let executed = ref 0 in
+      let fault =
+        try
+          (match t.icache with
+          | None ->
+              while !executed < k do
+                (Array.unsafe_get ops !executed) t;
+                incr executed
+              done
+          | Some ic ->
+              let pcs = b.Tblock.pcs and sizes = b.Tblock.sizes in
+              let miss = t.costs.Costs.icache_miss in
+              while !executed < k do
+                let i = !executed in
+                let ipc = Array.unsafe_get pcs i and sz = Array.unsafe_get sizes i in
+                if not (Icache.access ic ipc) then t.cycles <- t.cycles + miss;
+                if not (Icache.access ic (ipc + sz - 1)) then
+                  t.cycles <- t.cycles + miss;
+                (Array.unsafe_get ops i) t;
+                incr executed
+              done);
+          None
+        with
+        | Efault f -> Some f
+        | Memory.Violation { addr; access } ->
+            Some (Fault.Segfault { pc = t.pc; addr; access })
+      in
+      match fault with
+      | Some f ->
+          (* the faulting instruction consumed fuel but did not retire *)
+          remaining := !remaining - !executed - 1;
+          apply (handlers.on_fault t f)
+      | None ->
+          remaining := !remaining - !executed;
+          if !executed = nbody && !remaining > 0 then
+            match b.Tblock.term with
+            | Some (inst, size) -> (
+                (match step_decoded ~handlers t inst size with
+                | Some s -> result := Some s
+                | None -> ());
+                decr remaining)
+            | None -> ()
+    end
+  done;
+  match !result with Some s -> s | None -> Fuel_exhausted
+
+(* Process-wide count of instructions retired by completed [run] calls:
+   cheap (one atomic add per run, not per instruction), domain-safe, and
+   enough for the bench harness to report simulated MIPS. *)
+let observed = Atomic.make 0
+let observed_retired () = Atomic.get observed
+let reset_observed_retired () = Atomic.set observed 0
+
+let run ?(handlers = default_handlers) ~fuel t =
+  let r0 = t.retired in
+  let s =
+    if t.block_engine then run_blocks ~handlers ~fuel t
+    else run_step ~handlers ~fuel t
+  in
+  ignore (Atomic.fetch_and_add observed (t.retired - r0));
+  s
+
+let set_block_engine t on = t.block_engine <- on
+let block_engine t = t.block_engine

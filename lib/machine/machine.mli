@@ -65,11 +65,15 @@ val set_vstate : t -> vl:int -> vsew:Inst.sew -> unit
 
 val switch_view : t -> Memory.t -> unit
 (** Point the hart at a different address-space view (MMView switch). The
-    decode cache is per-view and switches with it. *)
+    decode and translation-block caches are per-view and switch with it.
+    The machine keeps a small LRU of views: a view evicted from it only
+    loses its caches (rebuilt on demand), never architectural state. *)
 
 val invalidate_code : t -> addr:int -> len:int -> unit
-(** Drop decode-cache entries for a patched code range, in every view seen
-    so far (physical pages may be shared between views). *)
+(** Invalidate cached decodes and translation blocks overlapping a patched
+    code range, in every view seen so far (physical pages may be shared
+    between views). O(pages patched): bumps page-granular generation
+    counters; stale entries fail their stamp check on next use. *)
 
 (** {1 Counters} *)
 
@@ -102,7 +106,30 @@ val reset_counters : t -> unit
 (** {1 Execution} *)
 
 val run : ?handlers:handlers -> fuel:int -> t -> stop
-(** Execute until a stop event, at most [fuel] instructions. *)
+(** Execute until a stop event, at most [fuel] instructions.
+
+    By default this uses the translation-block engine: straight-line runs
+    are decoded once into arrays of closures ({!Tblock}) and executed
+    whole between handler-visible events. Counters, faults and handler
+    interactions are observably identical to the single-step path (the
+    differential property tests assert this). *)
 
 val step : ?handlers:handlers -> t -> stop option
-(** Execute one instruction; [None] means it retired normally. *)
+(** Execute one instruction; [None] means it retired normally. Always uses
+    the single-step path. *)
+
+val set_block_engine : t -> bool -> unit
+(** Enable/disable the translation-block fast path in {!run} (on by
+    default). The single-step engine is the reference semantics; disabling
+    is meant for differential testing and debugging. *)
+
+val block_engine : t -> bool
+
+(** {1 Instrumentation} *)
+
+val observed_retired : unit -> int
+(** Process-wide total of instructions retired by completed {!run} calls
+    (one atomic add per run; domain-safe). The bench harness uses it to
+    report simulated MIPS. *)
+
+val reset_observed_retired : unit -> unit

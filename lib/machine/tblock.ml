@@ -1,0 +1,113 @@
+(* Translation blocks: straight-line runs of decoded instructions compiled
+   into arrays of closures, validated by page-granular generation counters.
+
+   The module is parameterized over the machine state ['m]: the machine
+   supplies [decode] and [compile] callbacks, so this module owns the block
+   layout, the termination policy and the invalidation bookkeeping without
+   depending on the executor. *)
+
+let page_shift =
+  let rec go n s = if n <= 1 then s else go (n lsr 1) (s + 1) in
+  go Memory.page_size 0
+
+let page_of addr = addr asr page_shift
+
+module Gen = struct
+  (* Page-granular generation counters. [bump] is O(pages touched) and
+     [stamp] sums the generations of the pages covering a byte range.
+     Generations only grow, so two stamps over the same range are equal iff
+     no covered page was bumped in between. *)
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let page_gen (t : t) p = match Hashtbl.find_opt t p with Some g -> g | None -> 0
+
+  let bump (t : t) ~addr ~len =
+    if len > 0 then
+      for p = page_of addr to page_of (addr + len - 1) do
+        Hashtbl.replace t p (page_gen t p + 1)
+      done
+
+  let stamp (t : t) ~lo ~hi =
+    let s = ref 0 in
+    for p = page_of lo to page_of hi do
+      s := !s + page_gen t p
+    done;
+    !s
+end
+
+(* What the machine's compiler says about one decoded instruction. *)
+type 'm compiled =
+  | Op of ('m -> unit)
+      (** Straight-line: executes the instruction, advances pc, retires. *)
+  | Term  (** Control flow or event instruction: ends the block, kept decoded. *)
+  | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
+
+type 'm t = {
+  entry : int;
+  lo : int;
+  hi : int;  (** last byte whose content the block depends on *)
+  isa : Ext.t;  (** capability set the block was compiled against *)
+  stamp : int;
+  ops : ('m -> unit) array;
+  pcs : int array;  (** pc of each body instruction (icache model, faults) *)
+  sizes : int array;
+  term : (Inst.t * int) option;
+      (** decoded terminator, executed through the machine's event path *)
+}
+
+let default_max_insts = 256
+
+(* Decode a straight-line run starting at [pc]. The run ends at the first
+   control-flow/event instruction (kept as the decoded terminator), at the
+   first undecodable or fast-path-ineligible instruction, when the next
+   instruction would start on a different page, or after [max_insts]
+   instructions. A degenerate block (empty body, no terminator) still
+   carries a stamp over the entry bytes so that patching them invalidates
+   it. *)
+let translate ?(max_insts = default_max_insts) ~gens ~isa ~decode ~compile entry =
+  let entry_page = page_of entry in
+  let ops = ref [] and pcs = ref [] and sizes = ref [] in
+  let count = ref 0 in
+  let pc = ref entry in
+  let term = ref None in
+  let stop = ref false in
+  while not !stop do
+    if !count >= max_insts || page_of !pc <> entry_page then stop := true
+    else
+      match decode !pc with
+      | None -> stop := true
+      | Some (inst, size) -> (
+          match compile ~pc:!pc inst size with
+          | Stop -> stop := true
+          | Term ->
+              term := Some (inst, size);
+              pc := !pc + size;
+              stop := true
+          | Op f ->
+              ops := f :: !ops;
+              pcs := !pc :: !pcs;
+              sizes := size :: !sizes;
+              incr count;
+              pc := !pc + size)
+  done;
+  (* [hi] covers every decoded byte; a degenerate block covers the widest
+     possible instruction at the entry so a patch there re-translates. *)
+  let hi = if !pc > entry then !pc - 1 else entry + 3 in
+  { entry;
+    lo = entry;
+    hi;
+    isa;
+    stamp = Gen.stamp gens ~lo:entry ~hi;
+    ops = Array.of_list (List.rev !ops);
+    pcs = Array.of_list (List.rev !pcs);
+    sizes = Array.of_list (List.rev !sizes);
+    term = !term }
+
+let valid gens ~isa b =
+  Ext.equal isa b.isa && Gen.stamp gens ~lo:b.lo ~hi:b.hi = b.stamp
+
+let body_length b = Array.length b.ops
+
+let degenerate b = Array.length b.ops = 0 && b.term = None

@@ -1,0 +1,71 @@
+(** Translation blocks: straight-line instruction runs pre-decoded and
+    compiled into closure arrays, with cheap page-granular invalidation.
+
+    A block is a maximal run of non-control-flow instructions starting at an
+    entry pc, ending at the first branch/jump/event instruction (kept,
+    decoded, as the block's terminator), at a page boundary, or at an
+    instruction the machine cannot put on the fast path. Blocks are
+    validated against a {!Gen} generation table: patching code bumps the
+    generations of the covered pages, and any block (or cached decode)
+    overlapping a bumped page fails its stamp check and is re-translated —
+    invalidation costs O(pages patched), never a cache scan.
+
+    The module is parameterized over the machine state ['m]; the machine
+    supplies decoding and per-instruction compilation, this module owns
+    block layout, termination policy, and invalidation bookkeeping. *)
+
+module Gen : sig
+  type t
+  (** Page-granular generation counters (monotonic). *)
+
+  val create : unit -> t
+
+  val bump : t -> addr:int -> len:int -> unit
+  (** Increment the generation of every page overlapping [addr, addr+len). *)
+
+  val stamp : t -> lo:int -> hi:int -> int
+  (** Sum of the generations of the pages covering [lo, hi] (inclusive).
+      Generations only grow, so equal stamps over the same range mean no
+      covered page changed. *)
+end
+
+type 'm compiled =
+  | Op of ('m -> unit)
+      (** Straight-line: executes the instruction, advances pc, retires. *)
+  | Term  (** Control-flow or event instruction: ends the block, kept decoded. *)
+  | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
+
+type 'm t = private {
+  entry : int;
+  lo : int;
+  hi : int;
+  isa : Ext.t;
+  stamp : int;
+  ops : ('m -> unit) array;
+  pcs : int array;
+  sizes : int array;
+  term : (Inst.t * int) option;
+}
+
+val translate :
+  ?max_insts:int ->
+  gens:Gen.t ->
+  isa:Ext.t ->
+  decode:(int -> (Inst.t * int) option) ->
+  compile:(pc:int -> Inst.t -> int -> 'm compiled) ->
+  int ->
+  'm t
+(** [translate ~gens ~isa ~decode ~compile entry] decodes the straight-line
+    run at [entry]. [decode pc] returns [None] when the bytes at [pc] cannot
+    be decoded or fetched (the block ends there; the slow path will raise
+    the precise fault when execution reaches it). *)
+
+val valid : Gen.t -> isa:Ext.t -> 'm t -> bool
+(** Stamp and capability check; a stale or cross-ISA block must be
+    re-translated. *)
+
+val body_length : 'm t -> int
+
+val degenerate : 'm t -> bool
+(** No body and no terminator: the entry instruction must be executed via
+    the slow path (illegal, unsupported, or unmapped). *)

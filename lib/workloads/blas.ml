@@ -67,16 +67,24 @@ let measure_chunk kernel ~n ~rows_count =
 (* OpenBLAS-style dynamic scheduling granularity: 4 blocks per thread *)
 let blocks_per_thread = 6
 
-let prepare ?(n = 48) kernel ~threads =
+let seq_run_all fs = List.iter (fun f -> f ()) fs
+
+let prepare ?(n = 48) ?(run_all = seq_run_all) kernel ~threads =
+  let rows =
+    List.concat_map
+      (fun t -> chunk_sizes ~n ~threads:(blocks_per_thread * t))
+      threads
+    |> List.sort_uniq compare
+  in
+  (* measure each distinct chunk size independently (possibly across
+     domains); the Hashtbl is filled afterwards in the calling domain. *)
+  let measured = List.map (fun r -> (r, ref None)) rows in
+  run_all
+    (List.map
+       (fun (r, slot) -> fun () -> slot := Some (measure_chunk kernel ~n ~rows_count:r))
+       measured);
   let costs = Hashtbl.create 8 in
-  List.iter
-    (fun t ->
-      List.iter
-        (fun r ->
-          if not (Hashtbl.mem costs r) then
-            Hashtbl.replace costs r (measure_chunk kernel ~n ~rows_count:r))
-        (List.sort_uniq compare (chunk_sizes ~n ~threads:(blocks_per_thread * t))))
-    threads;
+  List.iter (fun (r, slot) -> Hashtbl.replace costs r (Option.get !slot)) measured;
   { s_kernel = kernel; s_n = n; s_threads = threads; s_costs = costs }
 
 let chunk_cost setup r = Hashtbl.find setup.s_costs r

@@ -29,10 +29,17 @@ val systems : system list
 
 type setup
 
-val prepare : ?n:int -> kernel -> threads:int list -> setup
+val prepare :
+  ?n:int ->
+  ?run_all:((unit -> unit) list -> unit) ->
+  kernel ->
+  threads:int list ->
+  setup
 (** Build and measure every (chunk-size, variant, rewriting) combination
     the given thread counts need; [n] is the matrix dimension (default 48).
-    Exit codes of all variants are cross-checked. *)
+    Exit codes of all variants are cross-checked. [run_all] executes the
+    independent per-chunk-size measurement thunks (default: sequentially);
+    the bench driver passes a domain-pool runner. *)
 
 val latency : setup -> system -> threads:int -> int
 (** Simulated end-to-end latency (chunk makespan + barrier). *)

@@ -25,11 +25,19 @@ type cost_table = {
 let base_isa = Ext.rv64gc
 let ext_isa = Ext.rv64gcv
 
-let costs ?(mm_n = 16) ?(fib_rounds = 0) () =
+let seq_run_all fs = List.iter (fun f -> f ()) fs
+
+let costs ?(mm_n = 16) ?(fib_rounds = 0) ?(run_all = seq_run_all) () =
   let mm_ext = Programs.matmul ~name:"mm-ext" `Ext ~n:mm_n in
   let mm_base = Programs.matmul ~name:"mm-base" `Base ~n:mm_n in
-  let vec = Measure.native mm_ext ~isa:ext_isa in
-  let scal = Measure.native mm_base ~isa:base_isa in
+  (* two batches of independent measurements: the second depends on the
+     native cycle counts of the first. [run_all] may fan the thunks of a
+     batch out across domains (every thunk builds its own machine). *)
+  let vec = ref None and scal = ref None in
+  run_all
+    [ (fun () -> vec := Some (Measure.native mm_ext ~isa:ext_isa));
+      (fun () -> scal := Some (Measure.native mm_base ~isa:base_isa)) ];
+  let vec = Option.get !vec and scal = Option.get !scal in
   let expected = vec.Measure.exit_code in
   if scal.Measure.exit_code <> expected then
     failwith "mixgen: scalar and vector matmul disagree";
@@ -39,30 +47,43 @@ let costs ?(mm_n = 16) ?(fib_rounds = 0) () =
     if fib_rounds > 0 then fib_rounds else max 1 (2 * vec.Measure.cycles / 155)
   in
   let fib_bin = Programs.fibonacci ~rounds:fib_rounds () in
-  let fib = (Measure.native fib_bin ~isa:base_isa).Measure.cycles in
-  let fam_prefix = (Measure.native_until_fault mm_ext ~isa:base_isa).Measure.cycles in
-  let chim_down_ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) mm_ext in
-  let chim_down_run, _ = Measure.chimera chim_down_ctx ~isa:base_isa in
-  ignore (Measure.check_exit ~expected chim_down_run);
-  let chim_up_ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) mm_base in
-  let chim_up_run, _ = Measure.chimera chim_up_ctx ~isa:ext_isa in
-  ignore (Measure.check_exit ~expected chim_up_run);
-  if (Chbp.stats chim_up_ctx).Chbp.sites = 0 then
-    failwith "mixgen: upgrade found no vectorizable loop";
-  let safer_down_rw = Safer.rewrite ~mode:Chbp.Downgrade mm_ext in
-  let safer_down_run, _ = Measure.safer safer_down_rw ~isa:base_isa in
-  ignore (Measure.check_exit ~expected safer_down_run);
-  let safer_up_rw = Safer.rewrite ~mode:Chbp.Upgrade mm_base in
-  let safer_up_run, _ = Measure.safer safer_up_rw ~isa:ext_isa in
-  ignore (Measure.check_exit ~expected safer_up_run);
-  { fib;
+  let fib = ref 0 and fam_prefix = ref 0 in
+  let chim_down = ref 0 and chim_up = ref 0 in
+  let safer_down = ref 0 and safer_up = ref 0 in
+  run_all
+    [ (fun () -> fib := (Measure.native fib_bin ~isa:base_isa).Measure.cycles);
+      (fun () ->
+        fam_prefix := (Measure.native_until_fault mm_ext ~isa:base_isa).Measure.cycles);
+      (fun () ->
+        let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) mm_ext in
+        let run, _ = Measure.chimera ctx ~isa:base_isa in
+        ignore (Measure.check_exit ~expected run);
+        chim_down := run.Measure.cycles);
+      (fun () ->
+        let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Upgrade) mm_base in
+        let run, _ = Measure.chimera ctx ~isa:ext_isa in
+        ignore (Measure.check_exit ~expected run);
+        if (Chbp.stats ctx).Chbp.sites = 0 then
+          failwith "mixgen: upgrade found no vectorizable loop";
+        chim_up := run.Measure.cycles);
+      (fun () ->
+        let rw = Safer.rewrite ~mode:Chbp.Downgrade mm_ext in
+        let run, _ = Measure.safer rw ~isa:base_isa in
+        ignore (Measure.check_exit ~expected run);
+        safer_down := run.Measure.cycles);
+      (fun () ->
+        let rw = Safer.rewrite ~mode:Chbp.Upgrade mm_base in
+        let run, _ = Measure.safer rw ~isa:ext_isa in
+        ignore (Measure.check_exit ~expected run);
+        safer_up := run.Measure.cycles) ];
+  { fib = !fib;
     mm_vec = vec.Measure.cycles;
     mm_scal = scal.Measure.cycles;
-    fam_prefix;
-    chim_down = chim_down_run.Measure.cycles;
-    chim_up = chim_up_run.Measure.cycles;
-    safer_down = safer_down_run.Measure.cycles;
-    safer_up = safer_up_run.Measure.cycles }
+    fam_prefix = !fam_prefix;
+    chim_down = !chim_down;
+    chim_up = !chim_up;
+    safer_down = !safer_down;
+    safer_up = !safer_up }
 
 let task_ratio t = float_of_int t.mm_vec /. float_of_int t.fib
 

@@ -20,10 +20,18 @@ val version_name : version -> string
 
 type cost_table
 
-val costs : ?mm_n:int -> ?fib_rounds:int -> unit -> cost_table
+val costs :
+  ?mm_n:int ->
+  ?fib_rounds:int ->
+  ?run_all:((unit -> unit) list -> unit) ->
+  unit ->
+  cost_table
 (** Build and measure all combinations. [mm_n] is the matmul dimension
     (default 16), [fib_rounds] sizes the base task to roughly match the
-    paper's 2:2:2:1 timing ratio. *)
+    paper's 2:2:2:1 timing ratio. [run_all] executes a batch of independent
+    measurement thunks (default: sequentially, in order); the bench driver
+    passes a domain-pool runner. Each thunk builds its own machine, so the
+    batches are safe to fan out. *)
 
 val task_ratio : cost_table -> float
 (** Measured (extension task on extension core) / (base task) time ratio —

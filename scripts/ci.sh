@@ -1,0 +1,6 @@
+#!/bin/sh -e
+# Tier-1 gate: build, full test suite, and a quick end-to-end benchmark run.
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/main.exe -- fig13 -q

@@ -517,6 +517,98 @@ let prop_differential_greg =
       if got <> expect then QCheck.Test.fail_reportf "greg %d <> %d" got expect
       else true)
 
+(* --- block-engine differential ----------------------------------------------- *)
+
+(* The translation-block engine must be observably identical to the
+   single-step interpreter: same stop condition, registers, pc and counters
+   on random programs, at arbitrary fuel limits (so fuel can run out in the
+   middle of a block), with and without the icache model, and across
+   runtime code patching (CHBP lazy rewriting rewrites code a cached block
+   already covers). *)
+
+type snap = {
+  sn_stop : Machine.stop;
+  sn_regs : int64 list;
+  sn_pc : int;
+  sn_retired : int;
+  sn_cycles : int;
+  sn_vector : int;
+  sn_indirect : int;
+  sn_imisses : int;
+}
+
+let snapshot m stop =
+  { sn_stop = stop;
+    sn_regs = List.init 32 (fun i -> Machine.get_reg m (Reg.of_int i));
+    sn_pc = Machine.pc m;
+    sn_retired = Machine.retired m;
+    sn_cycles = Machine.cycles m;
+    sn_vector = Machine.vector_retired m;
+    sn_indirect = Machine.indirect_retired m;
+    sn_imisses = Machine.icache_misses m }
+
+let pp_snap s =
+  let stop =
+    match s.sn_stop with
+    | Machine.Exited c -> Printf.sprintf "exit %d" c
+    | Machine.Faulted f -> Printf.sprintf "fault %s" (Fault.to_string f)
+    | Machine.Fuel_exhausted -> "fuel"
+  in
+  Printf.sprintf "%s pc=%#x retired=%d cycles=%d vec=%d ind=%d imiss=%d" stop
+    s.sn_pc s.sn_retired s.sn_cycles s.sn_vector s.sn_indirect s.sn_imisses
+
+let check_snaps ~what step block =
+  if step <> block then
+    QCheck.Test.fail_reportf "%s: single-step { %s } <> block engine { %s }" what
+      (pp_snap step) (pp_snap block)
+  else true
+
+let run_native ~engine ~icache ~fuel bin isa =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa () in
+  Machine.set_block_engine m engine;
+  if icache then Machine.enable_icache m;
+  Loader.init_machine m bin;
+  snapshot m (Machine.run ~fuel m)
+
+let prop_block_engine_native =
+  QCheck.Test.make
+    ~name:"block engine: bit-identical to single-step (random programs, random fuel)"
+    ~count:12
+    QCheck.(
+      make
+        Gen.(
+          let* seed = int_bound 100_000 in
+          let* fuel = int_range 1_000 400_000 in
+          let* icache = bool in
+          return (seed, fuel, icache)))
+    (fun (seed, fuel, icache) ->
+      let bin = Specgen.build (fuzz_profile seed) in
+      let step = run_native ~engine:false ~icache ~fuel bin ext_isa in
+      let block = run_native ~engine:true ~icache ~fuel bin ext_isa in
+      check_snaps ~what:(Printf.sprintf "native seed=%d fuel=%d" seed fuel) step block)
+
+(* Lazy rewriting: the runtime patches code on the first fault at each site,
+   i.e. it overwrites bytes that a cached translation block (from executing
+   up to the fault) already covers. The patched bytes must be picked up. *)
+let run_chimera ~engine seed =
+  let bin = Specgen.build (fuzz_profile seed) in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
+  Machine.set_block_engine m engine;
+  snapshot m (Chimera_rt.run rt ~fuel:50_000_000 m)
+
+let prop_block_engine_self_modifying =
+  QCheck.Test.make
+    ~name:"block engine: identical across runtime code patching (lazy rewrite)"
+    ~count:8
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let step = run_chimera ~engine:false seed in
+      let block = run_chimera ~engine:true seed in
+      check_snaps ~what:(Printf.sprintf "chimera seed=%d" seed) step block)
+
 let () =
   Alcotest.run "chimera_properties"
     [ ("smile",
@@ -532,4 +624,7 @@ let () =
       ("liveness", [ QCheck_alcotest.to_alcotest prop_liveness_soundness ]);
       ("differential",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_differential_rewriting; prop_differential_greg ]) ]
+         [ prop_differential_rewriting; prop_differential_greg ]);
+      ("block-engine",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_block_engine_native; prop_block_engine_self_modifying ]) ]
