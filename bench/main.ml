@@ -29,26 +29,78 @@ let timed name f =
 module Par = struct
   let jobs = ref 1
 
-  let map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
-   fun f xs ->
+  (* Chrome trace_event export (--chrome): one completed span per cell,
+     tracked per worker so recording needs no synchronization. The span
+     name is [experiment/label] — deterministic cell content; only the
+     timestamps are wall-clock. *)
+  type span = { sp_tid : int; sp_name : string; sp_t0 : float; sp_t1 : float }
+
+  let chrome_on = ref false
+  let experiment = ref ""
+  let t_origin = Unix.gettimeofday ()
+  let max_workers = 128
+  let spans : span list array = Array.make max_workers []
+
+  let record tid name t0 t1 =
+    spans.(tid) <-
+      { sp_tid = tid;
+        sp_name = (if !experiment = "" then name else !experiment ^ "/" ^ name);
+        sp_t0 = t0;
+        sp_t1 = t1 }
+      :: spans.(tid)
+
+  let write_chrome file =
+    let all =
+      Array.to_list spans |> List.concat
+      |> List.sort (fun a b -> compare (a.sp_tid, a.sp_t0) (b.sp_tid, b.sp_t0))
+    in
+    let oc = open_out file in
+    output_string oc "{\"traceEvents\":[\n";
+    let n = List.length all in
+    List.iteri
+      (fun i s ->
+        Printf.fprintf oc
+          "{\"name\":%S,\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.0f,\"dur\":%.0f}%s\n"
+          s.sp_name s.sp_tid
+          ((s.sp_t0 -. t_origin) *. 1e6)
+          ((s.sp_t1 -. s.sp_t0) *. 1e6)
+          (if i = n - 1 then "" else ","))
+      all;
+    output_string oc "]}\n";
+    close_out oc
+
+  let map : 'a 'b. ?label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list =
+   fun ?label f xs ->
     let items = Array.of_list xs in
     let n = Array.length items in
     let slots = Array.make n None in
-    let work i = slots.(i) <- Some (try Ok (f items.(i)) with e -> Error e) in
-    let workers = min !jobs n in
+    let label i =
+      match label with Some l -> l items.(i) | None -> Printf.sprintf "cell-%d" i
+    in
+    let work tid i =
+      if !chrome_on then begin
+        let t0 = Unix.gettimeofday () in
+        slots.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+        record tid (label i) t0 (Unix.gettimeofday ())
+      end
+      else slots.(i) <- Some (try Ok (f items.(i)) with e -> Error e)
+    in
+    let workers = min (min !jobs n) max_workers in
     if workers <= 1 then
-      for i = 0 to n - 1 do work i done
+      for i = 0 to n - 1 do work 0 i done
     else begin
       let next = Atomic.make 0 in
-      let worker () =
+      let worker tid =
         let rec go () =
           let i = Atomic.fetch_and_add next 1 in
-          if i < n then (work i; go ())
+          if i < n then (work tid i; go ())
         in
         go ()
       in
-      let doms = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let doms =
+        List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+      in
+      worker 0;
       List.iter Domain.join doms
     end;
     Array.to_list
@@ -58,6 +110,47 @@ module Par = struct
 
   let run_all thunks = ignore (map (fun f -> f ()) thunks)
 end
+
+(* Bracket [f] with phase events so a trace consumer can attribute the
+   events in between (tracing forces sequential execution, so phases nest
+   cleanly). *)
+let traced_phase name f =
+  if !Obs.enabled then begin
+    Obs.emit (Obs.Phase_begin { name });
+    let r = f () in
+    Obs.emit (Obs.Phase_end { name });
+    r
+  end
+  else f ()
+
+(* Under --trace, table2 records what the counters said each traced cell
+   should contain; after the run the trace file is re-read and checked
+   against these, proving the report numbers are recoverable from the
+   trace alone. [te_sites] are the per-site correctness-event counts. *)
+type trace_expect = {
+  te_phase : string;
+  te_faults : int;
+  te_traps : int;
+  te_checks : int;
+  te_sites : (int * int) list;
+}
+
+let trace_expects : trace_expect list ref = ref []
+
+let expect_cell ~phase (c : Counters.t) =
+  if !Obs.enabled then
+    trace_expects :=
+      { te_phase = phase;
+        te_faults = c.Counters.faults_recovered;
+        te_traps = c.Counters.traps;
+        te_checks = c.Counters.checks;
+        te_sites =
+          List.filter_map
+            (fun (pc, s) ->
+              let n = Counters.site_events s in
+              if n > 0 then Some (pc, n) else None)
+            (Counters.per_site c) }
+      :: !trace_expects
 
 (* Split [xs] into consecutive chunks of [n] (used to regroup flat cell
    lists back into per-system rows). *)
@@ -140,6 +233,8 @@ let fig11_12 quick =
       in
       let rs =
         Par.map
+          ~label:(fun (sys, share) ->
+            Printf.sprintf "%s-%d%%" (Mixgen.system_name sys) share)
           (fun (sys, share) ->
             Sched.run cfg (Mixgen.tasks t sys version ~share_pct:share ~n_tasks))
           cells
@@ -242,6 +337,7 @@ let fig13 quick =
      workers never touch the report *)
   let rows =
     Par.map
+      ~label:(fun pr -> pr.Specgen.sp_name)
       (fun pr ->
         let t0 = Unix.gettimeofday () in
         let r = empty_run pr in
@@ -283,39 +379,60 @@ let table2 quick =
   in
   let timed_rows =
     Par.map
+      ~label:(fun pr -> pr.Specgen.sp_name)
       (fun pr ->
         let t0 = Unix.gettimeofday () in
         let row =
             let bin = Specgen.build pr in
             let native = Measure.native bin ~isa:ext_isa in
             let expect = native.Measure.exit_code in
+            let name = pr.Specgen.sp_name in
+            let cell sys f =
+              let phase = Printf.sprintf "table2/%s/%s" name sys in
+              traced_phase phase (fun () ->
+                  let run, c = f () in
+                  ignore (Measure.check_exit ~expected:expect run);
+                  expect_cell ~phase c;
+                  (run, c))
+            in
             let chbp_events =
-              let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
-              let run, c = Measure.chimera ctx ~isa:base_isa in
-              ignore (Measure.check_exit ~expected:expect run);
+              let _, c =
+                cell "chbp" (fun () ->
+                    let ctx =
+                      Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin
+                    in
+                    Measure.chimera ctx ~isa:base_isa)
+              in
               c.Counters.faults_recovered + c.Counters.traps
             in
             let safer_events =
-              let rw = Safer.rewrite ~mode:Chbp.Downgrade bin in
-              let run, c = Measure.safer rw ~isa:base_isa in
-              ignore (Measure.check_exit ~expected:expect run);
+              let _, c =
+                cell "safer" (fun () ->
+                    let rw = Safer.rewrite ~mode:Chbp.Downgrade bin in
+                    Measure.safer rw ~isa:base_isa)
+              in
               c.Counters.checks
             in
             let armore_events =
-              let rw = Armore.rewrite ~jal_range:Specgen.armore_jal_range bin in
-              let run, c = Measure.armore rw ~isa:ext_isa in
-              ignore (Measure.check_exit ~expected:expect run);
+              let run, c =
+                cell "armore" (fun () ->
+                    let rw = Armore.rewrite ~jal_range:Specgen.armore_jal_range bin in
+                    Measure.armore rw ~isa:ext_isa)
+              in
               (* every indirect flow rebounds: cheap jal slots plus traps *)
               c.Counters.traps + run.Measure.indirect_retired
             in
             let straw_events =
-              let ctx =
-                Chbp.rewrite
-                  ~options:{ (Chbp.default_options Chbp.Downgrade) with style = `Trap }
-                  bin
+              let _, c =
+                cell "strawman" (fun () ->
+                    let ctx =
+                      Chbp.rewrite
+                        ~options:
+                          { (Chbp.default_options Chbp.Downgrade) with style = `Trap }
+                        bin
+                    in
+                    Measure.chimera ctx ~isa:base_isa)
               in
-              let run, c = Measure.chimera ctx ~isa:base_isa in
-              ignore (Measure.check_exit ~expected:expect run);
               c.Counters.traps
             in
             [ pr.Specgen.sp_name; string_of_int chbp_events; string_of_int safer_events;
@@ -335,7 +452,37 @@ let table2 quick =
     ~rows;
   Report.note "paper: CHBP triggers ~0.005% of the baselines' counts (1e2-1e6 vs 1e9-1e10);";
   Report.note "shape to check: CHBP orders of magnitude below every baseline,";
-  Report.note "Safer ~ ARMore, strawman dominating for cam4/pop2/wrf-style vector-hot codes."
+  Report.note "Safer ~ ARMore, strawman dominating for cam4/pop2/wrf-style vector-hot codes.";
+  (* under --trace, break the CHBP column down per trampoline site; the
+     post-run validation reproduces exactly this from the JSONL stream *)
+  if !Obs.enabled then begin
+    let chbp_cells =
+      List.filter
+        (fun te ->
+          String.length te.te_phase > 5
+          && String.sub te.te_phase (String.length te.te_phase - 5) 5 = "/chbp")
+        (List.rev !trace_expects)
+    in
+    Report.table
+      ~title:"Table 2 (per-site): CHBP correctness events per trampoline site"
+      ~header:[ "benchmark"; "site"; "events" ]
+      ~rows:
+        (List.concat_map
+           (fun te ->
+             let bench =
+               String.sub te.te_phase 7 (String.length te.te_phase - 12)
+             in
+             let sites = te.te_sites in
+             let shown = List.filteri (fun i _ -> i < 8) sites in
+             List.map
+               (fun (pc, n) -> [ bench; Printf.sprintf "0x%x" pc; string_of_int n ])
+               shown
+             @
+             let rest = List.length sites - List.length shown in
+             if rest > 0 then [ [ bench; Printf.sprintf "(+%d more sites)" rest; "" ] ]
+             else [])
+           chbp_cells)
+  end
 
 let table3 quick =
   let profiles =
@@ -344,7 +491,7 @@ let table3 quick =
     else Specgen.spec_profiles @ Specgen.realworld_profiles
   in
   let stats_of =
-    Par.map (fun pr ->
+    Par.map ~label:(fun pr -> pr.Specgen.sp_name) (fun pr ->
         let bin = Specgen.build pr in
         let dis = Disasm.of_binfile bin in
         let total = Disasm.count dis in
@@ -637,8 +784,124 @@ let experiments =
 let canonical_order =
   [ "table1"; "fig11"; "fig13"; "table2"; "table3"; "fig14"; "ablation"; "micro" ]
 
-let main names quick jobs json_file =
+(* Re-read a written trace file and check it: the schema round-trips
+   through the parser, phases balance, and every traced table2 cell's
+   counter totals and per-site breakdown are recovered exactly from the
+   event stream. Exits nonzero on any mismatch (CI runs this). *)
+let validate_trace file =
+  let events = Obs.Json.read_file file in
+  (match events with
+  | Obs.Meta { version } :: _ when version = Obs.schema_version -> ()
+  | _ ->
+      Printf.eprintf "trace %s: missing or mismatched meta header\n" file;
+      exit 1);
+  let open_phases = ref [] in
+  let closed = Hashtbl.create 64 in
+  let global = Obs.Agg.create () in
+  List.iter
+    (fun ev ->
+      Obs.Agg.observe global ev;
+      List.iter (fun (_, agg) -> Obs.Agg.observe agg ev) !open_phases;
+      match ev with
+      | Obs.Phase_begin { name } ->
+          open_phases := (name, Obs.Agg.create ()) :: !open_phases
+      | Obs.Phase_end { name } -> (
+          match !open_phases with
+          | (n, agg) :: rest when n = name ->
+              open_phases := rest;
+              Hashtbl.replace closed name agg
+          | _ ->
+              Printf.eprintf "trace %s: unbalanced phase %s\n" file name;
+              exit 1)
+      | _ -> ())
+    events;
+  if !open_phases <> [] then begin
+    Printf.eprintf "trace %s: %d phases never ended\n" file
+      (List.length !open_phases);
+    exit 1
+  end;
+  let failed = ref false in
+  List.iter
+    (fun te ->
+      match Hashtbl.find_opt closed te.te_phase with
+      | None ->
+          Printf.eprintf "trace %s: phase %s missing\n" file te.te_phase;
+          failed := true
+      | Some agg ->
+          let t = Obs.Agg.totals agg in
+          if
+            t.Obs.Agg.faults_recovered <> te.te_faults
+            || t.Obs.Agg.traps <> te.te_traps
+            || t.Obs.Agg.checks <> te.te_checks
+          then begin
+            Printf.eprintf
+              "trace %s: %s totals differ (trace %d/%d/%d, counters %d/%d/%d)\n"
+              file te.te_phase t.Obs.Agg.faults_recovered t.Obs.Agg.traps
+              t.Obs.Agg.checks te.te_faults te.te_traps te.te_checks;
+            failed := true
+          end;
+          if Obs.Agg.per_site agg <> te.te_sites then begin
+            Printf.eprintf "trace %s: %s per-site breakdown differs\n" file
+              te.te_phase;
+            failed := true
+          end)
+    (List.rev !trace_expects);
+  if !failed then exit 1;
+  Report.heading "Trace validation (--trace)";
+  Report.note
+    (Printf.sprintf "%s: %d events parsed, schema v%d round-trips" file
+       (List.length events) Obs.schema_version);
+  if !trace_expects <> [] then
+    Report.note
+      (Printf.sprintf
+         "table2: %d traced cells — totals and per-site counts reproduced \
+          exactly from the trace alone"
+         (List.length !trace_expects));
+  let t = Obs.Agg.totals global in
+  Report.note
+    (Printf.sprintf
+       "faults raised %d / recovered %d; traps %d; checks %d; lazy %d; signals %d"
+       t.Obs.Agg.faults_raised t.Obs.Agg.faults_recovered t.Obs.Agg.traps
+       t.Obs.Agg.checks t.Obs.Agg.lazies t.Obs.Agg.signals);
+  Report.note
+    (Printf.sprintf
+       "tblocks: %d compiles, %d hits, %d invalidations; icache bursts %d; \
+        steals %d; migrations %d"
+       t.Obs.Agg.tb_compiles t.Obs.Agg.tb_hits t.Obs.Agg.tb_invalidations
+       t.Obs.Agg.icache_bursts t.Obs.Agg.steals t.Obs.Agg.migrations);
+  if t.Obs.Agg.tb_compiles > 0 then
+    Report.histogram
+      ~title:"Translation-block body lengths (compiled blocks, from trace)"
+      ~rows:(Obs.Agg.tb_body_histogram global)
+
+let open_out_or_die f =
+  try open_out f
+  with Sys_error e ->
+    Printf.eprintf "cannot open output file: %s\n" e;
+    exit 2
+
+let main names quick jobs json_file trace_file chrome_file =
   Par.jobs := (if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs);
+  (* fail on unwritable output paths before the run, not after *)
+  let check_writable = function
+    | Some f when not (Sys.file_exists f) -> close_out (open_out_or_die f)
+    | _ -> ()
+  in
+  check_writable json_file;
+  check_writable chrome_file;
+  let trace_oc =
+    match trace_file with
+    | None -> None
+    | Some f ->
+        if !Par.jobs > 1 then begin
+          Printf.printf "(--trace forces -j 1: the event stream is single-domain)\n";
+          Par.jobs := 1
+        end;
+        let oc = open_out_or_die f in
+        Obs.enable ~sink:(Obs.Json.channel_sink oc);
+        Some oc
+  in
+  if chrome_file <> None then Par.chrome_on := true;
   let requested = match names with [] -> canonical_order | ns -> ns in
   List.iter
     (fun n ->
@@ -658,9 +921,10 @@ let main names quick jobs json_file =
       let n = canonical n in
       if not (Hashtbl.mem seen n) then begin
         Hashtbl.replace seen n ();
+        Par.experiment := n;
         let r0 = Machine.observed_retired () in
         let w0 = Unix.gettimeofday () in
-        (List.assoc n experiments) quick;
+        traced_phase n (fun () -> (List.assoc n experiments) quick);
         stats :=
           { st_name = n;
             st_wall = Unix.gettimeofday () -. w0;
@@ -669,6 +933,13 @@ let main names quick jobs json_file =
       end)
     requested;
   Option.iter (fun f -> write_json f (List.rev !stats)) json_file;
+  (match (trace_file, trace_oc) with
+  | Some f, Some oc ->
+      Obs.disable ();
+      close_out oc;
+      validate_trace f
+  | _ -> ());
+  Option.iter Par.write_chrome chrome_file;
   Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
 
 open Cmdliner
@@ -701,9 +972,29 @@ let json_arg =
           "Write per-experiment stats (wall-clock seconds, simulated \
            instructions retired, simulated MIPS) to $(docv) as JSON.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace to $(docv) (schema: OBSERVABILITY.md) \
+           and validate it after the run. Forces -j 1: the event stream is \
+           single-domain.")
+
+let chrome_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the parallel driver's cells to \
+           $(docv) (one track per worker domain; open in about:tracing or \
+           Perfetto).")
+
 let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const main $ names_arg $ quick_arg $ jobs_arg $ json_arg)
+    Term.(
+      const main $ names_arg $ quick_arg $ jobs_arg $ json_arg $ trace_arg
+      $ chrome_arg)
 
 let () = exit (Cmd.eval cmd)

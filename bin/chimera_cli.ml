@@ -132,25 +132,38 @@ let trace_steps m handlers n fuel =
   done;
   match !stop with Some s -> s | None -> Machine.Fuel_exhausted
 
-let cmd_run file isa fuel plain show_counters trace =
+let cmd_run file isa fuel plain show_counters steps trace_file =
   let bin = Binfile.load_file file in
+  let trace_oc =
+    match trace_file with
+    | None -> None
+    | Some f ->
+        let oc =
+          try open_out f
+          with Sys_error e ->
+            Printf.eprintf "cannot open trace file: %s\n" e;
+            exit 2
+        in
+        Obs.enable ~sink:(Obs.Json.channel_sink oc);
+        Some oc
+  in
   let stop, m, counters =
     if plain then begin
       let mem = Loader.load bin in
       let m = Machine.create ~mem ~isa () in
       Loader.init_machine m bin;
       let stop =
-        if trace > 0 then trace_steps m Machine.default_handlers trace fuel
+        if steps > 0 then trace_steps m Machine.default_handlers steps fuel
         else Machine.run ~fuel m
       in
       (stop, m, None)
     end
-    else if trace > 0 then begin
+    else if steps > 0 then begin
       let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
       let rt = Chimera_rt.create ctx in
       let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa () in
       Loader.init_machine m (Chimera_rt.rewritten rt);
-      let stop = trace_steps m (Chimera_rt.handlers rt) trace fuel in
+      let stop = trace_steps m (Chimera_rt.handlers rt) steps fuel in
       (stop, m, Some (Chimera_rt.counters rt))
     end
     else
@@ -158,6 +171,13 @@ let cmd_run file isa fuel plain show_counters trace =
       let stop, m = Chimera_system.run dep ~isa ~fuel in
       (stop, m, Some (Chimera_system.counters dep))
   in
+  (match (trace_file, trace_oc) with
+  | Some f, Some oc ->
+      let n = Obs.events_emitted () in
+      Obs.disable ();
+      close_out oc;
+      Format.printf "trace: %d events -> %s@." n f
+  | _ -> ());
   (match counters with
   | Some c when show_counters -> Format.printf "%a@." Counters.pp c
   | Some _ | None -> ());
@@ -213,12 +233,16 @@ let run_cmd =
   let counters =
     Arg.(value & flag & info [ "counters" ] ~doc:"Print the runtime's recovery counters.")
   in
-  let trace =
-    Arg.(value & opt int 0 & info [ "trace" ]
+  let steps =
+    Arg.(value & opt int 0 & info [ "steps" ]
          ~doc:"Print the first $(docv) executed instructions (0 = off).")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL event trace to $(docv) (schema: OBSERVABILITY.md).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Execute a binary on a simulated hart")
-    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ trace)
+    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ steps $ trace)
 
 let () =
   exit

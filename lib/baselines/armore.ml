@@ -116,7 +116,8 @@ let handlers rt _m =
   let on_ebreak m ~pc ~size:_ =
     match Fault_table.find rt.rw.trap_tbl pc with
     | Some target ->
-        rt.counters.Counters.traps <- rt.counters.Counters.traps + 1;
+        Counters.trap_at rt.counters ~site:pc;
+        if !Obs.enabled then Obs.emit (Obs.Trap_taken { site = pc; target });
         Machine.charge m rt.costs.Costs.trap;
         Machine.Resume target
     | None ->

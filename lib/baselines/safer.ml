@@ -195,8 +195,9 @@ let load rt =
 let counters rt = rt.counters
 
 let handlers rt =
-  let on_check m ~pc:_ ~rd:_ ~target =
-    rt.counters.Counters.checks <- rt.counters.Counters.checks + 1;
+  let on_check m ~pc ~rd:_ ~target =
+    Counters.check_at rt.counters ~site:pc;
+    if !Obs.enabled then Obs.emit (Obs.Check_taken { site = pc; target });
     match Hashtbl.find_opt rt.rw.map target with
     | Some translated ->
         (* stale pre-rewrite pointer: full table translation *)

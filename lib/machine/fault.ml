@@ -17,6 +17,11 @@ let pp fmt = function
 
 let to_string f = Format.asprintf "%a" pp f
 
+let cause_name = function
+  | Illegal_instruction _ -> "sigill"
+  | Segfault _ -> "sigsegv"
+  | Misaligned_fetch _ -> "misaligned"
+
 let pc = function
   | Illegal_instruction { pc; _ } | Segfault { pc; _ } | Misaligned_fetch { pc; _ } ->
       pc

@@ -22,5 +22,10 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val cause_name : t -> string
+(** The stable cause tag used in trace events (OBSERVABILITY.md):
+    ["sigill"], ["sigsegv"] or ["misaligned"]. *)
+
 val pc : t -> int
 (** The program counter at which the fault was raised. *)

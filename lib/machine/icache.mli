@@ -14,7 +14,9 @@ val create : ?sets:int -> ?line:int -> unit -> t
 (** [sets] and [line] must be powers of two. *)
 
 val access : t -> int -> bool
-(** [access t addr] is [true] on a hit; a miss fills the line. *)
+(** [access t addr] is [true] on a hit; a miss fills the line. When tracing
+    is enabled, a run of ≥ 8 consecutive misses is reported as one
+    {!Obs.Icache_burst} event at the access that ends it. *)
 
 val misses : t -> int
 val accesses : t -> int

@@ -125,7 +125,9 @@ let switch_view t mem =
 (* O(pages patched): bump the page generations; every cached decode entry
    and translation block overlapping a bumped page fails its stamp check on
    next use, in every view (stamps are taken from the shared table). *)
-let invalidate_code t ~addr ~len = Tblock.Gen.bump t.gens ~addr ~len
+let invalidate_code t ~addr ~len =
+  if !Obs.enabled then Obs.emit (Obs.Tb_invalidate { addr; len });
+  Tblock.Gen.bump t.gens ~addr ~len
 
 let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ())
 
@@ -660,9 +662,15 @@ let dispatch ~handlers t thunk =
       let pc0 = t.pc in
       set_reg t rd (Int64.of_int (pc0 + size));
       apply_action (handlers.on_check t ~pc:pc0 ~rd ~target)
-  | exception Efault f -> apply_action (handlers.on_fault t f)
+  | exception Efault f ->
+      if !Obs.enabled then
+        Obs.emit (Obs.Fault_raised { pc = Fault.pc f; cause = Fault.cause_name f });
+      apply_action (handlers.on_fault t f)
   | exception Memory.Violation { addr; access } ->
-      apply_action (handlers.on_fault t (Fault.Segfault { pc = t.pc; addr; access }))
+      let f = Fault.Segfault { pc = t.pc; addr; access } in
+      if !Obs.enabled then
+        Obs.emit (Obs.Fault_raised { pc = t.pc; cause = Fault.cause_name f });
+      apply_action (handlers.on_fault t f)
 
 let step ?(handlers = default_handlers) t =
   dispatch ~handlers t (fun () ->
@@ -864,10 +872,17 @@ let translate_block t entry =
 
 let block_at t =
   match Hashtbl.find_opt t.cur.blocks t.pc with
-  | Some b when Tblock.valid t.gens ~isa:t.isa b -> b
+  | Some b when Tblock.valid t.gens ~isa:t.isa b ->
+      if !Obs.enabled then
+        Obs.emit
+          (Obs.Tb_hit { entry = t.pc; body = Array.length b.Tblock.ops });
+      b
   | Some _ | None ->
       let b = translate_block t t.pc in
       Hashtbl.replace t.cur.blocks t.pc b;
+      if !Obs.enabled then
+        Obs.emit
+          (Obs.Tb_compile { entry = t.pc; body = Array.length b.Tblock.ops });
       b
 
 (* ------------------------------------------------------------------ *)
@@ -936,6 +951,9 @@ let run_blocks ~handlers ~fuel t =
       | Some f ->
           (* the faulting instruction consumed fuel but did not retire *)
           remaining := !remaining - !executed - 1;
+          if !Obs.enabled then
+            Obs.emit
+              (Obs.Fault_raised { pc = Fault.pc f; cause = Fault.cause_name f });
           apply (handlers.on_fault t f)
       | None ->
           remaining := !remaining - !executed;

@@ -9,7 +9,19 @@
 
     Control events (faults, [ebreak] traps, syscalls, the Safer check
     instruction) are delivered to caller-supplied {!handlers}; the runtime
-    library installs policy-specific ones. *)
+    library installs policy-specific ones.
+
+    {b Fault determinism contract.} Given the same memory and register
+    state, executing at a pc either retires the same instruction or raises
+    the same {!Fault.t} at the same pc — no timing, caching or engine mode
+    may change the outcome. Both execution engines honour this: the
+    single-step path and the translation-block path are differentially
+    tested for bit-identical stop states (test/test_properties.ml), and
+    SMILE recovery depends on it (the fault a partially-executed trampoline
+    raises is the key into the fault-handling table). Faults are observable
+    as [Fault_raised] events, and the block engine emits
+    [Tb_compile]/[Tb_hit]/[Tb_invalidate]; see lib/obs and
+    OBSERVABILITY.md. *)
 
 type t
 

@@ -1,0 +1,178 @@
+(** Structured observability: typed events, a ring-buffer sink, JSONL
+    serialization, and per-site aggregation.
+
+    The paper's central quantitative claim (Table 2) is that SMILE makes
+    correctness events *rare*: CHBP recovers a handful of faults where the
+    baselines trigger thousands of traps and checks. This module makes every
+    such event — and the execution-engine events behind the harness's
+    performance — visible as a typed stream, so "where and why did this
+    trampoline fire" is answerable from a trace instead of only as an
+    end-of-run total.
+
+    {b Cost model.} Tracing is off by default and every emission site in the
+    hot paths is guarded by a single load-and-branch on {!enabled}
+    ([if !Obs.enabled then Obs.emit (...)]); the event is not even allocated
+    when tracing is off, so the translation-block fast path keeps its speed.
+    When tracing is on, events are buffered in a fixed-capacity ring and
+    handed to the installed sink in batches.
+
+    {b Concurrency.} The subsystem is single-domain: enable tracing only for
+    sequential runs (the bench driver forces [-j 1] under [--trace]; the
+    parallel driver gets its own cell-level Chrome export instead). Reading
+    {!enabled} from other domains while tracing is off is safe.
+
+    The JSONL schema produced by {!Json} is documented in OBSERVABILITY.md;
+    {!Json.of_line} is its reference parser and golden/round-trip tests pin
+    it. *)
+
+(** One observed event. Payloads are primitive so that every layer of the
+    stack (machine, rewriter, runtime, scheduler, harness) can emit without
+    depending on each other's types; addresses are simulated byte addresses.
+
+    Emission points, by layer:
+    - machine: {{!constructor-Tb_compile}Tb_compile}/[Tb_hit]/[Tb_invalidate]
+      (translation-block engine), [Fault_raised] (deterministic faults, both
+      engines), [Icache_burst] (L1i model);
+    - rewriter: [Rw_site]/[Rw_exit] (trampoline placement and exit-register
+      resolution), [Smile_write] (trampoline bytes written),
+      [Table_add] (fault/trap-table entries);
+    - runtime: [Fault_recovered], [Trap_taken], [Lazy_discovered],
+      [Signal_delivered];
+    - baselines: [Check_taken] (Safer/Multiverse), [Trap_taken] (ARMore,
+      strawman);
+    - scheduler: [Sched_steal], [Sched_migrate];
+    - harness: [Meta], [Phase_begin]/[Phase_end] (cell bracketing). *)
+type event =
+  | Meta of { version : int }  (** First line of every trace file. *)
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string }
+  | Tb_compile of { entry : int; body : int }
+      (** A translation block was (re)compiled at [entry] with [body]
+          straight-line instructions. *)
+  | Tb_hit of { entry : int; body : int }
+      (** A cached, still-valid block was entered. *)
+  | Tb_invalidate of { addr : int; len : int }
+      (** Code patch: page generations over [addr, addr+len) were bumped. *)
+  | Icache_burst of { addr : int; misses : int }
+      (** A run of [misses] consecutive L1i misses ended at [addr]. *)
+  | Fault_raised of { pc : int; cause : string }
+      (** A deterministic machine fault; [cause] is ["sigill"], ["sigsegv"]
+          or ["misaligned"]. Raised before any handler runs — pairing it
+          with the following [Fault_recovered] (or lack thereof) shows
+          whether recovery succeeded. *)
+  | Fault_recovered of { site : int; redirect : int; cause : string }
+      (** The Chimera runtime attributed a fault to trampoline [site] and
+          resumed at [redirect] (the paper's passive SMILE mechanism). *)
+  | Trap_taken of { site : int; target : int }
+      (** A trap-based trampoline (ebreak) at [site] redirected to
+          [target] (strawman / ARMore / CHBP trap fallback). *)
+  | Check_taken of { site : int; target : int }
+      (** A Safer-style checked indirect jump executed at [site] with
+          untranslated [target]. *)
+  | Lazy_discovered of { root : int; patches : int }
+      (** Lazy rewriting extended the rewrite from fault site [root],
+          producing [patches] memory patches. *)
+  | Signal_delivered of { pc : int; gp_restored : bool }
+      (** A signal was delivered at [pc]; [gp_restored] means the kernel
+          model found gp mid-trampoline and presented the ABI value. *)
+  | Sched_steal of { core : int; cls : string; task : int }
+      (** Core [core] (class ["base"]/["extension"]) stole [task] from the
+          other pool's queue. *)
+  | Sched_migrate of { task : int; cycles : int }
+      (** FAM: [task] aborted on a base core after [cycles] and was requeued
+          on the extension pool. *)
+  | Rw_site of { site : int; style : string }
+      (** Rewrite time: an entry trampoline was placed at [site]; [style] is
+          ["smile"], ["trap"] or ["greg"]. *)
+  | Rw_exit of { site : int; kind : string }
+      (** Rewrite time: the exit register at [site] was resolved by
+          ["liveness"], ["shift"], ["terminator"] or fell back to ["trap"]. *)
+  | Smile_write of { pc : int; target : int }
+      (** The 8 SMILE bytes were written over [pc], targeting [target]. *)
+  | Table_add of { key : int; redirect : int; table : string }
+      (** An entry was added to the ["fault"] or ["trap"] table. *)
+
+val schema_version : int
+
+(** {1 Enable / emit} *)
+
+val enabled : bool ref
+(** The one-branch guard. Emission sites must read it before allocating an
+    event: [if !Obs.enabled then Obs.emit (...)]. Do not set it directly —
+    use {!enable}/{!disable} so the ring is set up and drained. *)
+
+val emit : event -> unit
+(** Append to the ring (no-op when disabled). The ring flushes to the sink
+    when full. *)
+
+val enable : sink:(event array -> int -> unit) -> unit
+(** Install [sink] and turn tracing on. The sink receives the ring array and
+    the number of valid events (prefix); it must not retain the array.
+    Emits {!Meta} as the first event. *)
+
+val disable : unit -> unit
+(** Flush the remaining events to the sink and turn tracing off. *)
+
+val events_emitted : unit -> int
+(** Events emitted since the last {!enable}. *)
+
+(** {1 JSONL encoding} *)
+
+module Json : sig
+  val to_line : event -> string
+  (** One JSON object per event, no trailing newline. Keys: ["ev"] plus the
+      payload fields under their OCaml names; the schema is documented in
+      OBSERVABILITY.md and pinned by the golden test. *)
+
+  val of_line : string -> event option
+  (** Strict inverse of {!to_line} ([None] on any deviation). *)
+
+  val channel_sink : out_channel -> event array -> int -> unit
+  (** A sink writing each event as one line to the channel. *)
+
+  val read_file : string -> event list
+  (** Parse a JSONL trace file. @raise Failure on the first malformed line
+      (with its line number). *)
+end
+
+(** {1 Aggregation}
+
+    Folds an event stream back into the per-site counts and histograms the
+    report prints — the bridge that lets Table-2-style numbers be reproduced
+    from a trace alone. *)
+
+module Agg : sig
+  type t
+
+  type totals = {
+    mutable faults_raised : int;
+    mutable faults_recovered : int;
+    mutable traps : int;
+    mutable checks : int;
+    mutable lazies : int;
+    mutable tb_compiles : int;
+    mutable tb_hits : int;
+    mutable tb_invalidations : int;
+    mutable icache_bursts : int;
+    mutable steals : int;
+    mutable migrations : int;
+    mutable signals : int;
+  }
+
+  val create : unit -> t
+  val observe : t -> event -> unit
+  val totals : t -> totals
+
+  val correctness_events : t -> int
+  (** The Table 2 metric recomputed from the stream:
+      [faults_recovered + traps + checks]. *)
+
+  val per_site : t -> (int * int) list
+  (** Correctness events ([Fault_recovered] + [Trap_taken] + [Check_taken])
+      per site, sorted by site address — deterministic regardless of event
+      order. *)
+
+  val tb_body_histogram : t -> (string * int) list
+  (** Compiled-block body lengths bucketed as ["1".."8"], ["9".."32"],
+      ["33".."128"], ["129+"] (label, count). *)
+end

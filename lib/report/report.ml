@@ -33,6 +33,16 @@ let table ~title ~header ~rows =
   heading title;
   print_aligned (header :: List.map (fun r -> r) rows)
 
+let histogram ~title ~rows =
+  heading title;
+  let peak = List.fold_left (fun acc (_, n) -> max acc n) 0 rows in
+  let bar n =
+    if peak = 0 then ""
+    else String.make (if n = 0 then 0 else max 1 (n * 40 / peak)) '#'
+  in
+  print_aligned
+    (List.map (fun (label, n) -> [ label; string_of_int n; bar n ]) rows)
+
 let series ~title ~xlabel ~xs ~lines =
   heading title;
   let header = xlabel :: List.map fst lines in

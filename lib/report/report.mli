@@ -13,6 +13,9 @@ val series :
 (** Print a figure as aligned numeric series: one row per x value, one
     column per line. *)
 
+val histogram : title:string -> rows:(string * int) list -> unit
+(** Print labelled counts with proportional ASCII bars (peak = 40 chars). *)
+
 val note : string -> unit
 (** Print an indented free-form note. *)
 

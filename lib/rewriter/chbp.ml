@@ -249,6 +249,16 @@ let resolve_exit t cb dis live ~chunk_base ~start =
   | Eshift -> t.st.exit_shift <- t.st.exit_shift + 1
   | Eterminator -> t.st.exit_terminator <- t.st.exit_terminator + 1
   | Etrapped -> t.st.exit_trap <- t.st.exit_trap + 1);
+  if !Obs.enabled then begin
+    let name =
+      match kind with
+      | Eliveness -> "liveness"
+      | Eshift -> "shift"
+      | Eterminator -> "terminator"
+      | Etrapped -> "trap"
+    in
+    Obs.emit (Obs.Rw_exit { site = start; kind = name })
+  end;
   kind
 
 (* ------------------------------------------------------------------ *)
@@ -534,20 +544,26 @@ let process_batch t dis live plan =
                   Smile.write scratch ~off:0 ~pc:si.addr ~target ~compressed:t.compressed;
                   if nop then ignore (Encode.write scratch 8 Inst.C_nop);
                   write_code t si.addr scratch (space_end - si.addr);
-                  t.st.sites <- t.st.sites + 1
+                  t.st.sites <- t.st.sites + 1;
+                  if !Obs.enabled then
+                    Obs.emit (Obs.Rw_site { site = si.addr; style = "smile" })
               | None ->
                   (* pad placement failed: trap entry *)
                   ignore (Encode.write scratch 0 Inst.Ebreak);
                   write_code t si.addr scratch 4;
                   Fault_table.add t.trap_tbl ~key:si.addr
                     ~redirect:(b + Codebuf.label_offset cb (entry_label si.addr));
-                  t.st.trap_entries <- t.st.trap_entries + 1)
+                  t.st.trap_entries <- t.st.trap_entries + 1;
+                  if !Obs.enabled then
+                    Obs.emit (Obs.Rw_site { site = si.addr; style = "trap" }))
           | Etrap_entry ->
               ignore (Encode.write scratch 0 Inst.Ebreak);
               write_code t si.addr scratch 4;
               Fault_table.add t.trap_tbl ~key:si.addr
                 ~redirect:(b + Codebuf.label_offset cb (entry_label si.addr));
-              t.st.trap_entries <- t.st.trap_entries + 1
+              t.st.trap_entries <- t.st.trap_entries + 1;
+              if !Obs.enabled then
+                Obs.emit (Obs.Rw_site { site = si.addr; style = "trap" })
           | Econsumed -> ())
         plan;
       (* fault-handling table entries for overwritten instructions *)
@@ -801,7 +817,9 @@ let process_greg_site t dis cfg live (sources : Disasm.insn list) =
             ignore (Encode.write scratch 0 Inst.Ebreak);
             write_code t s.addr scratch 4;
             Fault_table.add t.trap_tbl ~key:s.addr ~redirect:(b + off);
-            t.st.odd_entry_traps <- t.st.odd_entry_traps + 1
+            t.st.odd_entry_traps <- t.st.odd_entry_traps + 1;
+            if !Obs.enabled then
+              Obs.emit (Obs.Rw_site { site = s.addr; style = "trap" })
         | exception Not_found -> ()
       in
       let emit_trap_entry () =
@@ -816,6 +834,8 @@ let process_greg_site t dis cfg live (sources : Disasm.insn list) =
         write_code t si.addr scratch 4;
         Fault_table.add t.trap_tbl ~key:si.addr ~redirect:b;
         t.st.trap_entries <- t.st.trap_entries + 1;
+        if !Obs.enabled then
+          Obs.emit (Obs.Rw_site { site = si.addr; style = "trap" });
         List.iter
           (fun (s : Disasm.insn) ->
             add_table cb b s.addr;
@@ -852,6 +872,8 @@ let process_greg_site t dis cfg live (sources : Disasm.insn list) =
           Hashtbl.replace t.overwritten ld.Disasm.addr ();
           t.gregs <- (ld.Disasm.addr, rd) :: t.gregs;
           t.st.sites <- t.st.sites + 1;
+          if !Obs.enabled then
+            Obs.emit (Obs.Rw_site { site = lui.Disasm.addr; style = "greg" });
           add_table cb b ld.Disasm.addr;
           List.iter
             (fun (s : Disasm.insn) ->
@@ -892,6 +914,8 @@ let process_upgrade t dis live (c : Upgrade.candidate) =
   Smile.write scratch ~off:0 ~pc:c.c_addr ~target:b ~compressed:t.compressed;
   write_code t c.c_addr scratch 8;
   t.st.sites <- t.st.sites + 1;
+  if !Obs.enabled then
+    Obs.emit (Obs.Rw_site { site = c.c_addr; style = "smile" });
   (match Codebuf.label_offset cb (site_label (c.c_addr + 4)) with
   | off ->
       (match Fault_table.find t.table (c.c_addr + 4) with
@@ -982,7 +1006,7 @@ let rewrite ?options (bin : Binfile.t) =
       opts;
       compressed;
       table = Fault_table.create ();
-      trap_tbl = Fault_table.create ();
+      trap_tbl = Fault_table.create ~name:"trap" ();
       st =
         { source_insts = 0; sites = 0; trap_entries = 0; odd_entry_traps = 0;
           batches = 0; exits = 0;

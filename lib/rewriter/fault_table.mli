@@ -8,7 +8,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> unit -> t
+(** [name] (default ["fault"]) tags the table's {!Obs.Table_add} trace
+    events — the rewriter uses ["fault"] and ["trap"]. *)
+
 val add : t -> key:int -> redirect:int -> unit
 (** @raise Invalid_argument on a duplicate key (each original address has
     exactly one copy). *)

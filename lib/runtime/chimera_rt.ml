@@ -71,9 +71,11 @@ let lazy_rewrite t m pc =
   match original_inst t pc with
   | Some inst when Ext.required inst <> None && not (Ext.supports (Machine.isa m) inst)
     ->
-      t.counters.Counters.lazy_rewrites <- t.counters.Counters.lazy_rewrites + 1;
+      Counters.lazy_at t.counters ~site:pc;
       Machine.charge m t.costs.Costs.lazy_rewrite;
       let patches = Chbp.extend t.ctx ~root:pc in
+      if !Obs.enabled then
+        Obs.emit (Obs.Lazy_discovered { root = pc; patches = List.length patches });
       List.iter (fun mem -> List.iter (apply_patch t mem) patches) t.views;
       (* the site at pc is now a trampoline (or trap); re-execute it *)
       if patches = [] then None else Some pc
@@ -83,8 +85,9 @@ let handlers t =
   let table = Chbp.fault_table t.ctx in
   let traps = Chbp.trap_table t.ctx in
   let gp_value = Chbp.gp_value t.ctx in
-  let recover m redirect =
-    t.counters.Counters.faults_recovered <- t.counters.Counters.faults_recovered + 1;
+  let recover m ~site ~cause redirect =
+    Counters.fault_at t.counters ~site;
+    if !Obs.enabled then Obs.emit (Obs.Fault_recovered { site; redirect; cause });
     Machine.charge m t.costs.Costs.fault_recovery;
     Machine.set_reg m Reg.gp (Int64.of_int gp_value);
     Machine.Resume redirect
@@ -97,7 +100,7 @@ let handlers t =
         (* potential partial SMILE execution: the jalr stored pc+4 in gp *)
         let site = Int64.to_int (Machine.get_reg m Reg.gp) - 4 in
         match Fault_table.find table site with
-        | Some redirect -> recover m redirect
+        | Some redirect -> recover m ~site ~cause:"sigsegv" redirect
         | None -> (
             (* general-register SMILE (paper Fig. 5): find the site whose
                link register carries its jalr's return address *)
@@ -110,8 +113,11 @@ let handlers t =
             | Some (jaddr, r) -> (
                 match Fault_table.find table jaddr with
                 | Some redirect ->
-                    t.counters.Counters.faults_recovered <-
-                      t.counters.Counters.faults_recovered + 1;
+                    Counters.fault_at t.counters ~site:jaddr;
+                    if !Obs.enabled then
+                      Obs.emit
+                        (Obs.Fault_recovered
+                           { site = jaddr; redirect; cause = "sigsegv" });
                     Machine.charge m t.costs.Costs.fault_recovery;
                     (* restore the register to the value the preceding lui
                        established (the only statically known valid value) *)
@@ -124,7 +130,7 @@ let handlers t =
             | None -> Machine.Stop (Machine.Faulted fault)))
     | Fault.Illegal_instruction { pc; _ } -> (
         match Fault_table.find table pc with
-        | Some redirect -> recover m redirect
+        | Some redirect -> recover m ~site:pc ~cause:"sigill" redirect
         | None -> (
             match lazy_rewrite t m pc with
             | Some resume -> Machine.Resume resume
@@ -136,7 +142,8 @@ let handlers t =
     note_machine t m;
     match Fault_table.find traps pc with
     | Some target ->
-        t.counters.Counters.traps <- t.counters.Counters.traps + 1;
+        Counters.trap_at t.counters ~site:pc;
+        if !Obs.enabled then Obs.emit (Obs.Trap_taken { site = pc; target });
         Machine.charge m t.costs.Costs.trap;
         Machine.Resume target
     | None ->

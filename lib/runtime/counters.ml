@@ -1,3 +1,10 @@
+type site = {
+  mutable s_faults : int;
+  mutable s_traps : int;
+  mutable s_checks : int;
+  mutable s_lazy : int;
+}
+
 type t = {
   mutable faults_recovered : int;
   mutable traps : int;
@@ -5,11 +12,46 @@ type t = {
   mutable lazy_rewrites : int;
   mutable migrations : int;
   mutable signals : int;
+  sites : (int, site) Hashtbl.t;
 }
 
 let create () =
   { faults_recovered = 0; traps = 0; checks = 0; lazy_rewrites = 0;
-    migrations = 0; signals = 0 }
+    migrations = 0; signals = 0; sites = Hashtbl.create 16 }
+
+let site_of t pc =
+  match Hashtbl.find_opt t.sites pc with
+  | Some s -> s
+  | None ->
+      let s = { s_faults = 0; s_traps = 0; s_checks = 0; s_lazy = 0 } in
+      Hashtbl.add t.sites pc s;
+      s
+
+let fault_at t ~site =
+  t.faults_recovered <- t.faults_recovered + 1;
+  let s = site_of t site in
+  s.s_faults <- s.s_faults + 1
+
+let trap_at t ~site =
+  t.traps <- t.traps + 1;
+  let s = site_of t site in
+  s.s_traps <- s.s_traps + 1
+
+let check_at t ~site =
+  t.checks <- t.checks + 1;
+  let s = site_of t site in
+  s.s_checks <- s.s_checks + 1
+
+let lazy_at t ~site =
+  t.lazy_rewrites <- t.lazy_rewrites + 1;
+  let s = site_of t site in
+  s.s_lazy <- s.s_lazy + 1
+
+let site_events s = s.s_faults + s.s_traps + s.s_checks
+
+let per_site t =
+  Hashtbl.fold (fun pc s acc -> (pc, s) :: acc) t.sites []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let total_correctness_events t = t.faults_recovered + t.traps + t.checks
 
@@ -19,7 +61,15 @@ let add acc src =
   acc.checks <- acc.checks + src.checks;
   acc.lazy_rewrites <- acc.lazy_rewrites + src.lazy_rewrites;
   acc.migrations <- acc.migrations + src.migrations;
-  acc.signals <- acc.signals + src.signals
+  acc.signals <- acc.signals + src.signals;
+  Hashtbl.iter
+    (fun pc s ->
+      let d = site_of acc pc in
+      d.s_faults <- d.s_faults + s.s_faults;
+      d.s_traps <- d.s_traps + s.s_traps;
+      d.s_checks <- d.s_checks + s.s_checks;
+      d.s_lazy <- d.s_lazy + s.s_lazy)
+    src.sites
 
 let pp fmt t =
   Format.fprintf fmt

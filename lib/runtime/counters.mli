@@ -1,5 +1,19 @@
 (** Event counters of the runtime mechanisms — the data behind the paper's
-    Table 2 ("fault handling trigger count"). *)
+    Table 2 ("fault handling trigger count").
+
+    Besides the aggregate totals, a counter set records a per-site breakdown:
+    every correctness event is attributed to the trampoline/check site (the
+    original-code pc) that triggered it. Per-site entries are merged with
+    {!add} by per-key addition — a commutative, associative operation — so
+    aggregation across parallel workers is deterministic and independent of
+    merge order, and {!per_site} returns a canonically sorted view. *)
+
+type site = {
+  mutable s_faults : int;  (** fault recoveries attributed to this site *)
+  mutable s_traps : int;  (** trap round trips through this site *)
+  mutable s_checks : int;  (** Safer-style checks executed at this site *)
+  mutable s_lazy : int;  (** lazy rewrites rooted at this site *)
+}
 
 type t = {
   mutable faults_recovered : int;
@@ -13,14 +27,33 @@ type t = {
   mutable lazy_rewrites : int;  (** unrecognized instructions rewritten at runtime *)
   mutable migrations : int;  (** cross-core task migrations *)
   mutable signals : int;  (** signals delivered through the gp-restoring path *)
+  sites : (int, site) Hashtbl.t;
+      (** per-site breakdown, keyed by the site pc; use the [*_at]
+          helpers to keep the totals and the breakdown consistent *)
 }
 
 val create : unit -> t
+
+val fault_at : t -> site:int -> unit
+(** Count one recovered fault, attributed to [site]. *)
+
+val trap_at : t -> site:int -> unit
+val check_at : t -> site:int -> unit
+val lazy_at : t -> site:int -> unit
+
+val site_events : site -> int
+(** Correctness events at one site ([s_faults + s_traps + s_checks]). *)
+
+val per_site : t -> (int * site) list
+(** The per-site breakdown sorted by site pc (deterministic regardless of
+    the order events were counted or merged in). *)
+
 val total_correctness_events : t -> int
 (** The Table 2 metric: every invocation of a correctness-guarantee
     mechanism ([faults_recovered + traps + checks]). *)
 
 val add : t -> t -> unit
-(** Accumulate [src] into the first argument. *)
+(** Accumulate [src] into the first argument, including the per-site
+    tables (per-key addition, so any merge order yields the same result). *)
 
 val pp : Format.formatter -> t -> unit

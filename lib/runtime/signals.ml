@@ -44,6 +44,13 @@ let deliver t m =
      the SMILE trampoline left in the register (paper Fig. 10) *)
   if not (Int64.equal true_gp (Int64.of_int t.gp_value)) then
     t.restorations <- t.restorations + 1;
+  if !Obs.enabled then
+    Obs.emit
+      (Obs.Signal_delivered
+         {
+           pc = Machine.pc m;
+           gp_restored = not (Int64.equal true_gp (Int64.of_int t.gp_value));
+         });
   Machine.set_reg m Reg.gp (Int64.of_int t.gp_value);
   t.observed <- Machine.get_reg m Reg.gp :: t.observed;
   t.delivered <- t.delivered + 1;

@@ -32,7 +32,7 @@ type result = {
 
 type item = { task : task; mutable forced_ext : bool }
 
-type core = { cls : core_class; mutable clock : int; mutable busy : int }
+type core = { id : int; cls : core_class; mutable clock : int; mutable busy : int }
 
 (* FIFO queue with predicate-driven extraction. *)
 module Q = struct
@@ -88,24 +88,41 @@ let run config tasks =
     Array.init
       (config.base_cores + config.ext_cores)
       (fun i ->
-        { cls = (if i < config.base_cores then Base else Extension);
+        { id = i;
+          cls = (if i < config.base_cores then Base else Extension);
           clock = 0;
           busy = 0 })
   in
   let accelerated = ref 0 and migrations = ref 0 and completed = ref 0 in
   (* what work could the given core take right now? *)
+  let stolen core it =
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Sched_steal
+           { core = core.id;
+             cls = core_class_name core.cls;
+             task = it.task.t_id });
+    Some it
+  in
   let take_for core =
     match core.cls with
     | Extension -> (
         match Q.take ext_q with
         | Some it -> Some it
-        | None -> if config.steal then Q.take base_q else None)
+        | None ->
+            if config.steal then
+              match Q.take base_q with
+              | Some it -> stolen core it
+              | None -> None
+            else None)
     | Base -> (
         match Q.take base_q with
         | Some it -> Some it
         | None ->
             if config.steal && config.steal_ext_tasks then
-              Q.take_first ext_q (fun it -> not it.forced_ext)
+              match Q.take_first ext_q (fun it -> not it.forced_ext) with
+              | Some it -> stolen core it
+              | None -> None
             else None)
   in
   let could_take core =
@@ -161,6 +178,9 @@ let run config tasks =
                   core.clock <- core.clock + cycles + config.migrate_cost;
                   core.busy <- core.busy + cycles + config.migrate_cost;
                   incr migrations;
+                  if !Obs.enabled then
+                    Obs.emit
+                      (Obs.Sched_migrate { task = item.task.t_id; cycles });
                   item.forced_ext <- true;
                   Q.push ext_q item))
     end

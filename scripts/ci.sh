@@ -3,4 +3,21 @@
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+
+# Documentation build (odoc is optional in the minimal toolchain image).
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "ci: odoc not installed, skipping dune build @doc"
+fi
+
 dune exec bench/main.exe -- fig13 -q
+
+# Observability smoke test: trace a quick table2 run and let the driver's
+# validator cross-check the per-site counts against the event stream
+# (non-zero exit on any mismatch; schema in OBSERVABILITY.md).
+trace=$(mktemp /tmp/chimera-trace-XXXXXX.jsonl)
+trap 'rm -f "$trace"' EXIT
+dune exec bench/main.exe -- table2 -q --trace "$trace"
+test -s "$trace"
+head -1 "$trace" | grep -q '"ev":"meta"'
