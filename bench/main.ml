@@ -170,7 +170,17 @@ let rec chunks n = function
 (* Per-experiment stats (--json)                                       *)
 (* ------------------------------------------------------------------ *)
 
-type stat = { st_name : string; st_wall : float; st_retired : int }
+type stat = {
+  st_name : string;
+  st_wall : float;
+  st_retired : int;
+  st_tlb_hits : int;
+  st_tlb_misses : int;
+  st_chain_hits : int;
+  st_dispatches : int;
+}
+
+let rate num den = if den > 0 then float_of_int num /. float_of_int den else 0.
 
 let write_json file (stats : stat list) =
   let oc = open_out file in
@@ -182,8 +192,11 @@ let write_json file (stats : stat list) =
         if s.st_wall > 0. then float_of_int s.st_retired /. s.st_wall /. 1e6 else 0.
       in
       Printf.fprintf oc
-        "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \"mips\": %.1f }%s\n"
+        "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \"mips\": %.1f, \
+         \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f }%s\n"
         s.st_name s.st_wall s.st_retired mips
+        (rate s.st_tlb_hits (s.st_tlb_hits + s.st_tlb_misses))
+        (rate s.st_chain_hits s.st_dispatches)
         (if i = n - 1 then "" else ","))
     stats;
   output_string oc "  ]\n}\n";
@@ -741,6 +754,40 @@ let micro _quick =
         (Staged.stage (fun () ->
              Loader.init_machine interp_machine mm_bin;
              ignore (Machine.run ~fuel:1000 interp_machine))) ]
+    (* memory-op loops exercising the software TLB: sequential accesses stay
+       in one page per 256 iterations (best case), page-strided accesses
+       touch a new page every iteration (worst case that still hits after
+       the first lap), and the page-crossing u64s split every access across
+       two pages *)
+    @
+    let mem_base = 0x2000_0000 in
+    let mem_pages = 32 in
+    let mem_len = mem_pages * Memory.page_size in
+    let mm = Memory.create () in
+    Memory.map mm ~addr:mem_base ~len:mem_len Memory.perm_rw;
+    [ Test.make ~name:"mem-seq-u64"
+        (Staged.stage (fun () ->
+             for i = 0 to 1023 do
+               let a = mem_base + (i * 16) in
+               Memory.store_u64 mm a (Int64.of_int i);
+               ignore (Memory.load_u64 mm a)
+             done));
+      Test.make ~name:"mem-strided-4k-u64"
+        (Staged.stage (fun () ->
+             for i = 0 to 1023 do
+               let a = mem_base + (i mod mem_pages * Memory.page_size) in
+               Memory.store_u64 mm a (Int64.of_int i);
+               ignore (Memory.load_u64 mm a)
+             done));
+      Test.make ~name:"mem-page-cross-u64"
+        (Staged.stage (fun () ->
+             for i = 0 to 1023 do
+               let a =
+                 mem_base + ((i mod (mem_pages - 1) + 1) * Memory.page_size) - 4
+               in
+               Memory.store_u64 mm a (Int64.of_int i);
+               ignore (Memory.load_u64 mm a)
+             done)) ]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
   let clock = Toolkit.Instance.monotonic_clock in
@@ -880,7 +927,10 @@ let open_out_or_die f =
     Printf.eprintf "cannot open output file: %s\n" e;
     exit 2
 
-let main names quick jobs json_file trace_file chrome_file =
+let main names quick jobs engine json_file trace_file chrome_file =
+  (match engine with
+  | `Block -> ()
+  | `Step -> Machine.set_block_engine_default false);
   Par.jobs := (if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs);
   (* fail on unwritable output paths before the run, not after *)
   let check_writable = function
@@ -923,12 +973,20 @@ let main names quick jobs json_file trace_file chrome_file =
         Hashtbl.replace seen n ();
         Par.experiment := n;
         let r0 = Machine.observed_retired () in
+        let th0, tm0 = Memory.observed_tlb () in
+        let ch0, cd0 = Machine.observed_chain () in
         let w0 = Unix.gettimeofday () in
         traced_phase n (fun () -> (List.assoc n experiments) quick);
+        let th1, tm1 = Memory.observed_tlb () in
+        let ch1, cd1 = Machine.observed_chain () in
         stats :=
           { st_name = n;
             st_wall = Unix.gettimeofday () -. w0;
-            st_retired = Machine.observed_retired () - r0 }
+            st_retired = Machine.observed_retired () - r0;
+            st_tlb_hits = th1 - th0;
+            st_tlb_misses = tm1 - tm0;
+            st_chain_hits = ch1 - ch0;
+            st_dispatches = cd1 - cd0 }
           :: !stats
       end)
     requested;
@@ -964,6 +1022,17 @@ let jobs_arg =
            auto-detect from the core count; 1 disables parallelism. Results \
            and report ordering are identical for every value.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("block", `Block); ("step", `Step) ]) `Block
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine for every machine the benchmarks create: \
+           $(b,block) (default; translation blocks with direct chaining) or \
+           $(b,step) (reference single-step path). Simulated counters are \
+           identical for both — CI compares them.")
+
 let json_arg =
   Arg.(
     value & opt (some string) None
@@ -994,7 +1063,7 @@ let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const main $ names_arg $ quick_arg $ jobs_arg $ json_arg $ trace_arg
-      $ chrome_arg)
+      const main $ names_arg $ quick_arg $ jobs_arg $ engine_arg $ json_arg
+      $ trace_arg $ chrome_arg)
 
 let () = exit (Cmd.eval cmd)

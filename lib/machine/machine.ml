@@ -1,6 +1,9 @@
 (* Decode-cache entries carry the generation stamp of the bytes they were
-   decoded from; a stale entry fails its stamp check and is re-decoded. *)
-type centry = Cok of Inst.t * int * int | Cill of string * int
+   decoded from; a stale entry fails its stamp check and is re-decoded.
+   [Cill] also records the last byte actually examined (an illegal decode
+   may have fetched only the low parcel), so its stamp covers exactly the
+   bytes the verdict depends on. *)
+type centry = Cok of Inst.t * int * int | Cill of string * int * int
 
 type view = {
   vmem : Memory.t;
@@ -29,6 +32,13 @@ and t = {
   mutable cycles : int;
   mutable icache : Icache.t option;
   mutable block_engine : bool;
+  mutable chain : bool;
+  mutable code_epoch : int;
+      (** advanced on every {!invalidate_code} and ISA change; blocks whose
+          [echeck] equals it are valid with one compare, and chain links are
+          implicitly severed when it moves (Tblock.revalidate) *)
+  mutable chain_hits : int;  (** dispatches served by a chain link *)
+  mutable tb_dispatches : int;  (** total block dispatches (chained or not) *)
 }
 
 type stop = Exited of int | Faulted of Fault.t | Fuel_exhausted
@@ -59,6 +69,12 @@ let default_handlers =
 let new_view mem =
   { vmem = mem; cache = Hashtbl.create 1024; blocks = Hashtbl.create 256 }
 
+(* Process-wide default for newly created machines; the bench driver's
+   --engine flag flips it so whole experiments can run on the single-step
+   reference engine for differential checks. *)
+let block_engine_default = ref true
+let set_block_engine_default on = block_engine_default := on
+
 let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
   let view = new_view mem in
   { cur = view;
@@ -77,11 +93,21 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     indirect_retired = 0;
     cycles = 0;
     icache = None;
-    block_engine = true }
+    block_engine = !block_engine_default;
+    chain = true;
+    code_epoch = 0;
+    chain_hits = 0;
+    tb_dispatches = 0 }
 
 let mem t = t.cur.vmem
 let isa t = t.isa
-let set_isa t isa = t.isa <- isa
+
+let set_isa t isa =
+  if not (Ext.equal t.isa isa) then begin
+    t.isa <- isa;
+    (* blocks compiled against the old capability set must re-check *)
+    t.code_epoch <- t.code_epoch + 1
+  end
 let costs t = t.costs
 let vlen t = t.vlen
 let pc t = t.pc
@@ -127,7 +153,11 @@ let switch_view t mem =
    next use, in every view (stamps are taken from the shared table). *)
 let invalidate_code t ~addr ~len =
   if !Obs.enabled then Obs.emit (Obs.Tb_invalidate { addr; len });
-  Tblock.Gen.bump t.gens ~addr ~len
+  Tblock.Gen.bump t.gens ~addr ~len;
+  (* the epoch moves with every bump: stale blocks fail the one-compare
+     fast check and fall back to the full stamp check (or re-translation),
+     and every chain link established before the patch stops matching *)
+  t.code_epoch <- t.code_epoch + 1
 
 let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ())
 
@@ -308,15 +338,20 @@ let decode_fresh t pc =
         (Cok (i, n, Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1)));
       (i, n)
   | Decode.Illegal reason ->
+      (* stamp only the bytes the verdict was computed from: the high
+         parcel was fetched (and so depends on memory) only when the low
+         parcel asked for it — stamping a fixed pc+3 would reach into a
+         page that was never examined (possibly unmapped) *)
+      let hi = if needs_hi then pc + 3 else pc + 1 in
       Hashtbl.replace t.cur.cache pc
-        (Cill (reason, Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + 3)));
+        (Cill (reason, hi, Tblock.Gen.stamp t.gens ~lo:pc ~hi));
       raise (Efault (Fault.Illegal_instruction { pc; reason }))
 
 let decode_at t pc =
   match Hashtbl.find_opt t.cur.cache pc with
   | Some (Cok (i, n, st)) when Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1) = st ->
       (i, n)
-  | Some (Cill (reason, st)) when Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + 3) = st ->
+  | Some (Cill (reason, hi, st)) when Tblock.Gen.stamp t.gens ~lo:pc ~hi = st ->
       raise (Efault (Fault.Illegal_instruction { pc; reason }))
   | Some _ | None -> decode_fresh t pc
 
@@ -861,7 +896,7 @@ let compile_op t ~pc inst size =
         Tblock.Op op
 
 let translate_block t entry =
-  Tblock.translate ~gens:t.gens ~isa:t.isa
+  Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
     ~decode:(fun pc ->
       match decode_at t pc with
       | d -> Some d
@@ -872,7 +907,7 @@ let translate_block t entry =
 
 let block_at t =
   match Hashtbl.find_opt t.cur.blocks t.pc with
-  | Some b when Tblock.valid t.gens ~isa:t.isa b ->
+  | Some b when Tblock.revalidate t.gens ~isa:t.isa ~epoch:t.code_epoch b ->
       if !Obs.enabled then
         Obs.emit
           (Obs.Tb_hit { entry = t.pc; body = Array.length b.Tblock.ops });
@@ -903,13 +938,49 @@ let run_step ~handlers ~fuel t =
    instruction with the same ordering as [step], so both engines are
    observably identical — including mid-block faults, where the faulting
    instruction has consumed its fuel but not retired, and fuel exhaustion
-   mid-block. *)
+   mid-block.
+
+   Hot transfers are direct-chained: when a block completes normally, the
+   next dispatch first tries the finished block's successor link (fall
+   slot when the new pc is the fall-through, taken slot otherwise) and only
+   falls back to the block-table probe — overwriting the link — when the
+   guard fails. The guard is entry-pc equality, the one-compare epoch check,
+   and same-view identity (a handler may have switched views mid-run, and
+   links never cross views), so a chain hit proves exactly what a
+   revalidated table hit proves. *)
 let run_blocks ~handlers ~fuel t =
   let remaining = ref fuel in
   let result = ref None in
   let apply = function Resume pc -> t.pc <- pc | Stop s -> result := Some s in
+  (* block that just completed normally (plus its view); cleared on any
+     other path so faults/handler redirects re-enter through the table *)
+  let prev = ref None in
   while !result = None && !remaining > 0 do
-    let b = block_at t in
+    let b =
+      match !prev with
+      | Some (pb, pv) when pv == t.cur -> (
+          let pc = t.pc in
+          let to_fall = pc = pb.Tblock.fall in
+          match (if to_fall then pb.Tblock.link_fall else pb.Tblock.link_taken) with
+          | Some nb
+            when nb.Tblock.entry = pc && Tblock.epoch_current nb t.code_epoch ->
+              t.chain_hits <- t.chain_hits + 1;
+              if !Obs.enabled then
+                Obs.emit
+                  (Obs.Tb_hit { entry = pc; body = Array.length nb.Tblock.ops });
+              nb
+          | _ ->
+              let nb = block_at t in
+              if to_fall then Tblock.set_link_fall pb nb
+              else Tblock.set_link_taken pb nb;
+              if !Obs.enabled then
+                Obs.emit (Obs.Tb_chain { src = pb.Tblock.entry; dst = pc });
+              nb)
+      | _ -> block_at t
+    in
+    let v0 = t.cur in
+    prev := None;
+    t.tb_dispatches <- t.tb_dispatches + 1;
     if Tblock.degenerate b then begin
       (* illegal, unsupported, or unmapped entry: the slow path raises the
          precise fault and routes it to the handlers *)
@@ -957,14 +1028,14 @@ let run_blocks ~handlers ~fuel t =
           apply (handlers.on_fault t f)
       | None ->
           remaining := !remaining - !executed;
-          if !executed = nbody && !remaining > 0 then
+          if !executed = nbody && !remaining > 0 then (
             match b.Tblock.term with
-            | Some (inst, size) -> (
+            | Some (inst, size) ->
                 (match step_decoded ~handlers t inst size with
                 | Some s -> result := Some s
-                | None -> ());
-                decr remaining)
-            | None -> ()
+                | None -> if t.chain then prev := Some (b, v0));
+                decr remaining
+            | None -> if t.chain then prev := Some (b, v0))
     end
   done;
   match !result with Some s -> s | None -> Fuel_exhausted
@@ -976,6 +1047,27 @@ let observed = Atomic.make 0
 let observed_retired () = Atomic.get observed
 let reset_observed_retired () = Atomic.set observed 0
 
+(* Chain and dispatch counters follow the same pattern: plain mutable ints
+   on the hot path, folded into process-wide atomics once per [run]. *)
+let g_chain_hits = Atomic.make 0
+let g_dispatches = Atomic.make 0
+let observed_chain () = (Atomic.get g_chain_hits, Atomic.get g_dispatches)
+
+let reset_observed_chain () =
+  Atomic.set g_chain_hits 0;
+  Atomic.set g_dispatches 0
+
+let flush_run_stats t =
+  if t.chain_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add g_chain_hits t.chain_hits);
+    t.chain_hits <- 0
+  end;
+  if t.tb_dispatches <> 0 then begin
+    ignore (Atomic.fetch_and_add g_dispatches t.tb_dispatches);
+    t.tb_dispatches <- 0
+  end;
+  List.iter (fun v -> Memory.flush_tlb_stats v.vmem) t.views
+
 let run ?(handlers = default_handlers) ~fuel t =
   let r0 = t.retired in
   let s =
@@ -983,7 +1075,10 @@ let run ?(handlers = default_handlers) ~fuel t =
     else run_step ~handlers ~fuel t
   in
   ignore (Atomic.fetch_and_add observed (t.retired - r0));
+  flush_run_stats t;
   s
 
 let set_block_engine t on = t.block_engine <- on
 let block_engine t = t.block_engine
+let set_block_chaining t on = t.chain <- on
+let block_chaining t = t.chain

@@ -18,9 +18,12 @@
     single-step path and the translation-block path are differentially
     tested for bit-identical stop states (test/test_properties.ml), and
     SMILE recovery depends on it (the fault a partially-executed trampoline
-    raises is the key into the fault-handling table). Faults are observable
-    as [Fault_raised] events, and the block engine emits
-    [Tb_compile]/[Tb_hit]/[Tb_invalidate]; see lib/obs and
+    raises is the key into the fault-handling table). The contract holds
+    with every fast path on or off: the software TLB ({!Memory}) and direct
+    block chaining are caches of successful checks, never of outcomes a
+    permission or code change could have altered. Faults are observable as
+    [Fault_raised] events, and the block engine emits
+    [Tb_compile]/[Tb_hit]/[Tb_invalidate]/[Tb_chain]; see lib/obs and
     OBSERVABILITY.md. *)
 
 type t
@@ -137,6 +140,20 @@ val set_block_engine : t -> bool -> unit
 
 val block_engine : t -> bool
 
+val set_block_engine_default : bool -> unit
+(** Engine used by machines created after this call (the bench harness's
+    [--engine] flag sets it before building workloads). *)
+
+val set_block_chaining : t -> bool -> unit
+(** Enable/disable direct block chaining inside the block engine (on by
+    default). When on, a block that completes normally records its
+    successor in a link slot; later transfers along the same edge skip the
+    block-table probe. Links are guarded by entry-pc and code-epoch checks,
+    so chained execution is observably identical to unchained (differential
+    tests assert bit-identical stop states). *)
+
+val block_chaining : t -> bool
+
 (** {1 Instrumentation} *)
 
 val observed_retired : unit -> int
@@ -145,3 +162,10 @@ val observed_retired : unit -> int
     report simulated MIPS. *)
 
 val reset_observed_retired : unit -> unit
+
+val observed_chain : unit -> int * int
+(** Process-wide [(chain hits, block dispatches)] accumulated by completed
+    {!run} calls — a chain hit is a dispatch that followed a direct link
+    instead of probing the block table. *)
+
+val reset_observed_chain : unit -> unit

@@ -18,15 +18,76 @@ let page_size = 4096
 let page_bits = 12
 
 type page = { data : bytes; mutable perm : perm }
-type t = { pages : (int, page) Hashtbl.t }
 
-let create () = { pages = Hashtbl.create 64 }
+(* Software TLB: per access kind, a direct-mapped cache of page index ->
+   page payload, so hot loads/stores/fetches skip the page hashtable (and
+   its [Some] allocation) and the permission re-check.
+
+   Pages can be aliased between memories ([share_range]), so a permission
+   change through one memory must invalidate every memory's TLB. A global
+   permission epoch makes that cheap: [map]/[set_perm]/[share_range] advance
+   it, each TLB records the epoch it was filled under, and a lookup whose
+   epoch lags flushes lazily before probing the page table again. The
+   deterministic-fault contract survives by construction: a TLB hit implies
+   a successful permission check under the current epoch. *)
+
+let tlb_bits = 6
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = tlb_size - 1
+
+(* Advanced by any mapping/permission change in the process. [Atomic.get]
+   compiles to a plain load; cross-domain races at worst coalesce two bumps
+   into one, which still differs from every previously recorded epoch. *)
+let perm_epoch = Atomic.make 0
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  tlb_r_tag : int array;
+  tlb_r_data : bytes array;
+  tlb_w_tag : int array;
+  tlb_w_data : bytes array;
+  tlb_x_tag : int array;
+  tlb_x_data : bytes array;
+  mutable tlb_epoch : int;  (** [perm_epoch] value the TLB was filled under *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+}
+
+let no_bytes = Bytes.create 0
+
+let create () =
+  { pages = Hashtbl.create 64;
+    tlb_r_tag = Array.make tlb_size (-1);
+    tlb_r_data = Array.make tlb_size no_bytes;
+    tlb_w_tag = Array.make tlb_size (-1);
+    tlb_w_data = Array.make tlb_size no_bytes;
+    tlb_x_tag = Array.make tlb_size (-1);
+    tlb_x_data = Array.make tlb_size no_bytes;
+    tlb_epoch = Atomic.get perm_epoch;
+    tlb_hits = 0;
+    tlb_misses = 0 }
 
 let page_index addr = addr lsr page_bits
 let page_offset addr = addr land (page_size - 1)
 
+let flush_tlb t =
+  Array.fill t.tlb_r_tag 0 tlb_size (-1);
+  Array.fill t.tlb_w_tag 0 tlb_size (-1);
+  Array.fill t.tlb_x_tag 0 tlb_size (-1);
+  (* tags gate the data slots; clear them anyway so stale pages can be
+     collected *)
+  Array.fill t.tlb_r_data 0 tlb_size no_bytes;
+  Array.fill t.tlb_w_data 0 tlb_size no_bytes;
+  Array.fill t.tlb_x_data 0 tlb_size no_bytes;
+  t.tlb_epoch <- Atomic.get perm_epoch
+
+let bump_perm_epoch ~addr ~len =
+  Atomic.incr perm_epoch;
+  if !Obs.enabled then Obs.emit (Obs.Tlb_flush { addr; len })
+
 let map t ~addr ~len perm =
   if len <= 0 then invalid_arg "Memory.map: non-positive length";
+  bump_perm_epoch ~addr ~len;
   for idx = page_index addr to page_index (addr + len - 1) do
     if Hashtbl.mem t.pages idx then
       invalid_arg
@@ -35,6 +96,8 @@ let map t ~addr ~len perm =
   done
 
 let set_perm t ~addr ~len perm =
+  (* epoch first: a partial failure may still have downgraded some pages *)
+  bump_perm_epoch ~addr ~len;
   for idx = page_index addr to page_index (addr + len - 1) do
     match Hashtbl.find_opt t.pages idx with
     | Some p -> p.perm <- perm
@@ -51,6 +114,7 @@ let perm_at t addr =
 let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
 
 let share_range ~from ~into ~addr ~len =
+  bump_perm_epoch ~addr ~len;
   for idx = page_index addr to page_index (addr + len - 1) do
     match Hashtbl.find_opt from.pages idx with
     | None ->
@@ -67,8 +131,12 @@ let share_range ~from ~into ~addr ~len =
 
 let violate addr access = raise (Violation { addr; access })
 
-let checked_page t addr access =
-  match Hashtbl.find_opt t.pages (page_index addr) with
+(* TLB miss: lazily flush on an epoch change, then probe the page table and
+   re-run the permission check; only a successful access is cached. *)
+let tlb_fill t tag data slot pg addr access =
+  if t.tlb_epoch <> Atomic.get perm_epoch then flush_tlb t;
+  t.tlb_misses <- t.tlb_misses + 1;
+  match Hashtbl.find_opt t.pages pg with
   | None -> violate addr access
   | Some p ->
       let ok =
@@ -77,7 +145,50 @@ let checked_page t addr access =
         | Fault.Write -> p.perm.w
         | Fault.Execute -> p.perm.x
       in
-      if ok then p else violate addr access
+      if not ok then violate addr access;
+      Array.unsafe_set tag slot pg;
+      Array.unsafe_set data slot p.data;
+      p.data
+
+let tlb_get t tag data addr access =
+  let pg = addr lsr page_bits in
+  let slot = pg land tlb_mask in
+  if Array.unsafe_get tag slot = pg && t.tlb_epoch = Atomic.get perm_epoch then begin
+    t.tlb_hits <- t.tlb_hits + 1;
+    Array.unsafe_get data slot
+  end
+  else tlb_fill t tag data slot pg addr access
+
+let read_data t addr = tlb_get t t.tlb_r_tag t.tlb_r_data addr Fault.Read
+let write_data t addr = tlb_get t t.tlb_w_tag t.tlb_w_data addr Fault.Write
+let exec_data t addr = tlb_get t t.tlb_x_tag t.tlb_x_data addr Fault.Execute
+
+let checked_data t addr access =
+  match access with
+  | Fault.Read -> read_data t addr
+  | Fault.Write -> write_data t addr
+  | Fault.Execute -> exec_data t addr
+
+let tlb_stats t = (t.tlb_hits, t.tlb_misses)
+
+let g_tlb_hits = Atomic.make 0
+let g_tlb_misses = Atomic.make 0
+
+let flush_tlb_stats t =
+  if t.tlb_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add g_tlb_hits t.tlb_hits);
+    t.tlb_hits <- 0
+  end;
+  if t.tlb_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add g_tlb_misses t.tlb_misses);
+    t.tlb_misses <- 0
+  end
+
+let observed_tlb () = (Atomic.get g_tlb_hits, Atomic.get g_tlb_misses)
+
+let reset_observed_tlb () =
+  Atomic.set g_tlb_hits 0;
+  Atomic.set g_tlb_misses 0
 
 let unchecked_page t addr =
   match Hashtbl.find_opt t.pages (page_index addr) with
@@ -91,76 +202,78 @@ let unchecked_page t addr =
 
 (* Fast path: access within one page; slow path crosses a boundary. *)
 
-let load_u8 t addr =
-  let p = checked_page t addr Fault.Read in
-  Bytes.get_uint8 p.data (page_offset addr)
+let load_u8 t addr = Bytes.get_uint8 (read_data t addr) (page_offset addr)
 
-let rec load_multi t addr n access =
-  (* Little-endian read of n bytes, possibly across pages. *)
-  if n = 0 then 0L
+(* Little-endian read of n <= 8 bytes, possibly across pages, in ascending
+   address order so a violation is raised at the first inaccessible byte.
+   The low seven bytes accumulate in an immediate [int]; only byte 7 needs
+   Int64 arithmetic — no per-byte boxing. *)
+let load_multi t addr n access =
+  let lo = ref 0 in
+  let k = if n < 7 then n else 7 in
+  for i = 0 to k - 1 do
+    let a = addr + i in
+    lo := !lo lor (Bytes.get_uint8 (checked_data t a access) (page_offset a) lsl (8 * i))
+  done;
+  if n <= 7 then Int64.of_int !lo
   else
-    let p = checked_page t addr access in
-    let b = Bytes.get_uint8 p.data (page_offset addr) in
-    Int64.logor (Int64.of_int b) (Int64.shift_left (load_multi t (addr + 1) (n - 1) access) 8)
+    let a = addr + 7 in
+    let b7 = Bytes.get_uint8 (checked_data t a access) (page_offset a) in
+    Int64.logor (Int64.of_int !lo) (Int64.shift_left (Int64.of_int b7) 56)
 
 let load_u16 t addr =
   let off = page_offset addr in
-  if off + 2 <= page_size then
-    let p = checked_page t addr Fault.Read in
-    Bytes.get_uint16_le p.data off
+  if off + 2 <= page_size then Bytes.get_uint16_le (read_data t addr) off
   else Int64.to_int (load_multi t addr 2 Fault.Read)
 
 let load_u32 t addr =
   let off = page_offset addr in
   if off + 4 <= page_size then
-    let p = checked_page t addr Fault.Read in
-    Int32.to_int (Bytes.get_int32_le p.data off) land 0xFFFFFFFF
+    Int32.to_int (Bytes.get_int32_le (read_data t addr) off) land 0xFFFFFFFF
   else Int64.to_int (load_multi t addr 4 Fault.Read)
 
 let load_u64 t addr =
   let off = page_offset addr in
-  if off + 8 <= page_size then
-    let p = checked_page t addr Fault.Read in
-    Bytes.get_int64_le p.data off
+  if off + 8 <= page_size then Bytes.get_int64_le (read_data t addr) off
   else load_multi t addr 8 Fault.Read
 
 let store_u8 t addr v =
-  let p = checked_page t addr Fault.Write in
-  Bytes.set_uint8 p.data (page_offset addr) (v land 0xFF)
+  Bytes.set_uint8 (write_data t addr) (page_offset addr) (v land 0xFF)
 
-let rec store_multi t addr n v =
-  if n > 0 then begin
-    let p = checked_page t addr Fault.Write in
-    Bytes.set_uint8 p.data (page_offset addr) (Int64.to_int v land 0xFF);
-    store_multi t (addr + 1) (n - 1) (Int64.shift_right_logical v 8)
+(* Mirror of [load_multi]: ascending address order (earlier bytes are
+   written before a later byte faults, as the recursive version did), low
+   seven bytes from an immediate [int]. *)
+let store_multi t addr n v =
+  let lo = Int64.to_int (Int64.logand v 0xFF_FFFF_FFFF_FFFFL) in
+  let k = if n < 7 then n else 7 in
+  for i = 0 to k - 1 do
+    let a = addr + i in
+    Bytes.set_uint8 (write_data t a) (page_offset a) ((lo lsr (8 * i)) land 0xFF)
+  done;
+  if n > 7 then begin
+    let a = addr + 7 in
+    Bytes.set_uint8 (write_data t a) (page_offset a)
+      (Int64.to_int (Int64.shift_right_logical v 56))
   end
 
 let store_u16 t addr v =
   let off = page_offset addr in
-  if off + 2 <= page_size then
-    let p = checked_page t addr Fault.Write in
-    Bytes.set_uint16_le p.data off (v land 0xFFFF)
+  if off + 2 <= page_size then Bytes.set_uint16_le (write_data t addr) off (v land 0xFFFF)
   else store_multi t addr 2 (Int64.of_int v)
 
 let store_u32 t addr v =
   let off = page_offset addr in
-  if off + 4 <= page_size then
-    let p = checked_page t addr Fault.Write in
-    Bytes.set_int32_le p.data off (Int32.of_int v)
+  if off + 4 <= page_size then Bytes.set_int32_le (write_data t addr) off (Int32.of_int v)
   else store_multi t addr 4 (Int64.of_int v)
 
 let store_u64 t addr v =
   let off = page_offset addr in
-  if off + 8 <= page_size then
-    let p = checked_page t addr Fault.Write in
-    Bytes.set_int64_le p.data off v
+  if off + 8 <= page_size then Bytes.set_int64_le (write_data t addr) off v
   else store_multi t addr 8 v
 
 let fetch_u16 t addr =
   let off = page_offset addr in
-  if off + 2 <= page_size then
-    let p = checked_page t addr Fault.Execute in
-    Bytes.get_uint16_le p.data off
+  if off + 2 <= page_size then Bytes.get_uint16_le (exec_data t addr) off
   else Int64.to_int (load_multi t addr 2 Fault.Execute)
 
 let peek_u8 t addr = Bytes.get_uint8 (unchecked_page t addr).data (page_offset addr)

@@ -8,7 +8,18 @@
 
     Pages can be shared between two memories ({!share_range}): the MMView
     process model maps each core class's rewritten code into a distinct view
-    while all views alias the same physical data pages. *)
+    while all views alias the same physical data pages.
+
+    {b Software TLB.} Each memory carries a small direct-mapped translation
+    cache per access kind (read/write/execute) mapping page index to page
+    payload, so hot checked accesses skip the page hashtable and the
+    permission re-check. Any {!map}/{!set_perm}/{!share_range} — through
+    {e any} memory, since pages can be aliased — advances a global
+    permission epoch; a TLB whose recorded epoch lags is flushed before its
+    next lookup. A TLB hit therefore implies a successful permission check
+    under the current epoch, preserving the deterministic-fault contract: a
+    permission downgrade segfaults on the very next access even through a
+    warm TLB (differentially tested in test/test_machine.ml). *)
 
 type perm = { r : bool; w : bool; x : bool }
 
@@ -75,3 +86,19 @@ val peek_bytes : t -> int -> int -> bytes
 
 val mapped_ranges : t -> (int * int) list
 (** Sorted [(addr, len)] list of maximal mapped runs (diagnostics). *)
+
+(** {1 Software-TLB statistics} *)
+
+val tlb_stats : t -> int * int
+(** [(hits, misses)] of this memory's TLB since creation or the last
+    {!flush_tlb_stats}. *)
+
+val flush_tlb_stats : t -> unit
+(** Add this memory's hit/miss counts to the process-wide totals and zero
+    them ({!Machine.run} calls this once per run for each of its views). *)
+
+val observed_tlb : unit -> int * int
+(** Process-wide [(hits, misses)] accumulated by {!flush_tlb_stats}
+    (domain-safe; the bench harness reports the hit rate). *)
+
+val reset_observed_tlb : unit -> unit

@@ -55,6 +55,13 @@ type 'm t = {
   sizes : int array;
   term : (Inst.t * int) option;
       (** decoded terminator, executed through the machine's event path *)
+  fall : int;  (** pc following the last decoded instruction (fall-through) *)
+  mutable echeck : int;
+      (** machine code-epoch at the last successful validation; equality
+          with the current epoch certifies the stamp without re-summing *)
+  mutable link_fall : 'm t option;  (** chained successor at [fall] *)
+  mutable link_taken : 'm t option;
+      (** chained successor for any other target (taken branch, jump) *)
 }
 
 let default_max_insts = 256
@@ -66,7 +73,8 @@ let default_max_insts = 256
    instructions. A degenerate block (empty body, no terminator) still
    carries a stamp over the entry bytes so that patching them invalidates
    it. *)
-let translate ?(max_insts = default_max_insts) ~gens ~isa ~decode ~compile entry =
+let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compile
+    entry =
   let entry_page = page_of entry in
   let ops = ref [] and pcs = ref [] and sizes = ref [] in
   let count = ref 0 in
@@ -103,10 +111,30 @@ let translate ?(max_insts = default_max_insts) ~gens ~isa ~decode ~compile entry
     ops = Array.of_list (List.rev !ops);
     pcs = Array.of_list (List.rev !pcs);
     sizes = Array.of_list (List.rev !sizes);
-    term = !term }
+    term = !term;
+    fall = !pc;
+    echeck = epoch;
+    link_fall = None;
+    link_taken = None }
 
-let valid gens ~isa b =
-  Ext.equal isa b.isa && Gen.stamp gens ~lo:b.lo ~hi:b.hi = b.stamp
+(* Fast validity: a block checked under the current code epoch is valid by
+   construction (the epoch advances on every generation bump). On an epoch
+   change, fall back to the full stamp + capability check and re-certify;
+   generations are monotonic, so an equal stamp proves no covered page
+   changed. A block that fails here is replaced in the block table — its
+   [echeck] is never refreshed again, so any chain link still pointing at
+   it can never pass the epoch guard (links are severed lazily). *)
+let revalidate gens ~isa ~epoch b =
+  b.echeck = epoch
+  || (Ext.equal isa b.isa
+      && Gen.stamp gens ~lo:b.lo ~hi:b.hi = b.stamp
+      &&
+      (b.echeck <- epoch;
+       true))
+
+let epoch_current b epoch = b.echeck = epoch
+let set_link_fall b next = b.link_fall <- Some next
+let set_link_taken b next = b.link_taken <- Some next
 
 let body_length b = Array.length b.ops
 

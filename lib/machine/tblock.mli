@@ -45,24 +45,48 @@ type 'm t = private {
   pcs : int array;
   sizes : int array;
   term : (Inst.t * int) option;
+  fall : int;  (** pc following the last decoded instruction *)
+  mutable echeck : int;
+      (** code epoch at the last successful validation ({!revalidate}) *)
+  mutable link_fall : 'm t option;
+      (** direct-chained successor at [fall] (set via {!set_link_fall}) *)
+  mutable link_taken : 'm t option;
+      (** direct-chained successor for any other target ({!set_link_taken}) *)
 }
 
 val translate :
   ?max_insts:int ->
   gens:Gen.t ->
+  epoch:int ->
   isa:Ext.t ->
   decode:(int -> (Inst.t * int) option) ->
   compile:(pc:int -> Inst.t -> int -> 'm compiled) ->
   int ->
   'm t
-(** [translate ~gens ~isa ~decode ~compile entry] decodes the straight-line
-    run at [entry]. [decode pc] returns [None] when the bytes at [pc] cannot
-    be decoded or fetched (the block ends there; the slow path will raise
-    the precise fault when execution reaches it). *)
+(** [translate ~gens ~epoch ~isa ~decode ~compile entry] decodes the
+    straight-line run at [entry]. [decode pc] returns [None] when the bytes
+    at [pc] cannot be decoded or fetched (the block ends there; the slow
+    path will raise the precise fault when execution reaches it). [epoch] is
+    the machine's current code epoch, recorded as the block's initial
+    [echeck]. *)
 
-val valid : Gen.t -> isa:Ext.t -> 'm t -> bool
-(** Stamp and capability check; a stale or cross-ISA block must be
-    re-translated. *)
+val revalidate : Gen.t -> isa:Ext.t -> epoch:int -> 'm t -> bool
+(** Validity check with an epoch fast path: a block whose [echeck] equals
+    the current code epoch is valid with a single compare; otherwise the
+    full capability + generation-stamp check runs and, on success, [echeck]
+    is refreshed. A [false] block must be re-translated — and must {e not}
+    have its [echeck] refreshed by other means, since chain links rely on a
+    stale [echeck] never matching again (epochs only grow). *)
+
+val epoch_current : 'm t -> int -> bool
+(** [epoch_current b epoch] is [b.echeck = epoch]: the chain-follow guard —
+    no stamp re-summation, no hashtable. *)
+
+val set_link_fall : 'm t -> 'm t -> unit
+val set_link_taken : 'm t -> 'm t -> unit
+(** Record a direct-chained successor. Links are hints, not invariants:
+    every follow is guarded by entry-pc equality and {!epoch_current}, and a
+    failed guard falls back to the block table and overwrites the link. *)
 
 val body_length : 'm t -> int
 

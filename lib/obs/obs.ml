@@ -5,6 +5,8 @@ type event =
   | Tb_compile of { entry : int; body : int }
   | Tb_hit of { entry : int; body : int }
   | Tb_invalidate of { addr : int; len : int }
+  | Tb_chain of { src : int; dst : int }
+  | Tlb_flush of { addr : int; len : int }
   | Icache_burst of { addr : int; misses : int }
   | Fault_raised of { pc : int; cause : string }
   | Fault_recovered of { site : int; redirect : int; cause : string }
@@ -116,6 +118,9 @@ module Json = struct
         obj "tb_hit" [ ("entry", i entry); ("body", i body) ]
     | Tb_invalidate { addr; len } ->
         obj "tb_invalidate" [ ("addr", i addr); ("len", i len) ]
+    | Tb_chain { src; dst } -> obj "tb_chain" [ ("src", i src); ("dst", i dst) ]
+    | Tlb_flush { addr; len } ->
+        obj "tlb_flush" [ ("addr", i addr); ("len", i len) ]
     | Icache_burst { addr; misses } ->
         obj "icache_burst" [ ("addr", i addr); ("misses", i misses) ]
     | Fault_raised { pc; cause } ->
@@ -270,6 +275,10 @@ module Json = struct
           | "tb_invalidate" ->
               arity 2;
               Tb_invalidate { addr = geti "addr"; len = geti "len" }
+          | "tb_chain" -> arity 2; Tb_chain { src = geti "src"; dst = geti "dst" }
+          | "tlb_flush" ->
+              arity 2;
+              Tlb_flush { addr = geti "addr"; len = geti "len" }
           | "icache_burst" ->
               arity 2;
               Icache_burst { addr = geti "addr"; misses = geti "misses" }
@@ -361,6 +370,8 @@ module Agg = struct
     mutable tb_compiles : int;
     mutable tb_hits : int;
     mutable tb_invalidations : int;
+    mutable tb_chains : int;
+    mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;
     mutable migrations : int;
@@ -385,6 +396,8 @@ module Agg = struct
           tb_compiles = 0;
           tb_hits = 0;
           tb_invalidations = 0;
+          tb_chains = 0;
+          tlb_flushes = 0;
           icache_bursts = 0;
           steals = 0;
           migrations = 0;
@@ -410,6 +423,8 @@ module Agg = struct
         t.bodies <- body :: t.bodies
     | Tb_hit _ -> g.tb_hits <- g.tb_hits + 1
     | Tb_invalidate _ -> g.tb_invalidations <- g.tb_invalidations + 1
+    | Tb_chain _ -> g.tb_chains <- g.tb_chains + 1
+    | Tlb_flush _ -> g.tlb_flushes <- g.tlb_flushes + 1
     | Icache_burst _ -> g.icache_bursts <- g.icache_bursts + 1
     | Fault_raised _ -> g.faults_raised <- g.faults_raised + 1
     | Fault_recovered { site = s; _ } ->

@@ -30,9 +30,10 @@
     depending on each other's types; addresses are simulated byte addresses.
 
     Emission points, by layer:
-    - machine: {{!constructor-Tb_compile}Tb_compile}/[Tb_hit]/[Tb_invalidate]
-      (translation-block engine), [Fault_raised] (deterministic faults, both
-      engines), [Icache_burst] (L1i model);
+    - machine: {{!constructor-Tb_compile}Tb_compile}/[Tb_hit]/[Tb_invalidate]/
+      [Tb_chain] (translation-block engine), [Tlb_flush] (software TLB),
+      [Fault_raised] (deterministic faults, both engines), [Icache_burst]
+      (L1i model);
     - rewriter: [Rw_site]/[Rw_exit] (trampoline placement and exit-register
       resolution), [Smile_write] (trampoline bytes written),
       [Table_add] (fault/trap-table entries);
@@ -53,6 +54,13 @@ type event =
       (** A cached, still-valid block was entered. *)
   | Tb_invalidate of { addr : int; len : int }
       (** Code patch: page generations over [addr, addr+len) were bumped. *)
+  | Tb_chain of { src : int; dst : int }
+      (** The block at [src] was directly chained to the block at [dst]:
+          subsequent transfers along this edge skip the block-table probe. *)
+  | Tlb_flush of { addr : int; len : int }
+      (** A mapping/permission change over [addr, addr+len) advanced the
+          software-TLB permission epoch; every memory's TLB lazily flushes
+          before its next access. *)
   | Icache_burst of { addr : int; misses : int }
       (** A run of [misses] consecutive L1i misses ended at [addr]. *)
   | Fault_raised of { pc : int; cause : string }
@@ -153,6 +161,8 @@ module Agg : sig
     mutable tb_compiles : int;
     mutable tb_hits : int;
     mutable tb_invalidations : int;
+    mutable tb_chains : int;
+    mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;
     mutable migrations : int;

@@ -11,13 +11,27 @@ else
   echo "ci: odoc not installed, skipping dune build @doc"
 fi
 
-dune exec bench/main.exe -- fig13 -q
+# Engine correctness smoke: the chained block engine and the single-step
+# reference must retire bit-identical instruction counts on the same
+# workload (the fault-determinism contract, end to end).
+json_block=$(mktemp /tmp/chimera-block-XXXXXX.json)
+json_step=$(mktemp /tmp/chimera-step-XXXXXX.json)
+trace=$(mktemp /tmp/chimera-trace-XXXXXX.jsonl)
+trap 'rm -f "$json_block" "$json_step" "$trace"' EXIT
+dune exec bench/main.exe -- fig13 -q --json "$json_block"
+dune exec bench/main.exe -- fig13 -q --engine step --json "$json_step"
+retired_block=$(grep -o '"retired": [0-9]*' "$json_block")
+retired_step=$(grep -o '"retired": [0-9]*' "$json_step")
+test -n "$retired_block"
+if [ "$retired_block" != "$retired_step" ]; then
+  echo "ci: engine mismatch: block [$retired_block] vs step [$retired_step]" >&2
+  exit 1
+fi
+echo "ci: engines agree ($retired_block)"
 
 # Observability smoke test: trace a quick table2 run and let the driver's
 # validator cross-check the per-site counts against the event stream
 # (non-zero exit on any mismatch; schema in OBSERVABILITY.md).
-trace=$(mktemp /tmp/chimera-trace-XXXXXX.jsonl)
-trap 'rm -f "$trace"' EXIT
 dune exec bench/main.exe -- table2 -q --trace "$trace"
 test -s "$trace"
 head -1 "$trace" | grep -q '"ev":"meta"'

@@ -482,6 +482,113 @@ let test_switch_view_isolates_code () =
   (match Machine.run ~fuel:1 m with Machine.Fuel_exhausted -> () | _ -> ());
   Alcotest.(check int64) "view b" 9L (Machine.get_reg m Reg.a0)
 
+(* --- software TLB + direct chaining -------------------------------------- *)
+
+let test_tlb_perm_downgrade () =
+  (* a permission downgrade must fault on the very next access, even though
+     the preceding accesses warmed the TLB for the page *)
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x5000 ~len:4096 Memory.perm_rw;
+  Memory.store_u8 mem 0x5000 1;
+  Alcotest.(check int) "warm read" 1 (Memory.load_u8 mem 0x5000);
+  Memory.set_perm mem ~addr:0x5000 ~len:4096 Memory.perm_r;
+  (match Memory.store_u8 mem 0x5000 2 with
+  | exception Memory.Violation { access = Fault.Write; _ } -> ()
+  | () -> Alcotest.fail "downgrade must fault through a warm TLB");
+  Alcotest.(check int) "read still allowed" 1 (Memory.load_u8 mem 0x5000);
+  Memory.set_perm mem ~addr:0x5000 ~len:4096 Memory.perm_none;
+  match Memory.load_u8 mem 0x5000 with
+  | exception Memory.Violation { access = Fault.Read; _ } -> ()
+  | _ -> Alcotest.fail "perm_none must fault reads through a warm TLB"
+
+let test_tlb_shared_page_downgrade () =
+  (* pages are aliased across memories ([share_range]); a downgrade through
+     one memory must be seen by every other memory's TLB *)
+  let a = Memory.create () and b = Memory.create () in
+  Memory.map a ~addr:0x2000 ~len:4096 Memory.perm_rw;
+  Memory.share_range ~from:a ~into:b ~addr:0x2000 ~len:4096;
+  Memory.store_u32 b 0x2000 42;
+  Memory.set_perm a ~addr:0x2000 ~len:4096 Memory.perm_r;
+  (match Memory.store_u32 b 0x2000 7 with
+  | exception Memory.Violation { access = Fault.Write; _ } -> ()
+  | () -> Alcotest.fail "cross-memory downgrade must fault through b's warm TLB");
+  Alcotest.(check int) "bytes unchanged" 42 (Memory.load_u32 b 0x2000)
+
+let test_tlb_view_isolation () =
+  (* TLBs are per-memory: a warm entry in one view must never serve the
+     bytes of another view mapping the same address *)
+  let mk v =
+    let mem = Memory.create () in
+    Memory.map mem ~addr:data_base ~len:4096 Memory.perm_rw;
+    Memory.store_u64 mem data_base (Int64.of_int v);
+    mem
+  in
+  let mem_a = mk 7 and mem_b = mk 9 in
+  Alcotest.(check int64) "warm view A" 7L (Memory.load_u64 mem_a data_base);
+  let m = Machine.create ~mem:mem_a ~isa:Ext.all () in
+  Machine.switch_view m mem_b;
+  Alcotest.(check int64) "view B bytes" 9L (Memory.load_u64 (Machine.mem m) data_base);
+  Machine.switch_view m mem_a;
+  Alcotest.(check int64) "view A bytes" 7L (Memory.load_u64 (Machine.mem m) data_base)
+
+let test_multi_byte_fault_order () =
+  (* page-crossing accessors fault in ascending address order: the bytes on
+     the writable page are written before the violation is raised *)
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000 ~len:4096 Memory.perm_rw;
+  Memory.map mem ~addr:0x2000 ~len:4096 Memory.perm_r;
+  (match Memory.store_u64 mem 0x1FFC 0x1122334455667788L with
+  | exception Memory.Violation { addr = 0x2000; access = Fault.Write } -> ()
+  | exception Memory.Violation { addr; _ } ->
+      Alcotest.failf "violation at %#x, expected 0x2000" addr
+  | () -> Alcotest.fail "expected write violation on the read-only page");
+  Alcotest.(check int) "low bytes written first" 0x55667788
+    (Memory.load_u32 mem 0x1FFC);
+  match Memory.load_u64 mem 0x2FFC with
+  | exception Memory.Violation { addr = 0x3000; access = Fault.Read } -> ()
+  | exception Memory.Violation { addr; _ } ->
+      Alcotest.failf "violation at %#x, expected 0x3000" addr
+  | _ -> Alcotest.fail "expected read violation past the mapping"
+
+let test_smc_severs_chain () =
+  (* a hot loop warms chain links block->block; patching the loop body and
+     invalidating must sever them — the second run must execute the patched
+     instruction, never the linked stale block *)
+  let mem = Memory.create () in
+  Memory.map mem ~addr:text_base ~len:4096 Memory.perm_rx;
+  let buf = Bytes.create 4 in
+  let emit a i =
+    let n = Encode.write buf 0 i in
+    for k = 0 to n - 1 do
+      Memory.poke_u8 mem (a + k) (Bytes.get_uint8 buf k)
+    done;
+    a + n
+  in
+  let a0 = emit text_base (li Reg.t0 10) in
+  let body = a0 in
+  let a1 = emit a0 (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 1)) in
+  let a2 = emit a1 (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, -1)) in
+  let a3 = emit a2 (Inst.Branch (Inst.Bne, Reg.t0, Reg.x0, body - a2)) in
+  let a4 = emit a3 (li Reg.a7 93) in
+  ignore (emit a4 Inst.Ecall);
+  let m = Machine.create ~mem ~isa:Ext.all () in
+  Machine.set_pc m text_base;
+  (match Machine.run ~fuel:1000 m with
+  | Machine.Exited 10 -> ()
+  | _ -> Alcotest.fail "first run");
+  let n = Encode.write buf 0 (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 5)) in
+  Alcotest.(check int) "patch same size" (a1 - body) n;
+  for k = 0 to n - 1 do
+    Memory.poke_u8 mem (body + k) (Bytes.get_uint8 buf k)
+  done;
+  Machine.invalidate_code m ~addr:body ~len:n;
+  Machine.set_reg m Reg.a0 0L;
+  Machine.set_pc m text_base;
+  match Machine.run ~fuel:1000 m with
+  | Machine.Exited 50 -> ()
+  | Machine.Exited c -> Alcotest.failf "stale chained block survived: exit %d" c
+  | _ -> Alcotest.fail "second run"
+
 let test_charge_adds_cycles () =
   let m = setup [ Inst.Opi (Inst.Addi, Reg.a0, Reg.x0, 1) ] in
   (match Machine.run ~fuel:1 m with Machine.Fuel_exhausted -> () | _ -> ());
@@ -714,6 +821,16 @@ let () =
        [ Alcotest.test_case "invalidate code" `Quick test_invalidate_code_after_patch;
          Alcotest.test_case "switch view" `Quick test_switch_view_isolates_code;
          Alcotest.test_case "charge" `Quick test_charge_adds_cycles ]);
+      ("tlb-chain",
+       [ Alcotest.test_case "perm downgrade faults through warm TLB" `Quick
+           test_tlb_perm_downgrade;
+         Alcotest.test_case "shared-page downgrade" `Quick
+           test_tlb_shared_page_downgrade;
+         Alcotest.test_case "view-switch isolation" `Quick test_tlb_view_isolation;
+         Alcotest.test_case "multi-byte fault order" `Quick
+           test_multi_byte_fault_order;
+         Alcotest.test_case "self-modification severs chain" `Quick
+           test_smc_severs_chain ]);
       ("packed-simd",
        [ Alcotest.test_case "add16 lanes" `Quick test_p_add16_lanes;
          Alcotest.test_case "smaqa signed dot" `Quick test_p_smaqa_signed_dot;

@@ -60,6 +60,8 @@ let event_gen =
         map2 (fun entry body -> Obs.Tb_compile { entry; body }) addr (int_range 0 256);
         map2 (fun entry body -> Obs.Tb_hit { entry; body }) addr (int_range 0 256);
         map2 (fun a len -> Obs.Tb_invalidate { addr = a; len }) addr (int_range 1 4096);
+        map2 (fun src dst -> Obs.Tb_chain { src; dst }) addr addr;
+        map2 (fun a len -> Obs.Tlb_flush { addr = a; len }) addr (int_range 1 4096);
         map2 (fun a misses -> Obs.Icache_burst { addr = a; misses }) addr (int_range 8 512);
         map2 (fun pc cause -> Obs.Fault_raised { pc; cause }) addr cause;
         map3
