@@ -178,11 +178,13 @@ type stat = {
   st_tlb_misses : int;
   st_chain_hits : int;
   st_dispatches : int;
+  st_events : int;  (* Obs events emitted during the experiment (0 untraced) *)
+  st_prof_retired : int;  (* profiler's retired total; -1 when not profiling *)
 }
 
 let rate num den = if den > 0 then float_of_int num /. float_of_int den else 0.
 
-let write_json file (stats : stat list) =
+let write_json ?overhead file (stats : stat list) =
   let oc = open_out file in
   output_string oc "{\n  \"experiments\": [\n";
   let n = List.length stats in
@@ -193,13 +195,26 @@ let write_json file (stats : stat list) =
       in
       Printf.fprintf oc
         "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \"mips\": %.1f, \
-         \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f }%s\n"
+         \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f, \"events_emitted\": %d%s }%s\n"
         s.st_name s.st_wall s.st_retired mips
         (rate s.st_tlb_hits (s.st_tlb_hits + s.st_tlb_misses))
         (rate s.st_chain_hits s.st_dispatches)
+        s.st_events
+        (if s.st_prof_retired >= 0 then
+           Printf.sprintf ", \"prof_retired\": %d" s.st_prof_retired
+         else "")
         (if i = n - 1 then "" else ","))
     stats;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ]";
+  (match overhead with
+  | None -> ()
+  | Some (plain, profiled) ->
+      let frac = if plain > 0. then (profiled -. plain) /. plain else 0. in
+      Printf.fprintf oc
+        ",\n  \"profiler\": { \"wall_plain_s\": %.3f, \"wall_profiled_s\": %.3f, \
+         \"overhead_frac\": %.4f }"
+        plain profiled frac);
+  output_string oc "\n}\n";
   close_out oc
 
 (* ------------------------------------------------------------------ *)
@@ -927,7 +942,45 @@ let open_out_or_die f =
     Printf.eprintf "cannot open output file: %s\n" e;
     exit 2
 
-let main names quick jobs engine json_file trace_file chrome_file =
+(* Profiler overhead calibration for --json: one quick SPEC cell (gcc_r,
+   empty patching) run unprofiled then profiled, outside every stat window.
+   Recorded so the BENCH_PR*.json trajectory tracks the cost of keeping the
+   profiler's dispatch-time hook cheap. *)
+let profiler_overhead () =
+  let bin = Specgen.build (Specgen.find "gcc_r") in
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Empty) bin in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Measure.chimera ctx ~isa:ext_isa);
+    Unix.gettimeofday () -. t0
+  in
+  (* best-of-5 each way, after a warm-up run: the cell is short enough that
+     a single sample is mostly allocator and cache noise *)
+  let best f =
+    ignore (f ());
+    let m = ref (f ()) in
+    for _ = 2 to 5 do
+      let s = f () in
+      if s < !m then m := s
+    done;
+    !m
+  in
+  let plain = best run in
+  let p = Profile.create () in
+  Profile.set_global (Some p);
+  let profiled = best run in
+  Profile.set_global None;
+  (plain, profiled)
+
+(* Experiments whose machines only retire inside [Machine.run] — there the
+   profiler total must equal the observed-retired delta bit-for-bit. The
+   scheduling experiments (fig11/fig14) also single-step machines during
+   view migration (Mmview.migrate), which the process-wide counter does not
+   see, so the profiler can only be >= there. *)
+let exact_retired_experiments = [ "table1"; "fig13"; "table2"; "table3"; "ablation"; "micro" ]
+
+let main names quick jobs engine json_file trace_file chrome_file profile_dir
+    compare_file wall_tol =
   (match engine with
   | `Block -> ()
   | `Step -> Machine.set_block_engine_default false);
@@ -939,6 +992,18 @@ let main names quick jobs engine json_file trace_file chrome_file =
   in
   check_writable json_file;
   check_writable chrome_file;
+  (match profile_dir with
+  | None -> ()
+  | Some dir ->
+      (try if not (Sys.is_directory dir) then begin
+             Printf.eprintf "--profile %s: not a directory\n" dir;
+             exit 2
+           end
+       with Sys_error _ -> Unix.mkdir dir 0o755);
+      if !Par.jobs > 1 then begin
+        Printf.printf "(--profile forces -j 1: the profiler is single-domain)\n";
+        Par.jobs := 1
+      end);
   let trace_oc =
     match trace_file with
     | None -> None
@@ -966,31 +1031,75 @@ let main names quick jobs engine json_file trace_file chrome_file =
   let canonical n = if n = "fig12" then "fig11" else n in
   let seen = Hashtbl.create 8 in
   let stats = ref [] in
+  let prof_mismatch = ref false in
   List.iter
     (fun n ->
       let n = canonical n in
       if not (Hashtbl.mem seen n) then begin
         Hashtbl.replace seen n ();
         Par.experiment := n;
+        let prof =
+          match profile_dir with
+          | None -> None
+          | Some _ ->
+              let p = Profile.create () in
+              Profile.set_global (Some p);
+              Some p
+        in
         let r0 = Machine.observed_retired () in
         let th0, tm0 = Memory.observed_tlb () in
         let ch0, cd0 = Machine.observed_chain () in
+        let e0 = Obs.events_emitted () in
         let w0 = Unix.gettimeofday () in
         traced_phase n (fun () -> (List.assoc n experiments) quick);
         let th1, tm1 = Memory.observed_tlb () in
         let ch1, cd1 = Machine.observed_chain () in
+        let retired = Machine.observed_retired () - r0 in
+        let prof_retired =
+          match (prof, profile_dir) with
+          | Some p, Some dir ->
+              Profile.set_global None;
+              let snaps = Profile.snapshot p in
+              let oc = open_out (Filename.concat dir (n ^ ".txt")) in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> Prof_report.render oc snaps);
+              let foc = open_out (Filename.concat dir (n ^ ".folded")) in
+              Fun.protect
+                ~finally:(fun () -> close_out foc)
+                (fun () -> Profile.write_folded p foc);
+              let pr = Profile.total_retired p in
+              (* the profiler is exact: any disagreement with the engine's
+                 own retirement counter is a bug, not noise *)
+              let exact = List.mem n exact_retired_experiments in
+              if (exact && pr <> retired) || pr < retired then begin
+                Printf.eprintf
+                  "profile mismatch in %s: profiler retired %d, machine retired %d\n"
+                  n pr retired;
+                prof_mismatch := true
+              end;
+              pr
+          | _ -> -1
+        in
         stats :=
           { st_name = n;
             st_wall = Unix.gettimeofday () -. w0;
-            st_retired = Machine.observed_retired () - r0;
+            st_retired = retired;
             st_tlb_hits = th1 - th0;
             st_tlb_misses = tm1 - tm0;
             st_chain_hits = ch1 - ch0;
-            st_dispatches = cd1 - cd0 }
+            st_dispatches = cd1 - cd0;
+            st_events = Obs.events_emitted () - e0;
+            st_prof_retired = prof_retired }
           :: !stats
       end)
     requested;
-  Option.iter (fun f -> write_json f (List.rev !stats)) json_file;
+  let overhead =
+    match (json_file, profile_dir) with
+    | Some _, Some _ -> Some (profiler_overhead ())
+    | _ -> None
+  in
+  Option.iter (fun f -> write_json ?overhead f (List.rev !stats)) json_file;
   (match (trace_file, trace_oc) with
   | Some f, Some oc ->
       Obs.disable ();
@@ -998,6 +1107,37 @@ let main names quick jobs engine json_file trace_file chrome_file =
       validate_trace f
   | _ -> ());
   Option.iter Par.write_chrome chrome_file;
+  (match overhead with
+  | Some (plain, profiled) when plain > 0. ->
+      Report.note
+        (Printf.sprintf
+           "profiler overhead (gcc_r empty cell): %.3fs -> %.3fs (%+.1f%%)"
+           plain profiled (100. *. (profiled -. plain) /. plain))
+  | _ -> ());
+  (match compare_file with
+  | None -> ()
+  | Some f ->
+      let baseline =
+        try Regress.load_baseline f
+        with Failure msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
+      let current =
+        List.rev_map
+          (fun s ->
+            ( s.st_name,
+              { Regress.wall_s = s.st_wall;
+                retired = s.st_retired;
+                tlb_hit_rate = rate s.st_tlb_hits (s.st_tlb_hits + s.st_tlb_misses);
+                chain_hit_rate = rate s.st_chain_hits s.st_dispatches } ))
+          !stats
+      in
+      let tol = { Regress.default_tolerance with wall_frac = wall_tol } in
+      let fails = Regress.compare_run ~tol ~baseline ~current () in
+      print_string (Regress.report fails);
+      if fails <> [] then exit 1);
+  if !prof_mismatch then exit 1;
   Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
 
 open Cmdliner
@@ -1059,11 +1199,43 @@ let chrome_arg =
            $(docv) (one track per worker domain; open in about:tracing or \
            Perfetto).")
 
+let profile_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "profile" ] ~docv:"DIR"
+        ~doc:
+          "Profile every experiment: write a hot-block/instruction-mix report \
+           to $(docv)/<experiment>.txt and folded call stacks to \
+           $(docv)/<experiment>.folded (flamegraph input). The profiler's \
+           retired total is cross-checked against the engine's own counter \
+           (exact for the rewriting experiments) and recorded in --json as \
+           prof_retired. Forces -j 1.")
+
+let compare_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "compare" ] ~docv:"BASELINE"
+        ~doc:
+          "Regression gate: compare this run's stats against a committed \
+           bench --json baseline (e.g. BENCH_PR3.json). Wall time, retired \
+           instructions and tlb/chain hit rates are checked per experiment \
+           with per-metric tolerances (EXPERIMENTS.md); exits nonzero on any \
+           regression.")
+
+let wall_tol_arg =
+  Arg.(
+    value & opt float Regress.default_tolerance.Regress.wall_frac
+    & info [ "wall-tol" ] ~docv:"FRAC"
+        ~doc:
+          "Allowed relative wall-time growth for --compare (default 0.25; CI \
+           uses a generous value because wall clocks vary across machines). \
+           Retired counts stay exact regardless.")
+
 let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ names_arg $ quick_arg $ jobs_arg $ engine_arg $ json_arg
-      $ trace_arg $ chrome_arg)
+      $ trace_arg $ chrome_arg $ profile_arg $ compare_arg $ wall_tol_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -132,8 +132,16 @@ let trace_steps m handlers n fuel =
   done;
   match !stop with Some s -> s | None -> Machine.Fuel_exhausted
 
-let cmd_run file isa fuel plain show_counters steps trace_file =
+let cmd_run file isa fuel plain show_counters steps trace_file profile_file =
   let bin = Binfile.load_file file in
+  let prof =
+    match profile_file with
+    | None -> None
+    | Some _ ->
+        let p = Profile.create () in
+        Profile.set_global (Some p);
+        Some p
+  in
   let trace_oc =
     match trace_file with
     | None -> None
@@ -171,12 +179,35 @@ let cmd_run file isa fuel plain show_counters steps trace_file =
       let stop, m = Chimera_system.run dep ~isa ~fuel in
       (stop, m, Some (Chimera_system.counters dep))
   in
+  (* append the profiler's tb_profile rows to the trace so the offline
+     'chimera profile TRACE' report matches the live one exactly *)
+  (match (prof, trace_oc) with
+  | Some p, Some _ -> List.iter Obs.emit (Profile.to_events p)
+  | _ -> ());
   (match (trace_file, trace_oc) with
   | Some f, Some oc ->
       let n = Obs.events_emitted () in
       Obs.disable ();
       close_out oc;
       Format.printf "trace: %d events -> %s@." n f
+  | _ -> ());
+  (match (prof, profile_file) with
+  | Some p, Some f ->
+      Profile.set_global None;
+      let snaps = Profile.snapshot p in
+      let oc =
+        try open_out f
+        with Sys_error e ->
+          Printf.eprintf "cannot open profile file: %s\n" e;
+          exit 2
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Prof_report.render ~disasm:(Disasm.of_binfile bin) oc snaps);
+      let folded = f ^ ".folded" in
+      let foc = open_out folded in
+      Fun.protect ~finally:(fun () -> close_out foc) (fun () -> Profile.write_folded p foc);
+      Format.printf "profile: %d blocks -> %s (stacks: %s)@." (List.length snaps) f folded
   | _ -> ());
   (match counters with
   | Some c when show_counters -> Format.printf "%a@." Counters.pp c
@@ -193,6 +224,38 @@ let cmd_run file isa fuel plain show_counters steps trace_file =
       Format.printf "fuel exhausted (%d instructions)@." (Machine.retired m);
       exit 1);
   exit 0
+
+(* ---- profile (offline) ---------------------------------------------------- *)
+
+(* Rebuild the profiler report from a recorded trace: 'run --profile --trace'
+   appends the tb_profile rows to the trace, so the offline report is
+   byte-identical to the live one (modulo disassembly, which needs --bin). *)
+let cmd_profile trace bin_file top out =
+  let events =
+    try Obs.Json.read_file trace
+    with Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let agg = Obs.Agg.create () in
+  List.iter (Obs.Agg.observe agg) events;
+  let snaps = Profile.snaps_of_events (Obs.Agg.profile_events agg) in
+  if snaps = [] then begin
+    Printf.eprintf
+      "%s: no tb_profile events — record with 'chimera run --profile FILE --trace %s'\n"
+      trace trace;
+    exit 1
+  end;
+  let disasm =
+    Option.map (fun f -> Disasm.of_binfile (Binfile.load_file f)) bin_file
+  in
+  match out with
+  | None -> Prof_report.render ~top ?disasm stdout snaps
+  | Some f ->
+      let oc = open_out f in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Prof_report.render ~top ?disasm oc snaps)
 
 (* ---- command line ---------------------------------------------------------- *)
 
@@ -241,8 +304,30 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a JSONL event trace to $(docv) (schema: OBSERVABILITY.md).")
   in
+  let profile =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Profile the guest: write a hot-block/instruction-mix report to \
+               $(docv) and folded call stacks to $(docv).folded (flamegraph \
+               input). Combine with $(b,--trace) to embed the profile in the \
+               trace for offline 'chimera profile'.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Execute a binary on a simulated hart")
-    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ steps $ trace)
+    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ steps $ trace $ profile)
+
+let profile_cmd =
+  let trace = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let bin =
+    Arg.(value & opt (some string) None & info [ "bin" ] ~docv:"FILE"
+         ~doc:"SELF binary to annotate hot blocks with disassembly.")
+  in
+  let top = Arg.(value & opt int 20 & info [ "top" ] ~doc:"Hot blocks to list.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Render a profiler report from a recorded trace")
+    Term.(const cmd_profile $ trace $ bin $ top $ out)
 
 let () =
   exit
@@ -250,4 +335,4 @@ let () =
        (Cmd.group
           (Cmd.info "chimera" ~version:"1.0.0"
              ~doc:"Transparent ISAX heterogeneous computing via binary rewriting")
-          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd ]))
+          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd ]))

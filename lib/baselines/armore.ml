@@ -118,6 +118,9 @@ let handlers rt _m =
     | Some target ->
         Counters.trap_at rt.counters ~site:pc;
         if !Obs.enabled then Obs.emit (Obs.Trap_taken { site = pc; target });
+        (match Machine.profile m with
+        | Some p -> Profile.note_trap p
+        | None -> ());
         Machine.charge m rt.costs.Costs.trap;
         Machine.Resume target
     | None ->

@@ -39,6 +39,9 @@ and t = {
           implicitly severed when it moves (Tblock.revalidate) *)
   mutable chain_hits : int;  (** dispatches served by a chain link *)
   mutable tb_dispatches : int;  (** total block dispatches (chained or not) *)
+  mutable prof : Profile.t option;
+      (** attached guest profiler; both engines account through it when set
+          (picked up from [Profile.global] at creation) *)
 }
 
 type stop = Exited of int | Faulted of Fault.t | Fuel_exhausted
@@ -97,7 +100,8 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     chain = true;
     code_epoch = 0;
     chain_hits = 0;
-    tb_dispatches = 0 }
+    tb_dispatches = 0;
+    prof = Profile.global () }
 
 let mem t = t.cur.vmem
 let isa t = t.isa
@@ -164,6 +168,8 @@ let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ()
 let icache_misses t =
   match t.icache with None -> 0 | Some ic -> Icache.misses ic
 
+let set_profile t p = t.prof <- p
+let profile t = t.prof
 let retired t = t.retired
 let vector_retired t = t.vector_retired
 let indirect_retired t = t.indirect_retired
@@ -707,10 +713,41 @@ let dispatch ~handlers t thunk =
         Obs.emit (Obs.Fault_raised { pc = t.pc; cause = Fault.cause_name f });
       apply_action (handlers.on_fault t f)
 
-let step ?(handlers = default_handlers) t =
+let step_dispatch ~handlers t =
   dispatch ~handlers t (fun () ->
       let inst, size = fetch_decode t in
       exec_retire t inst size)
+
+let icache_miss_count t =
+  match t.icache with None -> 0 | Some ic -> Icache.misses ic
+
+let step ?(handlers = default_handlers) t =
+  match t.prof with
+  | None -> step_dispatch ~handlers t
+  | Some p ->
+      (* Profiled single step: classify the instruction up front (a decode
+         cache hit on the non-fault path, since the dispatch re-decodes the
+         same pc), bracket the dispatch with counter reads, and attribute
+         the deltas — the same window the block engine accounts per block,
+         here per instruction. *)
+      let pc0 = t.pc in
+      let cls =
+        match decode_at t pc0 with
+        | inst, _ -> Profile.class_code inst
+        | exception Efault _ -> -1
+        | exception Memory.Violation _ -> -1
+      in
+      Profile.step_begin p ~pc:pc0 ~cls;
+      let r0 = t.retired and c0 = t.cycles in
+      let mem0 = t.cur.vmem in
+      let tlb0 = Memory.tlb_misses_live mem0 in
+      let ic0 = icache_miss_count t in
+      let res = step_dispatch ~handlers t in
+      Profile.step_end p ~retired:(t.retired - r0) ~cycles:(t.cycles - c0)
+        ~tlb:(Memory.tlb_misses_live mem0 - tlb0)
+        ~icache:(icache_miss_count t - ic0)
+        ~target:t.pc;
+      res
 
 (* Execute a block terminator without touching the decode cache. *)
 let step_decoded ~handlers t inst size =
@@ -988,6 +1025,40 @@ let run_blocks ~handlers ~fuel t =
       decr remaining
     end
     else begin
+      (* Profiling bracket: bind (or reuse) the block's cached row, mark it
+         as the enclosing block for runtime-event attribution, and snapshot
+         the counters the dispatch window will be charged against. All of
+         it is skipped with one match when no profile is attached. *)
+      let prow =
+        match t.prof with
+        | None -> None
+        | Some p ->
+            (* Reuse the option cached on the block: the steady-state
+               profiled dispatch allocates nothing. *)
+            let o =
+              match b.Tblock.prow with
+              | Some r as o
+                when Profile.row_live p r
+                     && Profile.row_describes r ~classes:b.Tblock.classes
+                          ~term:b.Tblock.term_class ->
+                  o
+              | _ ->
+                  let o =
+                    Some
+                      (Profile.bind p ~entry:b.Tblock.entry
+                         ~classes:b.Tblock.classes ~term:b.Tblock.term_class)
+                  in
+                  Tblock.set_prow b o;
+                  o
+            in
+            Profile.begin_dispatch p o;
+            o
+      in
+      let r0 = if prow == None then 0 else t.retired in
+      let c0 = if prow == None then 0 else t.cycles in
+      let mem0 = t.cur.vmem in
+      let tlb0 = if prow == None then 0 else Memory.tlb_misses_live mem0 in
+      let ic0 = if prow == None then 0 else icache_miss_count t in
       let ops = b.Tblock.ops in
       let nbody = Array.length ops in
       let k = if nbody < !remaining then nbody else !remaining in
@@ -1018,7 +1089,8 @@ let run_blocks ~handlers ~fuel t =
         | Memory.Violation { addr; access } ->
             Some (Fault.Segfault { pc = t.pc; addr; access })
       in
-      match fault with
+      let term_tried = ref false in
+      (match fault with
       | Some f ->
           (* the faulting instruction consumed fuel but did not retire *)
           remaining := !remaining - !executed - 1;
@@ -1031,11 +1103,27 @@ let run_blocks ~handlers ~fuel t =
           if !executed = nbody && !remaining > 0 then (
             match b.Tblock.term with
             | Some (inst, size) ->
+                term_tried := true;
                 (match step_decoded ~handlers t inst size with
                 | Some s -> result := Some s
                 | None -> if t.chain then prev := Some (b, v0));
                 decr remaining
-            | None -> if t.chain then prev := Some (b, v0))
+            | None -> if t.chain then prev := Some (b, v0)));
+      (* Account the dispatch after the handlers ran: their cycle charges
+         and runtime events belong to this block's window. *)
+      match (t.prof, prow) with
+      | Some p, Some row ->
+          let dretired = t.retired - r0 in
+          (* an attempted terminator that did not retire can only have
+             faulted — count it like the step engine does *)
+          let faulted =
+            Option.is_some fault || (!term_tried && dretired = !executed)
+          in
+          Profile.block_dispatch p row ~executed:!executed ~retired:dretired
+            ~cycles:(t.cycles - c0)
+            ~tlb:(Memory.tlb_misses_live mem0 - tlb0)
+            ~icache:(icache_miss_count t - ic0) ~fault:faulted ~target:t.pc
+      | _ -> ()
     end
   done;
   match !result with Some s -> s | None -> Fuel_exhausted

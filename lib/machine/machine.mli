@@ -156,6 +156,20 @@ val block_chaining : t -> bool
 
 (** {1 Instrumentation} *)
 
+val set_profile : t -> Profile.t option -> unit
+(** Attach (or detach) a guest profiler. With a profile attached, both
+    engines attribute every dispatch to a per-block row: the block engine
+    with one table update per block (static mix x dispatch counts, see
+    lib/prof), the step engine per instruction through the same rows — the
+    totals are bit-identical between engines. Machines pick up
+    [Profile.global ()] at creation, so setting the global before building
+    a workload profiles it without further plumbing. *)
+
+val profile : t -> Profile.t option
+(** The attached profiler, if any. Runtime handlers use it to attribute
+    [Fault_recovered]/[Trap_taken] to the enclosing block
+    ([Profile.note_recovered]/[note_trap]). *)
+
 val observed_retired : unit -> int
 (** Process-wide total of instructions retired by completed {!run} calls
     (one atomic add per run; domain-safe). The bench harness uses it to

@@ -170,6 +170,7 @@ let checked_data t addr access =
   | Fault.Execute -> exec_data t addr
 
 let tlb_stats t = (t.tlb_hits, t.tlb_misses)
+let tlb_misses_live t = t.tlb_misses
 
 let g_tlb_hits = Atomic.make 0
 let g_tlb_misses = Atomic.make 0

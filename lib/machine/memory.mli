@@ -93,6 +93,11 @@ val tlb_stats : t -> int * int
 (** [(hits, misses)] of this memory's TLB since creation or the last
     {!flush_tlb_stats}. *)
 
+val tlb_misses_live : t -> int
+(** The miss component of {!tlb_stats} alone, without allocating the pair —
+    read on the profiler's per-dispatch path to attribute misses to the
+    enclosing translation block. *)
+
 val flush_tlb_stats : t -> unit
 (** Add this memory's hit/miss counts to the process-wide totals and zero
     them ({!Machine.run} calls this once per run for each of its views). *)

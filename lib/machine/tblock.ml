@@ -56,12 +56,20 @@ type 'm t = {
   term : (Inst.t * int) option;
       (** decoded terminator, executed through the machine's event path *)
   fall : int;  (** pc following the last decoded instruction (fall-through) *)
+  classes : Bytes.t;
+      (** static profiler class code ({!Profile.class_code}) per body
+          instruction — the block's instruction mix, priced once here so the
+          profiler can attribute a full-body dispatch with one counter *)
+  term_class : int;  (** class code of the terminator, -1 if none *)
   mutable echeck : int;
       (** machine code-epoch at the last successful validation; equality
           with the current epoch certifies the stamp without re-summing *)
   mutable link_fall : 'm t option;  (** chained successor at [fall] *)
   mutable link_taken : 'm t option;
       (** chained successor for any other target (taken branch, jump) *)
+  mutable prow : Profile.row option;
+      (** cached profiler row for [entry]; valid only while
+          [Profile.row_live] holds for the machine's attached profile *)
 }
 
 let default_max_insts = 256
@@ -77,6 +85,8 @@ let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compil
     entry =
   let entry_page = page_of entry in
   let ops = ref [] and pcs = ref [] and sizes = ref [] in
+  let classes = ref [] in
+  let term_class = ref (-1) in
   let count = ref 0 in
   let pc = ref entry in
   let term = ref None in
@@ -91,12 +101,14 @@ let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compil
           | Stop -> stop := true
           | Term ->
               term := Some (inst, size);
+              term_class := Profile.class_code inst;
               pc := !pc + size;
               stop := true
           | Op f ->
               ops := f :: !ops;
               pcs := !pc :: !pcs;
               sizes := size :: !sizes;
+              classes := Profile.class_code inst :: !classes;
               incr count;
               pc := !pc + size)
   done;
@@ -113,9 +125,16 @@ let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compil
     sizes = Array.of_list (List.rev !sizes);
     term = !term;
     fall = !pc;
+    classes =
+      (let l = List.rev !classes in
+       let b = Bytes.create (List.length l) in
+       List.iteri (fun i c -> Bytes.set_uint8 b i c) l;
+       b);
+    term_class = !term_class;
     echeck = epoch;
     link_fall = None;
-    link_taken = None }
+    link_taken = None;
+    prow = None }
 
 (* Fast validity: a block checked under the current code epoch is valid by
    construction (the epoch advances on every generation bump). On an epoch
@@ -135,6 +154,7 @@ let revalidate gens ~isa ~epoch b =
 let epoch_current b epoch = b.echeck = epoch
 let set_link_fall b next = b.link_fall <- Some next
 let set_link_taken b next = b.link_taken <- Some next
+let set_prow b r = b.prow <- r
 
 let body_length b = Array.length b.ops
 

@@ -46,12 +46,20 @@ type 'm t = private {
   sizes : int array;
   term : (Inst.t * int) option;
   fall : int;  (** pc following the last decoded instruction *)
+  classes : Bytes.t;
+      (** {!Profile.class_code} of each body instruction, computed once at
+          translation — the static instruction mix the profiler multiplies
+          by dynamic dispatch counts *)
+  term_class : int;  (** class code of the terminator, -1 if none *)
   mutable echeck : int;
       (** code epoch at the last successful validation ({!revalidate}) *)
   mutable link_fall : 'm t option;
       (** direct-chained successor at [fall] (set via {!set_link_fall}) *)
   mutable link_taken : 'm t option;
       (** direct-chained successor for any other target ({!set_link_taken}) *)
+  mutable prow : Profile.row option;
+      (** cached profiler row for [entry] (set via {!set_prow}); valid only
+          while [Profile.row_live] holds for the machine's profile *)
 }
 
 val translate :
@@ -87,6 +95,10 @@ val set_link_taken : 'm t -> 'm t -> unit
 (** Record a direct-chained successor. Links are hints, not invariants:
     every follow is guarded by entry-pc equality and {!epoch_current}, and a
     failed guard falls back to the block table and overwrites the link. *)
+
+val set_prow : 'm t -> Profile.row option -> unit
+(** Cache the profiler row for this block (the record is private; this is
+    the one sanctioned mutation of [prow]). *)
 
 val body_length : 'm t -> int
 

@@ -20,8 +20,26 @@ type event =
   | Rw_exit of { site : int; kind : string }
   | Smile_write of { pc : int; target : int }
   | Table_add of { key : int; redirect : int; table : string }
+  | Tb_profile of {
+      entry : int;
+      body : int;
+      hits : int;
+      retired : int;
+      loads : int;
+      stores : int;
+      branches : int;
+      alu : int;
+      vector : int;
+      compressed : int;
+      penalty : int;
+      tlb : int;
+      icache : int;
+      faults : int;
+      recovered : int;
+      traps : int;
+    }
 
-let schema_version = 1
+let schema_version = 2
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -148,7 +166,45 @@ module Json = struct
         obj "smile_write" [ ("pc", i pc); ("target", i target) ]
     | Table_add { key; redirect; table } ->
         obj "table_add"
-          [ ("key", i key); ("redirect", i redirect); ("table", s table) ]);
+          [ ("key", i key); ("redirect", i redirect); ("table", s table) ]
+    | Tb_profile
+        {
+          entry;
+          body;
+          hits;
+          retired;
+          loads;
+          stores;
+          branches;
+          alu;
+          vector;
+          compressed;
+          penalty;
+          tlb;
+          icache;
+          faults;
+          recovered;
+          traps;
+        } ->
+        obj "tb_profile"
+          [
+            ("entry", i entry);
+            ("body", i body);
+            ("hits", i hits);
+            ("retired", i retired);
+            ("loads", i loads);
+            ("stores", i stores);
+            ("branches", i branches);
+            ("alu", i alu);
+            ("vector", i vector);
+            ("compressed", i compressed);
+            ("penalty", i penalty);
+            ("tlb", i tlb);
+            ("icache", i icache);
+            ("faults", i faults);
+            ("recovered", i recovered);
+            ("traps", i traps);
+          ]);
     Buffer.contents buf
 
   (* A strict recursive-descent parser for exactly the flat objects the
@@ -265,7 +321,14 @@ module Json = struct
         let arity n = if List.length fields <> n then raise Bad in
         match
           (match kind with
-          | "meta" -> arity 1; Meta { version = geti "version" }
+          | "meta" ->
+              arity 1;
+              let version = geti "version" in
+              (* A trace written under another schema must not parse
+                 silently: field meanings can differ between versions.
+                 [read_file] turns this rejection into a clear error. *)
+              if version <> schema_version then raise Bad;
+              Meta { version }
           | "phase_begin" -> arity 1; Phase_begin { name = gets "name" }
           | "phase_end" -> arity 1; Phase_end { name = gets "name" }
           | "tb_compile" ->
@@ -328,6 +391,27 @@ module Json = struct
                   redirect = geti "redirect";
                   table = gets "table";
                 }
+          | "tb_profile" ->
+              arity 16;
+              Tb_profile
+                {
+                  entry = geti "entry";
+                  body = geti "body";
+                  hits = geti "hits";
+                  retired = geti "retired";
+                  loads = geti "loads";
+                  stores = geti "stores";
+                  branches = geti "branches";
+                  alu = geti "alu";
+                  vector = geti "vector";
+                  compressed = geti "compressed";
+                  penalty = geti "penalty";
+                  tlb = geti "tlb";
+                  icache = geti "icache";
+                  faults = geti "faults";
+                  recovered = geti "recovered";
+                  traps = geti "traps";
+                }
           | _ -> raise Bad)
         with
         | ev -> Some ev
@@ -341,6 +425,14 @@ module Json = struct
       output_char oc '\n'
     done
 
+  (* Distinguish "syntactically fine meta line under another schema" from
+     generic corruption, so stale traces get an actionable error. *)
+  let stale_meta_version line =
+    match parse_fields line with
+    | exception _ -> None
+    | [ ("ev", S "meta"); ("version", I v) ] when v <> schema_version -> Some v
+    | _ -> None
+
   let read_file path =
     let ic = open_in path in
     Fun.protect
@@ -352,10 +444,18 @@ module Json = struct
           | line -> (
               match of_line line with
               | Some ev -> go (lineno + 1) (ev :: acc)
-              | None ->
-                  failwith
-                    (Printf.sprintf "%s:%d: malformed trace line: %s" path
-                       lineno line))
+              | None -> (
+                  match stale_meta_version line with
+                  | Some v ->
+                      failwith
+                        (Printf.sprintf
+                           "%s:%d: trace schema version %d, this build reads \
+                            version %d — regenerate the trace"
+                           path lineno v schema_version)
+                  | None ->
+                      failwith
+                        (Printf.sprintf "%s:%d: malformed trace line: %s" path
+                           lineno line)))
         in
         go 1 [])
 end
@@ -382,6 +482,7 @@ module Agg = struct
     tot : totals;
     sites : (int, int ref) Hashtbl.t;
     mutable bodies : int list;
+    mutable profiles : event list;  (* Tb_profile events, reverse order *)
   }
 
   let create () =
@@ -405,6 +506,7 @@ module Agg = struct
         };
       sites = Hashtbl.create 64;
       bodies = [];
+      profiles = [];
     }
 
   let site t s =
@@ -440,8 +542,10 @@ module Agg = struct
     | Signal_delivered _ -> g.signals <- g.signals + 1
     | Sched_steal _ -> g.steals <- g.steals + 1
     | Sched_migrate _ -> g.migrations <- g.migrations + 1
+    | Tb_profile _ -> t.profiles <- ev :: t.profiles
 
   let totals t = t.tot
+  let profile_events t = List.rev t.profiles
 
   let correctness_events t =
     t.tot.faults_recovered + t.tot.traps + t.tot.checks

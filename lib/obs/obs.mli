@@ -99,6 +99,33 @@ type event =
       (** The 8 SMILE bytes were written over [pc], targeting [target]. *)
   | Table_add of { key : int; redirect : int; table : string }
       (** An entry was added to the ["fault"] or ["trap"] table. *)
+  | Tb_profile of {
+      entry : int;
+      body : int;
+      hits : int;
+      retired : int;
+      loads : int;
+      stores : int;
+      branches : int;
+      alu : int;
+      vector : int;
+      compressed : int;
+      penalty : int;
+      tlb : int;
+      icache : int;
+      faults : int;
+      recovered : int;
+      traps : int;
+    }
+      (** End-of-run snapshot of one guest profiler row (lib/prof): the
+          block at [entry] was dispatched [hits] times and retired [retired]
+          instructions split exactly into
+          [loads + stores + branches + alu + vector]; [compressed] counts
+          16-bit encodings among them (orthogonal to class). [penalty] is
+          cycles charged beyond one per retired instruction; [tlb]/[icache]/
+          [faults]/[recovered]/[traps] attribute runtime events to this
+          block. Emitted when a run both traces and profiles, so
+          [chimera profile] rebuilds the live report offline. *)
 
 val schema_version : int
 
@@ -133,14 +160,18 @@ module Json : sig
       OBSERVABILITY.md and pinned by the golden test. *)
 
   val of_line : string -> event option
-  (** Strict inverse of {!to_line} ([None] on any deviation). *)
+  (** Strict inverse of {!to_line} ([None] on any deviation, including a
+      [Meta] line whose version differs from {!schema_version} — a trace
+      written under another schema must not parse silently). *)
 
   val channel_sink : out_channel -> event array -> int -> unit
   (** A sink writing each event as one line to the channel. *)
 
   val read_file : string -> event list
   (** Parse a JSONL trace file. @raise Failure on the first malformed line
-      (with its line number). *)
+      (with its line number); a version-mismatched [Meta] line gets a
+      dedicated "trace schema version N, this build reads version M"
+      message. *)
 end
 
 (** {1 Aggregation}
@@ -172,6 +203,10 @@ module Agg : sig
   val create : unit -> t
   val observe : t -> event -> unit
   val totals : t -> totals
+
+  val profile_events : t -> event list
+  (** The observed [Tb_profile] events in stream order — the offline
+      [chimera profile] report is rebuilt from these. *)
 
   val correctness_events : t -> int
   (** The Table 2 metric recomputed from the stream:

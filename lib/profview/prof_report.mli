@@ -1,0 +1,16 @@
+(** Rendering of guest-profiler results: the hot-block table, instruction-mix
+    histograms, and optional annotated disassembly.
+
+    The renderer consumes {!Profile.snap} lists, so the same code path
+    serves the live CLI ([run --profile FILE]), the bench driver
+    ([--profile DIR]) and the offline [chimera profile TRACE] mode (snaps
+    rebuilt from [Tb_profile] events). Output is deterministic for a given
+    snap list — the offline report of a traced run is byte-identical to the
+    live one, and a golden test pins that. *)
+
+val render :
+  ?top:int -> ?disasm:Disasm.t -> out_channel -> Profile.snap list -> unit
+(** Write the full report: run totals, the [top] (default 20) hottest
+    blocks by retired instructions, the exact instruction-class mix
+    histogram, and — when [disasm] is available — annotated disassembly of
+    the hottest blocks. *)

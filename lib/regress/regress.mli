@@ -1,0 +1,54 @@
+(** Performance-regression gate over the bench driver's [--json] stats.
+
+    [bench --compare BASELINE.json] loads a committed baseline (one of the
+    BENCH_PR*.json trajectory files), matches experiments by name against
+    the just-measured stats, and applies per-metric tolerances:
+
+    - {b wall time} may grow by at most [wall_frac] (relative; machine
+      noise). Baselines under [min_wall] seconds are skipped — sub-50ms
+      cells are all noise.
+    - {b retired instructions} must match within [retired_frac] (relative;
+      the default is 0.0: simulated instruction counts are deterministic,
+      so any drift is a semantic change, not noise).
+    - {b tlb/chain hit rates} may drop by at most [rate_abs] (absolute).
+      Rates are only checked when the baseline recorded a meaningful one
+      (> 0): older baselines carry 0.0 for experiments that don't run the
+      block engine.
+
+    Experiments present on only one side are ignored (suites evolve);
+    improvements never fail the gate. *)
+
+type metrics = {
+  wall_s : float;
+  retired : int;
+  tlb_hit_rate : float;
+  chain_hit_rate : float;
+}
+
+type tolerance = {
+  wall_frac : float;  (** allowed relative wall-time growth *)
+  retired_frac : float;  (** allowed relative retired drift (0 = exact) *)
+  rate_abs : float;  (** allowed absolute hit-rate drop *)
+  min_wall : float;  (** baselines faster than this skip the wall check *)
+}
+
+val default_tolerance : tolerance
+(** [{ wall_frac = 0.25; retired_frac = 0.0; rate_abs = 0.02;
+      min_wall = 0.5 }] *)
+
+val load_baseline : string -> (string * metrics) list
+(** Parse a bench [--json] file into per-experiment metrics, in file order.
+    Unknown fields are ignored so newer stats files load as baselines.
+    @raise Failure on malformed JSON or a missing required field. *)
+
+val compare_run :
+  ?tol:tolerance ->
+  baseline:(string * metrics) list ->
+  current:(string * metrics) list ->
+  unit ->
+  (string * string) list
+(** All detected regressions as [(experiment, human-readable reason)]
+    pairs; the empty list means the gate passes. *)
+
+val report : (string * string) list -> string
+(** One line per regression, or a "no regressions" line. *)

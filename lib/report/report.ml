@@ -1,8 +1,25 @@
+(* All output goes through [out] so a report can be rendered to a file
+   (CLI --profile) as well as to stdout. *)
+let out = ref stdout
+
+let with_output oc f =
+  let prev = !out in
+  out := oc;
+  Fun.protect ~finally:(fun () -> out := prev) f
+
+let printf fmt = Printf.fprintf !out fmt
+
 let heading title =
   let bar = String.make (String.length title) '=' in
-  Printf.printf "\n%s\n%s\n" title bar
+  printf "\n%s\n%s\n" title bar
 
-let note s = Printf.printf "  %s\n" s
+let note s = printf "  %s\n" s
+
+(* Numeric cells are right-aligned within their column so digit counts line
+   up even when a count is wider than the column's header — hot-block tables
+   routinely carry 10+ digit retirement counts under a short header. *)
+let numeric cell =
+  cell <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.') cell
 
 let print_aligned rows =
   let widths =
@@ -24,9 +41,11 @@ let print_aligned rows =
       List.iteri
         (fun i cell ->
           let w = try List.nth widths i with _ -> String.length cell in
-          Printf.printf "%s%s  " cell (String.make (max 0 (w - String.length cell)) ' '))
+          let pad = String.make (max 0 (w - String.length cell)) ' ' in
+          if numeric cell then printf "%s%s  " pad cell
+          else printf "%s%s  " cell pad)
         row;
-      print_newline ())
+      printf "\n")
     rows
 
 let table ~title ~header ~rows =

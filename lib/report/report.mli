@@ -1,8 +1,17 @@
-(** ASCII rendering of the benchmark harness's tables and figure series. *)
+(** ASCII rendering of the benchmark harness's tables and figure series.
+
+    Output goes to stdout unless redirected with {!with_output}. Numeric
+    cells (digits and dots only) are right-aligned within their column;
+    everything else is left-aligned — so counts wider than their header
+    still line up. *)
+
+val with_output : out_channel -> (unit -> 'a) -> 'a
+(** Run [f] with every report primitive writing to the given channel
+    instead of stdout (restored on exit, exceptions included). *)
 
 val table :
   title:string -> header:string list -> rows:string list list -> unit
-(** Print an aligned table to stdout. *)
+(** Print an aligned table. *)
 
 val series :
   title:string ->
@@ -20,3 +29,7 @@ val note : string -> unit
 (** Print an indented free-form note. *)
 
 val heading : string -> unit
+
+val print_aligned : string list list -> unit
+(** Print rows under the shared column-alignment rules (numeric cells
+    right-aligned) without a heading. *)

@@ -88,6 +88,9 @@ let handlers t =
   let recover m ~site ~cause redirect =
     Counters.fault_at t.counters ~site;
     if !Obs.enabled then Obs.emit (Obs.Fault_recovered { site; redirect; cause });
+    (match Machine.profile m with
+    | Some p -> Profile.note_recovered p
+    | None -> ());
     Machine.charge m t.costs.Costs.fault_recovery;
     Machine.set_reg m Reg.gp (Int64.of_int gp_value);
     Machine.Resume redirect
@@ -118,6 +121,9 @@ let handlers t =
                       Obs.emit
                         (Obs.Fault_recovered
                            { site = jaddr; redirect; cause = "sigsegv" });
+                    (match Machine.profile m with
+                    | Some p -> Profile.note_recovered p
+                    | None -> ());
                     Machine.charge m t.costs.Costs.fault_recovery;
                     (* restore the register to the value the preceding lui
                        established (the only statically known valid value) *)
@@ -144,6 +150,9 @@ let handlers t =
     | Some target ->
         Counters.trap_at t.counters ~site:pc;
         if !Obs.enabled then Obs.emit (Obs.Trap_taken { site = pc; target });
+        (match Machine.profile m with
+        | Some p -> Profile.note_trap p
+        | None -> ());
         Machine.charge m t.costs.Costs.trap;
         Machine.Resume target
     | None ->

@@ -16,8 +16,10 @@ fi
 # workload (the fault-determinism contract, end to end).
 json_block=$(mktemp /tmp/chimera-block-XXXXXX.json)
 json_step=$(mktemp /tmp/chimera-step-XXXXXX.json)
+json_full=$(mktemp /tmp/chimera-full-XXXXXX.json)
 trace=$(mktemp /tmp/chimera-trace-XXXXXX.jsonl)
-trap 'rm -f "$json_block" "$json_step" "$trace"' EXIT
+profdir=$(mktemp -d /tmp/chimera-prof-XXXXXX)
+trap 'rm -rf "$json_block" "$json_step" "$json_full" "$trace" "$profdir"' EXIT
 dune exec bench/main.exe -- fig13 -q --json "$json_block"
 dune exec bench/main.exe -- fig13 -q --engine step --json "$json_step"
 retired_block=$(grep -o '"retired": [0-9]*' "$json_block")
@@ -35,3 +37,29 @@ echo "ci: engines agree ($retired_block)"
 dune exec bench/main.exe -- table2 -q --trace "$trace"
 test -s "$trace"
 head -1 "$trace" | grep -q '"ev":"meta"'
+
+# Profiler smoke: the guest profiler's retired total must equal the
+# machine's own counter bit-for-bit, on both engines. The driver already
+# hard-checks this (non-zero exit on mismatch); re-assert it here from
+# the JSON, and check the report + folded-stack outputs exist.
+for eng in block step; do
+  dune exec bench/main.exe -- fig13 -q --engine "$eng" \
+    --profile "$profdir" --json "$json_block"
+  retired=$(grep -o '"retired": [0-9]*' "$json_block" | grep -o '[0-9]*')
+  prof=$(grep -o '"prof_retired": [0-9]*' "$json_block" | grep -o '[0-9]*')
+  test -n "$retired" && test -n "$prof"
+  if [ "$retired" != "$prof" ]; then
+    echo "ci: $eng engine: profiler retired $prof != machine retired $retired" >&2
+    exit 1
+  fi
+  echo "ci: $eng engine profile exact ($prof retired)"
+done
+test -s "$profdir/fig13.txt"
+test -s "$profdir/fig13.folded"
+
+# Perf-regression gate: diff a fresh full fig13 against the committed
+# reference run. retired must match exactly; wall time gets a generous
+# tolerance (shared CI runners are noisy), hit rates -0.02 absolute.
+dune exec bench/main.exe -- fig13 --json "$json_full" \
+  --compare BENCH_PR3.json --wall-tol 2.0
+echo "ci: regression gate passed against BENCH_PR3.json"

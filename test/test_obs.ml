@@ -60,6 +60,18 @@ let event_gen =
         map2 (fun entry body -> Obs.Tb_compile { entry; body }) addr (int_range 0 256);
         map2 (fun entry body -> Obs.Tb_hit { entry; body }) addr (int_range 0 256);
         map2 (fun a len -> Obs.Tb_invalidate { addr = a; len }) addr (int_range 1 4096);
+        (let* entry = addr and* body = int_range 0 256 in
+         let* hits = int_range 0 1_000_000 and* retired = int_range 0 10_000_000 in
+         let* loads = int_range 0 100_000 and* stores = int_range 0 100_000 in
+         let* branches = int_range 0 100_000 and* alu = int_range 0 100_000 in
+         let* vector = int_range 0 100_000 and* compressed = int_range 0 100_000 in
+         let* penalty = int_range 0 100_000 and* tlb = int_range 0 10_000 in
+         let* icache = int_range 0 10_000 and* faults = int_range 0 1_000 in
+         let* recovered = int_range 0 1_000 and* traps = int_range 0 1_000 in
+         return
+           (Obs.Tb_profile
+              { entry; body; hits; retired; loads; stores; branches; alu; vector;
+                compressed; penalty; tlb; icache; faults; recovered; traps }));
         map2 (fun src dst -> Obs.Tb_chain { src; dst }) addr addr;
         map2 (fun a len -> Obs.Tlb_flush { addr = a; len }) addr (int_range 1 4096);
         map2 (fun a misses -> Obs.Icache_burst { addr = a; misses }) addr (int_range 8 512);
@@ -114,6 +126,43 @@ let prop_json_rejects_malformed =
           (* deleting a digit from an int field can still parse; the value
              must then differ, never silently equal *)
           ev' <> ev)
+
+(* --- schema version rejection ------------------------------------------------ *)
+
+(* Meta lines from another schema version must not parse: silently accepting
+   a stale trace would mis-decode every versioned field after it. read_file
+   turns the rejection into an actionable error naming both versions. *)
+let test_meta_version_rejected () =
+  let stale v = Printf.sprintf "{\"ev\":\"meta\",\"version\":%d}" v in
+  Alcotest.(check bool)
+    "current version parses" true
+    (Obs.Json.of_line (stale Obs.schema_version) <> None);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "version %d rejected" v)
+        true
+        (Obs.Json.of_line (stale v) = None))
+    [ 0; 1; Obs.schema_version + 1; 999 ];
+  let file = Filename.temp_file "stale_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc (stale 1 ^ "\n");
+      close_out oc;
+      match Obs.Json.read_file file with
+      | _ -> Alcotest.fail "stale trace must not load"
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            "error names both versions" true
+            (let has needle =
+               let n = String.length needle and l = String.length msg in
+               let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+               go 0
+             in
+             has "schema version 1"
+             && has (Printf.sprintf "version %d" Obs.schema_version)))
 
 (* --- ring/sink behavior ------------------------------------------------------ *)
 
@@ -330,6 +379,9 @@ let () =
     [ ("json",
        List.map QCheck_alcotest.to_alcotest
          [ prop_json_roundtrip; prop_json_rejects_malformed ]);
+      ("schema",
+       [ Alcotest.test_case "stale meta versions rejected" `Quick
+           test_meta_version_rejected ]);
       ("ring", [ Alcotest.test_case "flush + disable" `Quick test_ring_flush ]);
       ("differential",
        List.map QCheck_alcotest.to_alcotest
