@@ -178,6 +178,8 @@ type stat = {
   st_tlb_misses : int;
   st_chain_hits : int;
   st_dispatches : int;
+  st_side_exits : int;  (* superblock dispatches leaving via a taken branch *)
+  st_fused : int;  (* pairs fused at translation time *)
   st_events : int;  (* Obs events emitted during the experiment (0 untraced) *)
   st_prof_retired : int;  (* profiler's retired total; -1 when not profiling *)
 }
@@ -195,11 +197,16 @@ let write_json ?overhead file (stats : stat list) =
       in
       Printf.fprintf oc
         "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \"mips\": %.1f, \
-         \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f, \"events_emitted\": %d%s }%s\n"
+         \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f, \"tb_dispatches\": %d, \
+         \"superblock_len_avg\": %.2f, \"side_exit_rate\": %.4f, \"fused_ops\": %d, \
+         \"events_emitted\": %d%s }%s\n"
         s.st_name s.st_wall s.st_retired mips
         (rate s.st_tlb_hits (s.st_tlb_hits + s.st_tlb_misses))
         (rate s.st_chain_hits s.st_dispatches)
-        s.st_events
+        s.st_dispatches
+        (rate s.st_retired s.st_dispatches)
+        (rate s.st_side_exits s.st_dispatches)
+        s.st_fused s.st_events
         (if s.st_prof_retired >= 0 then
            Printf.sprintf ", \"prof_retired\": %d" s.st_prof_retired
          else "")
@@ -747,6 +754,14 @@ let micro _quick =
     let mem = Loader.load mm_bin in
     Machine.create ~mem ~isa:ext_isa ()
   in
+  (* branch-dense counterpart to interp-1k-insts: a tight loop with an
+     unpredictable branch mix, so superblock dispatch pays its side-exit
+     path on roughly half the inlined branches *)
+  let branchy_bin = Programs.branchy ~name:"branchy-micro" ~rounds:1000 () in
+  let branchy_machine =
+    let mem = Loader.load branchy_bin in
+    Machine.create ~mem ~isa:ext_isa ()
+  in
   let tests =
     [ Test.make ~name:"chbp-rewrite-matmul"
         (Staged.stage (fun () ->
@@ -768,7 +783,11 @@ let micro _quick =
       Test.make ~name:"interp-1k-insts"
         (Staged.stage (fun () ->
              Loader.init_machine interp_machine mm_bin;
-             ignore (Machine.run ~fuel:1000 interp_machine))) ]
+             ignore (Machine.run ~fuel:1000 interp_machine)));
+      Test.make ~name:"interp-branchy-1k"
+        (Staged.stage (fun () ->
+             Loader.init_machine branchy_machine branchy_bin;
+             ignore (Machine.run ~fuel:1000 branchy_machine))) ]
     (* memory-op loops exercising the software TLB: sequential accesses stay
        in one page per 256 iterations (best case), page-strided accesses
        touch a new page every iteration (worst case that still hits after
@@ -832,7 +851,26 @@ let micro _quick =
     (Printf.sprintf
        "rewrite throughput: %.0f KiB/s (%.1f KiB in %.2f s) — rewriting is \
         preparation-time cheap, as in the paper's 40 min-vs-10 h comparison"
-       (kb /. dt) kb dt)
+       (kb /. dt) kb dt);
+  (* Deterministic tail for --json: the Bechamel sampler adapts its
+     iteration counts to wall-clock speed, so the instructions retired
+     during the timed section above vary run to run and engine to engine.
+     Reset the process-wide counters and finish with fixed-fuel runs of the
+     two interpreter workloads, so micro's reported retired count and
+     tlb/chain/side-exit rates are bit-identical across engines (ci.sh
+     compares them across super/block/step). *)
+  Machine.reset_observed_retired ();
+  Memory.reset_observed_tlb ();
+  Machine.reset_observed_chain ();
+  Machine.reset_observed_superblock ();
+  let det bin =
+    let mem = Loader.load bin in
+    let m = Machine.create ~mem ~isa:ext_isa () in
+    Loader.init_machine m bin;
+    ignore (Machine.run ~fuel:2_000_000 m)
+  in
+  det (Programs.matmul ~name:"mm-det" `Ext ~n:12);
+  det (Programs.branchy ~name:"branchy-det" ~rounds:100_000 ())
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -976,13 +1014,44 @@ let profiler_overhead () =
    profiler total must equal the observed-retired delta bit-for-bit. The
    scheduling experiments (fig11/fig14) also single-step machines during
    view migration (Mmview.migrate), which the process-wide counter does not
-   see, so the profiler can only be >= there. *)
-let exact_retired_experiments = [ "table1"; "fig13"; "table2"; "table3"; "ablation"; "micro" ]
+   see, so the profiler can only be >= there. micro left the exact list
+   when it gained its deterministic counter tail: its stat window covers
+   only the post-reset fixed-fuel runs, while the profiler also sees the
+   Bechamel-timed section, so the profiler can only be >= as well. *)
+let exact_retired_experiments = [ "table1"; "fig13"; "table2"; "table3"; "ablation" ]
+
+(* The interpreter's Int64 register values are boxed, so guest execution
+   allocates on nearly every retired instruction. The default 256k-word
+   minor heap forces a minor collection every ~100k guest instructions;
+   2M words (16 MB) cuts the collection count 8x, worth ~5% of wall on
+   the full fig13 sweep. Larger sizes regress again — the allocation
+   pointer then walks a footprint bigger than the last-level cache. The
+   minor heap cannot grow after startup on OCaml 5 ([Gc.set] is a no-op
+   for [minor_heap_size]), so re-exec once with OCAMLRUNPARAM — unless
+   the user already picked a size there. *)
+let tune_minor_heap () =
+  let want = 2 * 1024 * 1024 in
+  let param = try Sys.getenv "OCAMLRUNPARAM" with Not_found -> "" in
+  let user_sized =
+    String.split_on_char ',' param
+    |> List.exists (fun s -> String.length s >= 2 && s.[0] = 's' && s.[1] = '=')
+  in
+  if (Gc.get ()).Gc.minor_heap_size < want && not user_sized then begin
+    let v =
+      if param = "" then Printf.sprintf "s=%d" want
+      else Printf.sprintf "s=%d,%s" want param
+    in
+    Unix.putenv "OCAMLRUNPARAM" v;
+    try Unix.execv Sys.executable_name Sys.argv
+    with Unix.Unix_error _ -> () (* fall through: slower, still correct *)
+  end
 
 let main names quick jobs engine json_file trace_file chrome_file profile_dir
     compare_file wall_tol =
+  tune_minor_heap ();
   (match engine with
-  | `Block -> ()
+  | `Super -> ()
+  | `Block -> Machine.set_superblocks_default false
   | `Step -> Machine.set_block_engine_default false);
   Par.jobs := (if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs);
   (* fail on unwritable output paths before the run, not after *)
@@ -1046,14 +1115,26 @@ let main names quick jobs engine json_file trace_file chrome_file profile_dir
               Profile.set_global (Some p);
               Some p
         in
+        (* reset the process-wide atomics so each experiment's rates are
+           computed from its own counts alone — the deltas below would
+           already subtract an earlier experiment's contribution, but a
+           reset makes leakage structurally impossible (and testable:
+           the start-of-experiment reads must all be zero) *)
+        Machine.reset_observed_retired ();
+        Memory.reset_observed_tlb ();
+        Machine.reset_observed_chain ();
+        Machine.reset_observed_superblock ();
         let r0 = Machine.observed_retired () in
         let th0, tm0 = Memory.observed_tlb () in
         let ch0, cd0 = Machine.observed_chain () in
+        let se0, fu0 = Machine.observed_superblock () in
+        assert (r0 = 0 && th0 = 0 && tm0 = 0 && ch0 = 0 && cd0 = 0 && se0 = 0 && fu0 = 0);
         let e0 = Obs.events_emitted () in
         let w0 = Unix.gettimeofday () in
         traced_phase n (fun () -> (List.assoc n experiments) quick);
         let th1, tm1 = Memory.observed_tlb () in
         let ch1, cd1 = Machine.observed_chain () in
+        let se1, fu1 = Machine.observed_superblock () in
         let retired = Machine.observed_retired () - r0 in
         let prof_retired =
           match (prof, profile_dir) with
@@ -1089,6 +1170,8 @@ let main names quick jobs engine json_file trace_file chrome_file profile_dir
             st_tlb_misses = tm1 - tm0;
             st_chain_hits = ch1 - ch0;
             st_dispatches = cd1 - cd0;
+            st_side_exits = se1 - se0;
+            st_fused = fu1 - fu0;
             st_events = Obs.events_emitted () - e0;
             st_prof_retired = prof_retired }
           :: !stats
@@ -1165,13 +1248,14 @@ let jobs_arg =
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("block", `Block); ("step", `Step) ]) `Block
+    & opt (enum [ ("super", `Super); ("block", `Block); ("step", `Step) ]) `Super
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Execution engine for every machine the benchmarks create: \
-           $(b,block) (default; translation blocks with direct chaining) or \
-           $(b,step) (reference single-step path). Simulated counters are \
-           identical for both — CI compares them.")
+           $(b,super) (default; superblock translation with inlined branches \
+           and macro-op fusion), $(b,block) (straight-line translation blocks \
+           with direct chaining) or $(b,step) (reference single-step path). \
+           Simulated counters are identical for all three — CI compares them.")
 
 let json_arg =
   Arg.(

@@ -29,7 +29,11 @@ and t = {
   mutable retired : int;
   mutable vector_retired : int;
   mutable indirect_retired : int;
-  mutable cycles : int;
+  (* cycles are not stored directly: the invariant cycles = retired +
+     cycles_extra holds at all times, so the per-instruction fast path only
+     bumps [retired] and everything charged beyond one cycle per retired
+     instruction (vector ops, icache misses, runtime events) lands here *)
+  mutable cycles_extra : int;
   mutable icache : Icache.t option;
   mutable block_engine : bool;
   mutable chain : bool;
@@ -39,6 +43,13 @@ and t = {
           implicitly severed when it moves (Tblock.revalidate) *)
   mutable chain_hits : int;  (** dispatches served by a chain link *)
   mutable tb_dispatches : int;  (** total block dispatches (chained or not) *)
+  mutable superblocks : bool;
+      (** compile inlined jumps/branches and fused pairs; off restricts
+          translation to PR3-style straight-line blocks (the differential
+          harness exercises both) *)
+  mutable side_exits : int;  (** dispatches that left a block via a taken
+                                 inlined branch *)
+  mutable fused_pairs : int;  (** pairs fused at translation time *)
   mutable prof : Profile.t option;
       (** attached guest profiler; both engines account through it when set
           (picked up from [Profile.global] at creation) *)
@@ -78,6 +89,12 @@ let new_view mem =
 let block_engine_default = ref true
 let set_block_engine_default on = block_engine_default := on
 
+(* Same pattern for superblock formation: the bench driver's --engine flag
+   can pin whole experiments to plain straight-line blocks so the three
+   engines (step, block, superblock) stay differentially comparable. *)
+let superblocks_default = ref true
+let set_superblocks_default on = superblocks_default := on
+
 let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
   let view = new_view mem in
   { cur = view;
@@ -94,13 +111,16 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     retired = 0;
     vector_retired = 0;
     indirect_retired = 0;
-    cycles = 0;
+    cycles_extra = 0;
     icache = None;
     block_engine = !block_engine_default;
     chain = true;
     code_epoch = 0;
     chain_hits = 0;
     tb_dispatches = 0;
+    superblocks = !superblocks_default;
+    side_exits = 0;
+    fused_pairs = 0;
     prof = Profile.global () }
 
 let mem t = t.cur.vmem
@@ -116,11 +136,13 @@ let costs t = t.costs
 let vlen t = t.vlen
 let pc t = t.pc
 let set_pc t pc = t.pc <- pc
-let get_reg t r = t.xregs.(Reg.to_int r)
+(* [Reg.t] is abstract and range-checked at construction (0..31), so the
+   register file never needs a bounds check on the hot path. *)
+let get_reg t r = Array.unsafe_get t.xregs (Reg.to_int r)
 
 let set_reg t r v =
   let i = Reg.to_int r in
-  if i <> 0 then t.xregs.(i) <- v
+  if i <> 0 then Array.unsafe_set t.xregs i v
 
 let get_vreg t v = Bytes.sub t.vregs (Reg.v_to_int v * t.vlen) t.vlen
 
@@ -173,20 +195,27 @@ let profile t = t.prof
 let retired t = t.retired
 let vector_retired t = t.vector_retired
 let indirect_retired t = t.indirect_retired
-let cycles t = t.cycles
-let charge t n = t.cycles <- t.cycles + n
+let cycles t = t.retired + t.cycles_extra
+let charge t n = t.cycles_extra <- t.cycles_extra + n
 
 let reset_counters t =
   t.retired <- 0;
   t.vector_retired <- 0;
   t.indirect_retired <- 0;
-  t.cycles <- 0
+  t.cycles_extra <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
 exception Efault of Fault.t
+
+(* Raised (without a backtrace) by an inlined branch closure whose guard
+   was taken: the closure has already set pc to the taken target and
+   retired, so the catch site in [run_blocks] treats it as a normal block
+   completion through the side exit. Payload-free so raising allocates
+   nothing on the loop back edge. *)
+exception Side_exit
 
 let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
 let bool64 b = if b then 1L else 0L
@@ -657,10 +686,10 @@ let exec_retire t inst size =
   | None -> ()
   | Some ic ->
       if not (Icache.access ic t.pc) then
-        t.cycles <- t.cycles + t.costs.Costs.icache_miss;
+        t.cycles_extra <- t.cycles_extra + t.costs.Costs.icache_miss;
       (* a fetch spanning two lines touches both *)
       if not (Icache.access ic (t.pc + size - 1)) then
-        t.cycles <- t.cycles + t.costs.Costs.icache_miss);
+        t.cycles_extra <- t.cycles_extra + t.costs.Costs.icache_miss);
   if not (Ext.supports t.isa inst) then
     raise
       (Efault
@@ -676,8 +705,8 @@ let exec_retire t inst size =
   (match Ext.required inst with
    | Some Ext.V ->
        t.vector_retired <- t.vector_retired + 1;
-       t.cycles <- t.cycles + t.costs.Costs.vector_op
-   | Some _ | None -> t.cycles <- t.cycles + 1);
+       t.cycles_extra <- t.cycles_extra + t.costs.Costs.vector_op - 1
+   | Some _ | None -> ());
   (ev, size)
 
 (* Deliver the outcome of one instruction to the handlers. *)
@@ -738,12 +767,12 @@ let step ?(handlers = default_handlers) t =
         | exception Memory.Violation _ -> -1
       in
       Profile.step_begin p ~pc:pc0 ~cls;
-      let r0 = t.retired and c0 = t.cycles in
+      let r0 = t.retired and c0 = cycles t in
       let mem0 = t.cur.vmem in
       let tlb0 = Memory.tlb_misses_live mem0 in
       let ic0 = icache_miss_count t in
       let res = step_dispatch ~handlers t in
-      Profile.step_end p ~retired:(t.retired - r0) ~cycles:(t.cycles - c0)
+      Profile.step_end p ~retired:(t.retired - r0) ~cycles:(cycles t - c0)
         ~tlb:(Memory.tlb_misses_live mem0 - tlb0)
         ~icache:(icache_miss_count t - ic0)
         ~target:t.pc;
@@ -757,31 +786,203 @@ let step_decoded ~handlers t inst size =
 (* Translation-block engine                                            *)
 (* ------------------------------------------------------------------ *)
 
-let retire_scalar t =
-  t.retired <- t.retired + 1;
-  t.cycles <- t.cycles + 1
+let retire_scalar t = t.retired <- t.retired + 1
 
 let retire_vector t =
   t.retired <- t.retired + 1;
   t.vector_retired <- t.vector_retired + 1;
-  t.cycles <- t.cycles + t.costs.Costs.vector_op
+  t.cycles_extra <- t.cycles_extra + t.costs.Costs.vector_op - 1
 
-(* Compile one instruction for the fast path. Control-flow and event
-   instructions terminate the block (they stay decoded and run through
-   {!step_decoded}, so handler delivery and fault pcs are identical to the
-   slow path); anything the current capability set cannot execute stops the
-   block so the slow path raises the precise illegal-instruction fault.
-   Every compiled closure replicates [exec] exactly and then retires, with
-   operands and the next pc partially evaluated at translation time. *)
+(* Superblock inlining only covers direct transfers whose (static) target
+   passes the alignment check [exec] would perform — a misaligned target
+   stays a terminator so the slow path raises the precise fault. *)
+let target_aligned t target =
+  target land 1 = 0 && (target land 3 = 0 || Ext.mem Ext.C t.isa)
+
+(* Compile one instruction for the fast path. Event instructions and
+   indirect/linking control flow terminate the block (they stay decoded and
+   run through {!step_decoded}, so handler delivery and fault pcs are
+   identical to the slow path). Direct jumps that do not link ra and
+   conditional branches are inlined when superblock formation is on: the
+   jump closure transfers to its static target, the branch closure either
+   falls through or leaves the block through {!Side_exit} — in both cases
+   pc is exact at every block exit, so faults and chaining see the same
+   machine states as the step engine. Anything the current capability set
+   cannot execute stops the block so the slow path raises the precise
+   illegal-instruction fault. Every compiled closure replicates [exec]
+   exactly and then retires, with operands partially evaluated at
+   translation time.
+
+   pc is maintained lazily: straight-line closures that cannot fault do
+   not write [t.pc] at all; fault-capable closures (memory accesses, the
+   interpreter fallback) set their own pc first so a raised fault reports
+   the exact faulting instruction; control transfers write their target.
+   [run_blocks] re-synchronizes pc at every dispatch end (terminator pc,
+   fall-through, or the fuel-limited resume point), so pc is exact at
+   every point the machine state is observable. *)
 let compile_op t ~pc inst size =
   match inst with
-  | Inst.Jal _ | Inst.Jalr _ | Inst.Branch _ | Inst.Ecall | Inst.Ebreak
-  | Inst.C_ebreak | Inst.C_j _ | Inst.C_jr _ | Inst.C_jalr _ | Inst.C_beqz _
-  | Inst.C_bnez _ | Inst.Xcheck_jalr _ -> Tblock.Term
+  | Inst.Ecall | Inst.Ebreak | Inst.C_ebreak | Inst.Xcheck_jalr _ ->
+      Tblock.Term
+  | Inst.Jalr (rd, rs1, imm) ->
+      (* with C in the capability set a jalr target (bit 0 cleared by the
+         ISA) can never misalign, so the whole instruction is event-free:
+         compile it to a direct terminator closure and skip the
+         interpreter's decode-exec-dispatch path. Without C it can raise
+         the misaligned-target fault and must stay on the event path. *)
+      if not (Ext.mem Ext.C t.isa) then Tblock.Term
+      else
+        let im = Int64.of_int imm in
+        let link = Int64.of_int (pc + size) in
+        Tblock.Term_fn
+          (fun t ->
+            (* target before link write: rd may alias rs1 *)
+            let target =
+              addr_of (Int64.add (get_reg t rs1) im) land lnot 1
+            in
+            set_reg t rd link;
+            t.indirect_retired <- t.indirect_retired + 1;
+            t.pc <- target;
+            retire_scalar t)
+  | Inst.C_jr rs1 ->
+      if not (Ext.mem Ext.C t.isa) then Tblock.Term
+      else
+        Tblock.Term_fn
+          (fun t ->
+            t.indirect_retired <- t.indirect_retired + 1;
+            t.pc <- addr_of (get_reg t rs1) land lnot 1;
+            retire_scalar t)
+  | Inst.C_jalr rs1 ->
+      if not (Ext.mem Ext.C t.isa) then Tblock.Term
+      else
+        let link = Int64.of_int (pc + size) in
+        Tblock.Term_fn
+          (fun t ->
+            (* target before the ra write: rs1 may be ra *)
+            let target = addr_of (get_reg t rs1) land lnot 1 in
+            t.indirect_retired <- t.indirect_retired + 1;
+            set_reg t Reg.ra link;
+            t.pc <- target;
+            retire_scalar t)
+  | Inst.Jal (rd, off) ->
+      (* jal linking ra is a call: kept as a terminator so the profiler's
+         shadow call stack sees it; any other link register is inlined *)
+      let target = pc + off in
+      if not (target_aligned t target) then Tblock.Term
+      else if (not t.superblocks) || Reg.equal rd Reg.ra then
+        (* calls (and the block engine's jumps) end the block, but the
+           aligned direct transfer itself is event-free: run it as a
+           terminator closure *)
+        let link = Int64.of_int (pc + size) in
+        Tblock.Term_fn
+          (fun t ->
+            set_reg t rd link;
+            t.pc <- target;
+            retire_scalar t)
+      else
+        let link = Int64.of_int (pc + size) in
+        Tblock.Jump
+          ( (fun t ->
+              set_reg t rd link;
+              t.pc <- target;
+              retire_scalar t),
+            target )
+  | Inst.C_j off ->
+      let target = pc + off in
+      if not (Ext.supports t.isa inst) || not (target_aligned t target) then
+        Tblock.Term
+      else if not t.superblocks then
+        Tblock.Term_fn
+          (fun t ->
+            t.pc <- target;
+            retire_scalar t)
+      else
+        Tblock.Jump
+          ( (fun t ->
+              t.pc <- target;
+              retire_scalar t),
+            target )
+  | Inst.Branch (c, rs1, rs2, off) ->
+      (* backward-taken/forward-not-taken: a backward conditional branch is
+         almost always a loop backedge and taken on nearly every iteration —
+         inlining it would side-exit every time, so it stays a terminator
+         (and chains through the link slots like any other block end); only
+         forward branches, usually not taken, are worth inlining *)
+      let target = pc + off in
+      if (not t.superblocks) || off <= 0 || not (target_aligned t target) then
+        if not (target_aligned t target) then Tblock.Term
+        else
+          (* loop backedge (or block engine): terminator, but both targets
+             are static and aligned so it cannot fault — direct closure *)
+          let fall = pc + size in
+          Tblock.Term_fn
+            (fun t ->
+              if branch_taken c (get_reg t rs1) (get_reg t rs2) then
+                t.pc <- target
+              else t.pc <- fall;
+              retire_scalar t)
+      else
+        Tblock.Brcond
+          (fun t ->
+            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
+              t.pc <- target;
+              retire_scalar t;
+              raise_notrace Side_exit
+            end
+            else retire_scalar t)
+  | Inst.C_beqz (rs1, off) ->
+      let target = pc + off in
+      if
+        (not t.superblocks) || off <= 0
+        || not (Ext.supports t.isa inst)
+        || not (target_aligned t target)
+      then
+        if not (Ext.supports t.isa inst) || not (target_aligned t target)
+        then Tblock.Term
+        else
+          let fall = pc + size in
+          Tblock.Term_fn
+            (fun t ->
+              if Int64.equal (get_reg t rs1) 0L then t.pc <- target
+              else t.pc <- fall;
+              retire_scalar t)
+      else
+        Tblock.Brcond
+          (fun t ->
+            if Int64.equal (get_reg t rs1) 0L then begin
+              t.pc <- target;
+              retire_scalar t;
+              raise_notrace Side_exit
+            end
+            else retire_scalar t)
+  | Inst.C_bnez (rs1, off) ->
+      let target = pc + off in
+      if
+        (not t.superblocks) || off <= 0
+        || not (Ext.supports t.isa inst)
+        || not (target_aligned t target)
+      then
+        if not (Ext.supports t.isa inst) || not (target_aligned t target)
+        then Tblock.Term
+        else
+          let fall = pc + size in
+          Tblock.Term_fn
+            (fun t ->
+              if Int64.equal (get_reg t rs1) 0L then t.pc <- fall
+              else t.pc <- target;
+              retire_scalar t)
+      else
+        Tblock.Brcond
+          (fun t ->
+            if Int64.equal (get_reg t rs1) 0L then retire_scalar t
+            else begin
+              t.pc <- target;
+              retire_scalar t;
+              raise_notrace Side_exit
+            end)
   | _ ->
       if not (Ext.supports t.isa inst) then Tblock.Stop
       else
-        let next = pc + size in
         let retire =
           if Ext.required inst = Some Ext.V then retire_vector else retire_scalar
         in
@@ -790,123 +991,164 @@ let compile_op t ~pc inst size =
           | Inst.Lui (rd, imm20) ->
               let v = Int64.of_int (imm20 lsl 12) in
               fun t ->
-                set_reg t rd v;
-                t.pc <- next;
-                retire t
+                set_reg t rd v
           | Inst.Auipc (rd, imm20) ->
               let v = Int64.of_int (pc + (imm20 lsl 12)) in
               fun t ->
-                set_reg t rd v;
-                t.pc <- next;
-                retire t
-          | Inst.Load { width; unsigned; rd; rs1; imm } ->
+                set_reg t rd v
+          | Inst.Load { width; unsigned; rd; rs1; imm } -> (
+              (* width/signedness are static: pick the accessor here so the
+                 closure runs no per-execution dispatch *)
               let im = Int64.of_int imm in
-              fun t ->
-                let addr = addr_of (Int64.add (get_reg t rs1) im) in
-                set_reg t rd (load_value t.cur.vmem width unsigned addr);
-                t.pc <- next;
-                retire t
-          | Inst.Store { width; rs2; rs1; imm } ->
+              match (width, unsigned) with
+              | Inst.D, _ ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    set_reg t rd (Memory.load_u64 t.cur.vmem addr)
+              | Inst.W, false ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    set_reg t rd
+                      (sext32 (Int64.of_int (Memory.load_u32 t.cur.vmem addr)))
+              | Inst.B, true ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    set_reg t rd (Int64.of_int (Memory.load_u8 t.cur.vmem addr))
+              | _ ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    set_reg t rd (load_value t.cur.vmem width unsigned addr))
+          | Inst.Store { width; rs2; rs1; imm } -> (
               let im = Int64.of_int imm in
-              fun t ->
-                let addr = addr_of (Int64.add (get_reg t rs1) im) in
-                store_value t.cur.vmem width addr (get_reg t rs2);
-                t.pc <- next;
-                retire t
-          | Inst.Op (op, rd, rs1, rs2) ->
-              fun t ->
-                set_reg t rd (alu op (get_reg t rs1) (get_reg t rs2));
-                t.pc <- next;
-                retire t
+              match width with
+              | Inst.D ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    Memory.store_u64 t.cur.vmem addr (get_reg t rs2)
+              | Inst.W ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    Memory.store_u32 t.cur.vmem addr
+                      (Int64.to_int (Int64.logand (get_reg t rs2) 0xFFFFFFFFL))
+              | _ ->
+                  fun t ->
+                    t.pc <- pc;
+                    let addr = addr_of (Int64.add (get_reg t rs1) im) in
+                    store_value t.cur.vmem width addr (get_reg t rs2))
+          | Inst.Op (op, rd, rs1, rs2) -> (
+              (* the hottest ALU ops get dedicated closures (no jump through
+                 [alu]'s dispatch table); the long tail shares one *)
+              match op with
+              | Inst.Add ->
+                  fun t ->
+                    set_reg t rd (Int64.add (get_reg t rs1) (get_reg t rs2))
+              | Inst.Sub ->
+                  fun t ->
+                    set_reg t rd (Int64.sub (get_reg t rs1) (get_reg t rs2))
+              | Inst.And ->
+                  fun t ->
+                    set_reg t rd (Int64.logand (get_reg t rs1) (get_reg t rs2))
+              | Inst.Or ->
+                  fun t ->
+                    set_reg t rd (Int64.logor (get_reg t rs1) (get_reg t rs2))
+              | Inst.Xor ->
+                  fun t ->
+                    set_reg t rd (Int64.logxor (get_reg t rs1) (get_reg t rs2))
+              | Inst.Addw ->
+                  fun t ->
+                    set_reg t rd
+                      (sext32 (Int64.add (get_reg t rs1) (get_reg t rs2)))
+              | Inst.Mul ->
+                  fun t ->
+                    set_reg t rd (Int64.mul (get_reg t rs1) (get_reg t rs2))
+              | _ ->
+                  fun t ->
+                    set_reg t rd (alu op (get_reg t rs1) (get_reg t rs2)))
           | Inst.Opi (Inst.Addi, rd, rs1, imm) ->
               let im = Int64.of_int imm in
               fun t ->
-                set_reg t rd (Int64.add (get_reg t rs1) im);
-                t.pc <- next;
-                retire t
+                set_reg t rd (Int64.add (get_reg t rs1) im)
+          | Inst.Opi (Inst.Andi, rd, rs1, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (Int64.logand (get_reg t rs1) im)
+          | Inst.Opi (Inst.Slli, rd, rs1, imm) ->
+              let sh = imm land 63 in
+              fun t ->
+                set_reg t rd (Int64.shift_left (get_reg t rs1) sh)
+          | Inst.Opi (Inst.Srli, rd, rs1, imm) ->
+              let sh = imm land 63 in
+              fun t ->
+                set_reg t rd (Int64.shift_right_logical (get_reg t rs1) sh)
+          | Inst.Opi (Inst.Addiw, rd, rs1, imm) ->
+              let im = Int64.of_int imm in
+              fun t ->
+                set_reg t rd (sext32 (Int64.add (get_reg t rs1) im))
           | Inst.Opi (op, rd, rs1, imm) ->
               fun t ->
-                set_reg t rd (alui op (get_reg t rs1) imm);
-                t.pc <- next;
-                retire t
+                set_reg t rd (alui op (get_reg t rs1) imm)
           | Inst.C_nop ->
-              fun t ->
-                t.pc <- next;
-                retire t
+              fun _ -> ()
           | Inst.C_addi (rd, imm) ->
               let im = Int64.of_int imm in
               fun t ->
-                set_reg t rd (Int64.add (get_reg t rd) im);
-                t.pc <- next;
-                retire t
+                set_reg t rd (Int64.add (get_reg t rd) im)
           | Inst.C_li (rd, imm) ->
               let v = Int64.of_int imm in
               fun t ->
-                set_reg t rd v;
-                t.pc <- next;
-                retire t
+                set_reg t rd v
           | Inst.C_mv (rd, rs2) ->
               fun t ->
-                set_reg t rd (get_reg t rs2);
-                t.pc <- next;
-                retire t
+                set_reg t rd (get_reg t rs2)
           | Inst.C_add (rd, rs2) ->
               fun t ->
-                set_reg t rd (Int64.add (get_reg t rd) (get_reg t rs2));
-                t.pc <- next;
-                retire t
+                set_reg t rd (Int64.add (get_reg t rd) (get_reg t rs2))
           | Inst.C_ld (rd, rs1, uimm) ->
               let im = Int64.of_int uimm in
               fun t ->
+                t.pc <- pc;
                 let addr = addr_of (Int64.add (get_reg t rs1) im) in
-                set_reg t rd (Memory.load_u64 t.cur.vmem addr);
-                t.pc <- next;
-                retire t
+                set_reg t rd (Memory.load_u64 t.cur.vmem addr)
           | Inst.C_sd (rs2, rs1, uimm) ->
               let im = Int64.of_int uimm in
               fun t ->
+                t.pc <- pc;
                 let addr = addr_of (Int64.add (get_reg t rs1) im) in
-                Memory.store_u64 t.cur.vmem addr (get_reg t rs2);
-                t.pc <- next;
-                retire t
+                Memory.store_u64 t.cur.vmem addr (get_reg t rs2)
           | Inst.C_slli (rd, sh) ->
               fun t ->
-                set_reg t rd (Int64.shift_left (get_reg t rd) sh);
-                t.pc <- next;
-                retire t
+                set_reg t rd (Int64.shift_left (get_reg t rd) sh)
           | Inst.C_lw (rd, rs1, uimm) ->
               let im = Int64.of_int uimm in
               fun t ->
+                t.pc <- pc;
                 let addr = addr_of (Int64.add (get_reg t rs1) im) in
-                set_reg t rd (sext32 (Int64.of_int (Memory.load_u32 t.cur.vmem addr)));
-                t.pc <- next;
-                retire t
+                set_reg t rd (sext32 (Int64.of_int (Memory.load_u32 t.cur.vmem addr)))
           | Inst.C_sw (rs2, rs1, uimm) ->
               let im = Int64.of_int uimm in
               fun t ->
+                t.pc <- pc;
                 let addr = addr_of (Int64.add (get_reg t rs1) im) in
                 Memory.store_u32 t.cur.vmem addr
-                  (Int64.to_int (Int64.logand (get_reg t rs2) 0xFFFFFFFFL));
-                t.pc <- next;
-                retire t
+                  (Int64.to_int (Int64.logand (get_reg t rs2) 0xFFFFFFFFL))
           | Inst.C_lui (rd, imm) ->
               let v = Int64.of_int (imm lsl 12) in
               fun t ->
-                set_reg t rd v;
-                t.pc <- next;
-                retire t
+                set_reg t rd v
           | Inst.C_addiw (rd, imm) ->
               let im = Int64.of_int imm in
               fun t ->
-                set_reg t rd (sext32 (Int64.add (get_reg t rd) im));
-                t.pc <- next;
-                retire t
+                set_reg t rd (sext32 (Int64.add (get_reg t rd) im))
           | Inst.C_andi (rd, imm) ->
               let im = Int64.of_int imm in
               fun t ->
-                set_reg t rd (Int64.logand (get_reg t rd) im);
-                t.pc <- next;
-                retire t
+                set_reg t rd (Int64.logand (get_reg t rd) im)
           | Inst.C_alu (op, rd, rs2) ->
               fun t ->
                 let a = get_reg t rd and b = get_reg t rs2 in
@@ -917,20 +1159,134 @@ let compile_op t ~pc inst size =
                   | Inst.Cor -> Int64.logor a b
                   | Inst.Cand -> Int64.logand a b
                   | Inst.Csubw -> sext32 (Int64.sub a b)
-                  | Inst.Caddw -> sext32 (Int64.add a b));
-                t.pc <- next;
-                retire t
+                  | Inst.Caddw -> sext32 (Int64.add a b))
           | _ ->
               (* vector / packed-SIMD and other rare straight-line
                  instructions: reuse the interpreter dispatch (they can
                  only produce [Enone] — events all terminate blocks). *)
               fun t ->
+                t.pc <- pc;
                 (match exec t inst size with
                 | Enone -> ()
                 | Eebreak _ | Eecall | Echeck _ -> assert false);
                 retire t
         in
-        Tblock.Op op
+        (* every named arm above leaves the retired counter to the
+           dispatch loop; only the interpreter fallback retires itself *)
+        match inst with
+        | Inst.Lui _ | Inst.Auipc _ | Inst.Load _ | Inst.Store _ | Inst.Op _
+        | Inst.Opi _ | Inst.C_nop | Inst.C_addi _ | Inst.C_li _ | Inst.C_mv _
+        | Inst.C_add _ | Inst.C_ld _ | Inst.C_sd _ | Inst.C_slli _
+        | Inst.C_lw _ | Inst.C_sw _ | Inst.C_lui _ | Inst.C_addiw _
+        | Inst.C_andi _ | Inst.C_alu _ ->
+            Tblock.Op op
+        | _ -> Tblock.Op_self op
+
+(* Fetch accounting for one instruction inside a fused closure: the run
+   loop cannot interleave icache touches with the pair's effects, so fused
+   units carry their own — ordering relative to faults then matches the
+   step engine exactly (an instruction's lines are touched only once it is
+   reached). *)
+let touch_fetch t ipc sz =
+  match t.icache with
+  | None -> ()
+  | Some ic ->
+      let miss = t.costs.Costs.icache_miss in
+      if not (Icache.access ic ipc) then t.cycles_extra <- t.cycles_extra + miss;
+      if not (Icache.access ic (ipc + sz - 1)) then t.cycles_extra <- t.cycles_extra + miss
+
+(* Peephole fusion over adjacent decoded pairs: both effects and both
+   retirements stay exact. Like single-instruction closures, fused pairs
+   write [t.pc] lazily: only a fault-capable second half sets its own pc
+   (before the access, so a fault reports it with the first half already
+   retired — indistinguishable from unfused execution). Only patterns whose
+   intermediate values are computable at translation time are fused. *)
+let fuse_pair t ~pc inst1 size1 inst2 size2 =
+  if not t.superblocks then None
+  else
+    let pc2 = pc + size1 in
+    match (inst1, inst2) with
+    | Inst.Lui (rd, hi20), Inst.Opi (Inst.Addi, rd2, rs1, lo)
+      when Reg.equal rs1 rd && Reg.equal rd2 rd ->
+        (* li rd, imm32: the addi reads the lui result, so the final
+           constant folds at translation time; both writes land on rd *)
+        let v1 = Int64.of_int (hi20 lsl 12) in
+        let v2 = Int64.add v1 (Int64.of_int lo) in
+        Some
+          (fun t ->
+            touch_fetch t pc size1;
+            set_reg t rd v1;
+            retire_scalar t;
+            touch_fetch t pc2 size2;
+            set_reg t rd v2;
+            retire_scalar t)
+    | Inst.Auipc (rd, hi20), Inst.Opi (Inst.Addi, rd2, rs1, lo)
+      when Reg.equal rs1 rd && Reg.equal rd2 rd ->
+        (* la rd, sym: pc-relative address materialization *)
+        let v1 = Int64.of_int (pc + (hi20 lsl 12)) in
+        let v2 = Int64.add v1 (Int64.of_int lo) in
+        Some
+          (fun t ->
+            touch_fetch t pc size1;
+            set_reg t rd v1;
+            retire_scalar t;
+            touch_fetch t pc2 size2;
+            set_reg t rd v2;
+            retire_scalar t)
+    | Inst.Auipc (rd, hi20), Inst.Load { width; unsigned; rd = rd2; rs1; imm }
+      when Reg.equal rs1 rd && not (Reg.equal rd Reg.x0) ->
+        (* pc-relative load: the effective address is static *)
+        let v1 = Int64.of_int (pc + (hi20 lsl 12)) in
+        let addr = addr_of (Int64.add v1 (Int64.of_int imm)) in
+        Some
+          (fun t ->
+            touch_fetch t pc size1;
+            set_reg t rd v1;
+            retire_scalar t;
+            touch_fetch t pc2 size2;
+            t.pc <- pc2;
+            set_reg t rd2 (load_value t.cur.vmem width unsigned addr);
+            retire_scalar t)
+    | ( Inst.Op (((Inst.Slt | Inst.Sltu) as op), rd, ra, rb),
+        Inst.Branch (c, rs1, rs2, off) )
+      when off > 0 && target_aligned t (pc2 + off) ->
+        let target = pc2 + off in
+        Some
+          (fun t ->
+            touch_fetch t pc size1;
+            set_reg t rd (alu op (get_reg t ra) (get_reg t rb));
+            retire_scalar t;
+            touch_fetch t pc2 size2;
+            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
+              t.pc <- target;
+              retire_scalar t;
+              raise_notrace Side_exit
+            end
+            else retire_scalar t)
+    | ( Inst.Opi (((Inst.Slti | Inst.Sltiu) as op), rd, ra, imm),
+        Inst.Branch (c, rs1, rs2, off) )
+      when off > 0 && target_aligned t (pc2 + off) ->
+        let target = pc2 + off in
+        Some
+          (fun t ->
+            touch_fetch t pc size1;
+            set_reg t rd (alui op (get_reg t ra) imm);
+            retire_scalar t;
+            touch_fetch t pc2 size2;
+            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
+              t.pc <- target;
+              retire_scalar t;
+              raise_notrace Side_exit
+            end
+            else retire_scalar t)
+    | _ -> None
+
+let fuse_kind inst1 inst2 =
+  match (inst1, inst2) with
+  | Inst.Lui _, _ -> "lui_addi"
+  | Inst.Auipc _, Inst.Opi _ -> "auipc_addi"
+  | Inst.Auipc _, _ -> "auipc_ld"
+  | _ -> "cmp_br"
 
 let translate_block t entry =
   Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
@@ -940,21 +1296,36 @@ let translate_block t entry =
       | exception Efault _ -> None
       | exception Memory.Violation _ -> None)
     ~compile:(fun ~pc inst size -> compile_op t ~pc inst size)
+    ~fuse:(fun ~pc inst1 size1 inst2 size2 ->
+      match fuse_pair t ~pc inst1 size1 inst2 size2 with
+      | Some _ as r ->
+          t.fused_pairs <- t.fused_pairs + 1;
+          if !Obs.enabled then
+            Obs.emit (Obs.Tb_fuse { pc; kind = fuse_kind inst1 inst2 });
+          r
+      | None -> None)
     entry
 
 let block_at t =
   match Hashtbl.find_opt t.cur.blocks t.pc with
   | Some b when Tblock.revalidate t.gens ~isa:t.isa ~epoch:t.code_epoch b ->
       if !Obs.enabled then
-        Obs.emit
-          (Obs.Tb_hit { entry = t.pc; body = Array.length b.Tblock.ops });
+        Obs.emit (Obs.Tb_hit { entry = t.pc; body = Tblock.body_length b });
       b
   | Some _ | None ->
       let b = translate_block t t.pc in
       Hashtbl.replace t.cur.blocks t.pc b;
-      if !Obs.enabled then
+      if !Obs.enabled then begin
+        Obs.emit (Obs.Tb_compile { entry = t.pc; body = Tblock.body_length b });
         Obs.emit
-          (Obs.Tb_compile { entry = t.pc; body = Array.length b.Tblock.ops });
+          (Obs.Tb_superblock
+             { entry = t.pc;
+               insts = Tblock.body_length b;
+               pages = Array.length b.Tblock.pages;
+               jumps = b.Tblock.n_jumps;
+               exits = b.Tblock.n_branches;
+               fused = b.Tblock.n_fused })
+      end;
       b
 
 (* ------------------------------------------------------------------ *)
@@ -1004,7 +1375,7 @@ let run_blocks ~handlers ~fuel t =
               t.chain_hits <- t.chain_hits + 1;
               if !Obs.enabled then
                 Obs.emit
-                  (Obs.Tb_hit { entry = pc; body = Array.length nb.Tblock.ops });
+                  (Obs.Tb_hit { entry = pc; body = Tblock.body_length nb });
               nb
           | _ ->
               let nb = block_at t in
@@ -1054,76 +1425,158 @@ let run_blocks ~handlers ~fuel t =
             Profile.begin_dispatch p o;
             o
       in
-      let r0 = if prow == None then 0 else t.retired in
-      let c0 = if prow == None then 0 else t.cycles in
+      (* Body instructions retired are recovered from the retired-counter
+         delta (every unit closure retires per covered instruction), so r0
+         is snapshotted even without a profile — it is the fuel
+         accountant. *)
+      let r0 = t.retired in
+      let c0 = if prow == None then 0 else cycles t in
       let mem0 = t.cur.vmem in
       let tlb0 = if prow == None then 0 else Memory.tlb_misses_live mem0 in
       let ic0 = if prow == None then 0 else icache_miss_count t in
       let ops = b.Tblock.ops in
-      let nbody = Array.length ops in
-      let k = if nbody < !remaining then nbody else !remaining in
-      let executed = ref 0 in
+      let nunits = Array.length ops in
+      let starts = b.Tblock.starts in
+      let ninsts = Array.unsafe_get starts nunits in
+      let full = ninsts <= !remaining in
+      let ulimit =
+        if full then nunits
+        else begin
+          (* largest unit prefix whose instruction count fits the fuel; a
+             fused unit cut in half by the limit is finished below via the
+             slow path *)
+          let m = ref 0 in
+          while !m < nunits && Array.unsafe_get starts (!m + 1) <= !remaining do
+            incr m
+          done;
+          !m
+        end
+      in
+      let side = ref false in
+      (* [u] survives the exception handlers: on a raise it holds the
+         raising unit's index, on normal completion it equals [ulimit] —
+         exactly the units whose auto-retired instructions must be
+         credited below *)
+      let u = ref 0 in
       let fault =
         try
           (match t.icache with
           | None ->
-              while !executed < k do
-                (Array.unsafe_get ops !executed) t;
-                incr executed
+              while !u < ulimit do
+                (Array.unsafe_get ops !u) t;
+                incr u
               done
           | Some ic ->
               let pcs = b.Tblock.pcs and sizes = b.Tblock.sizes in
               let miss = t.costs.Costs.icache_miss in
-              while !executed < k do
-                let i = !executed in
-                let ipc = Array.unsafe_get pcs i and sz = Array.unsafe_get sizes i in
-                if not (Icache.access ic ipc) then t.cycles <- t.cycles + miss;
-                if not (Icache.access ic (ipc + sz - 1)) then
-                  t.cycles <- t.cycles + miss;
+              while !u < ulimit do
+                let i = !u in
+                let s = Array.unsafe_get starts i in
+                (* fused units interleave their own fetch touches with the
+                   pair's effects; single-instruction units are touched
+                   here, in step-engine order *)
+                if Array.unsafe_get starts (i + 1) = s + 1 then begin
+                  let ipc = Array.unsafe_get pcs s
+                  and sz = Array.unsafe_get sizes s in
+                  if not (Icache.access ic ipc) then t.cycles_extra <- t.cycles_extra + miss;
+                  if not (Icache.access ic (ipc + sz - 1)) then
+                    t.cycles_extra <- t.cycles_extra + miss
+                end;
                 (Array.unsafe_get ops i) t;
-                incr executed
+                incr u
               done);
           None
         with
+        | Side_exit ->
+            side := true;
+            None
         | Efault f -> Some f
         | Memory.Violation { addr; access } ->
             Some (Fault.Segfault { pc = t.pc; addr; access })
       in
+      (* bulk-credit the completed units' auto-retired instructions: a
+         raising unit (fault or side exit) is not in [0, u) and so only
+         contributes whatever its closure retired itself *)
+      t.retired <- t.retired + Array.unsafe_get b.Tblock.auto !u;
+      let body_retired = t.retired - r0 in
       let term_tried = ref false in
       (match fault with
       | Some f ->
           (* the faulting instruction consumed fuel but did not retire *)
-          remaining := !remaining - !executed - 1;
+          remaining := !remaining - body_retired - 1;
           if !Obs.enabled then
             Obs.emit
               (Obs.Fault_raised { pc = Fault.pc f; cause = Fault.cause_name f });
           apply (handlers.on_fault t f)
       | None ->
-          remaining := !remaining - !executed;
-          if !executed = nbody && !remaining > 0 then (
+          remaining := !remaining - body_retired;
+          if !side then begin
+            (* taken inlined branch: a normal completion — pc is already at
+               the taken target, so the next iteration chains through the
+               taken slot *)
+            t.side_exits <- t.side_exits + 1;
+            if !Obs.enabled then
+              Obs.emit
+                (Obs.Tb_side_exit { entry = b.Tblock.entry; target = t.pc });
+            if t.chain then prev := Some (b, v0)
+          end
+          else if full then (
+            (* closures write pc lazily (only fault-capable ones set their
+               own); re-synchronize here — the terminator's pc, or the
+               block's fall-through when there is none *)
             match b.Tblock.term with
-            | Some (inst, size) ->
-                term_tried := true;
-                (match step_decoded ~handlers t inst size with
-                | Some s -> result := Some s
-                | None -> if t.chain then prev := Some (b, v0));
-                decr remaining
-            | None -> if t.chain then prev := Some (b, v0)));
+            | Some (inst, size) when !remaining > 0 -> (
+                match b.Tblock.term_fn with
+                | Some f when t.icache = None ->
+                    (* event-free terminator: the closure sets the final pc
+                       and retires — no interpreter round trip (with the
+                       icache on, fall through so fetch charges apply) *)
+                    f t;
+                    decr remaining;
+                    if t.chain then prev := Some (b, v0)
+                | _ ->
+                    t.pc <- b.Tblock.fall - size;
+                    term_tried := true;
+                    (match step_decoded ~handlers t inst size with
+                    | Some s -> result := Some s
+                    | None -> if t.chain then prev := Some (b, v0));
+                    decr remaining)
+            | Some (_, size) -> t.pc <- b.Tblock.fall - size
+            | None ->
+                t.pc <- b.Tblock.fall;
+                if t.chain then prev := Some (b, v0))
+          else
+            (* fuel-limited prefix: resume at the first unexecuted
+               instruction *)
+            t.pc <-
+              Array.unsafe_get b.Tblock.pcs (Array.unsafe_get starts ulimit));
       (* Account the dispatch after the handlers ran: their cycle charges
          and runtime events belong to this block's window. *)
-      match (t.prof, prow) with
+      (match (t.prof, prow) with
       | Some p, Some row ->
           let dretired = t.retired - r0 in
           (* an attempted terminator that did not retire can only have
              faulted — count it like the step engine does *)
           let faulted =
-            Option.is_some fault || (!term_tried && dretired = !executed)
+            Option.is_some fault || (!term_tried && dretired = body_retired)
           in
-          Profile.block_dispatch p row ~executed:!executed ~retired:dretired
-            ~cycles:(t.cycles - c0)
+          Profile.block_dispatch p row ~executed:body_retired ~retired:dretired
+            ~cycles:(cycles t - c0)
             ~tlb:(Memory.tlb_misses_live mem0 - tlb0)
             ~icache:(icache_miss_count t - ic0) ~fault:faulted ~target:t.pc
-      | _ -> ()
+      | _ -> ());
+      (* A fused pair split by the fuel limit leaves at most one unit of
+         fuel unspent on this block; burn it through the slow path so fuel
+         semantics stay bit-identical to the step engine. (Accounted after
+         the block window: [step] attributes itself.) *)
+      if
+        fault = None && (not !side) && (not full) && !result = None
+        && !remaining > 0
+        && body_retired < ninsts
+      then begin
+        (match step ~handlers t with Some s -> result := Some s | None -> ());
+        decr remaining
+      end
     end
   done;
   match !result with Some s -> s | None -> Fuel_exhausted
@@ -1145,6 +1598,14 @@ let reset_observed_chain () =
   Atomic.set g_chain_hits 0;
   Atomic.set g_dispatches 0
 
+let g_side_exits = Atomic.make 0
+let g_fused = Atomic.make 0
+let observed_superblock () = (Atomic.get g_side_exits, Atomic.get g_fused)
+
+let reset_observed_superblock () =
+  Atomic.set g_side_exits 0;
+  Atomic.set g_fused 0
+
 let flush_run_stats t =
   if t.chain_hits <> 0 then begin
     ignore (Atomic.fetch_and_add g_chain_hits t.chain_hits);
@@ -1153,6 +1614,14 @@ let flush_run_stats t =
   if t.tb_dispatches <> 0 then begin
     ignore (Atomic.fetch_and_add g_dispatches t.tb_dispatches);
     t.tb_dispatches <- 0
+  end;
+  if t.side_exits <> 0 then begin
+    ignore (Atomic.fetch_and_add g_side_exits t.side_exits);
+    t.side_exits <- 0
+  end;
+  if t.fused_pairs <> 0 then begin
+    ignore (Atomic.fetch_and_add g_fused t.fused_pairs);
+    t.fused_pairs <- 0
   end;
   List.iter (fun v -> Memory.flush_tlb_stats v.vmem) t.views
 
@@ -1170,3 +1639,5 @@ let set_block_engine t on = t.block_engine <- on
 let block_engine t = t.block_engine
 let set_block_chaining t on = t.chain <- on
 let block_chaining t = t.chain
+let set_superblocks t on = t.superblocks <- on
+let superblocks t = t.superblocks

@@ -154,6 +154,21 @@ val set_block_chaining : t -> bool -> unit
 
 val block_chaining : t -> bool
 
+val set_superblocks : t -> bool -> unit
+(** Enable/disable superblock formation (on by default): inlined direct
+    jumps and conditional branches with guarded side exits, cross-page
+    blocks, and macro-op fusion. When off, translation falls back to
+    straight-line blocks that end at the first control-flow instruction —
+    the intermediate engine the differential tests compare against. Only
+    affects blocks translated after the call (cached blocks keep the shape
+    they were compiled with), so flip it before running. *)
+
+val superblocks : t -> bool
+
+val set_superblocks_default : bool -> unit
+(** Superblock setting for machines created after this call (the bench
+    harness's [--engine] flag sets it before building workloads). *)
+
 (** {1 Instrumentation} *)
 
 val set_profile : t -> Profile.t option -> unit
@@ -183,3 +198,11 @@ val observed_chain : unit -> int * int
     instead of probing the block table. *)
 
 val reset_observed_chain : unit -> unit
+
+val observed_superblock : unit -> int * int
+(** Process-wide [(side exits, fused pairs)] accumulated by completed
+    {!run} calls — a side exit is a dispatch that left its block through a
+    taken inlined branch; fused pairs count pairs merged at translation
+    time. *)
+
+val reset_observed_superblock : unit -> unit

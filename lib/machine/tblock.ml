@@ -1,10 +1,20 @@
-(* Translation blocks: straight-line runs of decoded instructions compiled
-   into arrays of closures, validated by page-granular generation counters.
+(* Translation superblocks: runs of decoded instructions compiled into
+   arrays of closures, validated by page-granular generation counters.
+
+   A superblock extends past direct control flow: inlined direct jumps
+   continue decoding at their target, inlined conditional branches continue
+   at their fall-through (the taken path leaves the block through a guarded
+   side exit at run time), and the block may span several pages — each page
+   it touches is recorded in a small per-block page set whose generations
+   are summed on revalidation. A peephole pass fuses common adjacent pairs
+   into single closures; the per-instruction metadata (pcs, sizes, classes)
+   stays exact so fuel accounting, fault attribution and the profiler's
+   prefix walks are unaffected by fusion.
 
    The module is parameterized over the machine state ['m]: the machine
-   supplies [decode] and [compile] callbacks, so this module owns the block
-   layout, the termination policy and the invalidation bookkeeping without
-   depending on the executor. *)
+   supplies [decode], [compile] and [fuse] callbacks, so this module owns
+   the block layout, the termination policy and the invalidation
+   bookkeeping without depending on the executor. *)
 
 let page_shift =
   let rec go n s = if n <= 1 then s else go (n lsr 1) (s + 1) in
@@ -13,26 +23,55 @@ let page_shift =
 let page_of addr = addr asr page_shift
 
 module Gen = struct
-  (* Page-granular generation counters. [bump] is O(pages touched) and
-     [stamp] sums the generations of the pages covering a byte range.
-     Generations only grow, so two stamps over the same range are equal iff
-     no covered page was bumped in between. *)
-  type t = (int, int) Hashtbl.t
+  (* Page-granular generation counters in a growable flat array keyed by
+     page index. [stamp]/[stamp_pages] run on the revalidation path after
+     every epoch bump, so reads are plain array loads; only [bump] (rare:
+     code patching) grows the array. Generations only grow, so two stamps
+     over the same pages are equal iff no covered page was bumped in
+     between. Pages beyond the array are implicitly at generation 0. *)
+  type t = { mutable gens : int array }
 
-  let create () : t = Hashtbl.create 64
+  let create () = { gens = Array.make 1024 0 }
 
-  let page_gen (t : t) p = match Hashtbl.find_opt t p with Some g -> g | None -> 0
+  let ensure t p =
+    let n = Array.length t.gens in
+    if p >= n then begin
+      let n' = ref (n * 2) in
+      while p >= !n' do
+        n' := !n' * 2
+      done;
+      let a = Array.make !n' 0 in
+      Array.blit t.gens 0 a 0 n;
+      t.gens <- a
+    end
 
-  let bump (t : t) ~addr ~len =
-    if len > 0 then
-      for p = page_of addr to page_of (addr + len - 1) do
-        Hashtbl.replace t p (page_gen t p + 1)
+  let bump t ~addr ~len =
+    if len > 0 then begin
+      let hi = page_of (addr + len - 1) in
+      ensure t hi;
+      for p = page_of addr to hi do
+        t.gens.(p) <- t.gens.(p) + 1
       done
+    end
 
-  let stamp (t : t) ~lo ~hi =
+  let stamp t ~lo ~hi =
+    let a = t.gens in
+    let n = Array.length a in
     let s = ref 0 in
-    for p = page_of lo to page_of hi do
-      s := !s + page_gen t p
+    let p1 = page_of hi in
+    let p1 = if p1 >= n then n - 1 else p1 in
+    for p = page_of lo to p1 do
+      s := !s + Array.unsafe_get a p
+    done;
+    !s
+
+  let stamp_pages t pages =
+    let a = t.gens in
+    let n = Array.length a in
+    let s = ref 0 in
+    for i = 0 to Array.length pages - 1 do
+      let p = Array.unsafe_get pages i in
+      if p < n then s := !s + Array.unsafe_get a p
     done;
     !s
 end
@@ -40,90 +79,247 @@ end
 (* What the machine's compiler says about one decoded instruction. *)
 type 'm compiled =
   | Op of ('m -> unit)
-      (** Straight-line: executes the instruction, advances pc, retires. *)
-  | Term  (** Control flow or event instruction: ends the block, kept decoded. *)
+      (** Straight-line: executes the instruction. The closure does not
+          touch the retired counter — the dispatch loop credits it in bulk
+          through [auto]. *)
+  | Op_self of ('m -> unit)
+      (** Straight-line like [Op], but the closure retires internally
+          (vector / interpreter-fallback instructions with their own
+          accounting); excluded from [auto]. *)
+  | Jump of ('m -> unit) * int
+      (** Inlined direct jump: the closure transfers to the (static) target
+          and retires; decoding continues at the target. *)
+  | Brcond of ('m -> unit)
+      (** Inlined conditional branch: the closure retires and either falls
+          through or takes the side exit (machine-private exception);
+          decoding continues at the fall-through. *)
+  | Term  (** Event instruction: ends the block, kept decoded. *)
+  | Term_fn of ('m -> unit)
+      (** Terminator proven event-free at translation time: executed as a
+          direct closure by the dispatch loop; [term] still records the
+          decoded pair for the interpreter paths. *)
   | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
 
 type 'm t = {
   entry : int;
-  lo : int;
-  hi : int;  (** last byte whose content the block depends on *)
+  pages : int array;  (** deduplicated page indices the block's bytes span *)
   isa : Ext.t;  (** capability set the block was compiled against *)
   stamp : int;
-  ops : ('m -> unit) array;
+  ops : ('m -> unit) array;  (** execution units; a fused unit covers two
+                                 instructions *)
+  starts : int array;
+      (** [starts.(u)] is the body-instruction index of unit [u]'s first
+          instruction; length [Array.length ops + 1], with the last entry
+          the body instruction count — the fuel accountant's map from units
+          to instructions *)
+  auto : int array;
+      (** [auto.(u)] is the number of auto-retired instructions in units
+          [0, u): straight-line units whose closures do not bump the
+          retired counter themselves, credited in one add per dispatch;
+          same length as [starts] *)
   pcs : int array;  (** pc of each body instruction (icache model, faults) *)
   sizes : int array;
   term : (Inst.t * int) option;
       (** decoded terminator, executed through the machine's event path *)
-  fall : int;  (** pc following the last decoded instruction (fall-through) *)
+  term_fn : ('m -> unit) option;
+      (** event-free terminator compiled to a closure; when present the
+          dispatch loop may execute it instead of routing [term] through
+          the interpreter (kept [None] when the machine needs per-fetch
+          accounting, e.g. the icache model) *)
+  fall : int;
+      (** pc where decoding stopped: the fall-through of the last decoded
+          instruction (or, after an inlined jump, its target) *)
   classes : Bytes.t;
       (** static profiler class code ({!Profile.class_code}) per body
           instruction — the block's instruction mix, priced once here so the
           profiler can attribute a full-body dispatch with one counter *)
   term_class : int;  (** class code of the terminator, -1 if none *)
+  n_jumps : int;  (** inlined direct jumps in the body *)
+  n_branches : int;  (** inlined conditional branches (potential side exits) *)
+  n_fused : int;  (** fused pairs in the body *)
   mutable echeck : int;
       (** machine code-epoch at the last successful validation; equality
           with the current epoch certifies the stamp without re-summing *)
   mutable link_fall : 'm t option;  (** chained successor at [fall] *)
   mutable link_taken : 'm t option;
-      (** chained successor for any other target (taken branch, jump) *)
+      (** chained successor for any other target (side exit, terminator) *)
   mutable prow : Profile.row option;
       (** cached profiler row for [entry]; valid only while
           [Profile.row_live] holds for the machine's attached profile *)
 }
 
 let default_max_insts = 256
+let default_max_pages = 8
 
-(* Decode a straight-line run starting at [pc]. The run ends at the first
-   control-flow/event instruction (kept as the decoded terminator), at the
-   first undecodable or fast-path-ineligible instruction, when the next
-   instruction would start on a different page, or after [max_insts]
-   instructions. A degenerate block (empty body, no terminator) still
-   carries a stamp over the entry bytes so that patching them invalidates
-   it. *)
-let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compile
-    entry =
-  let entry_page = page_of entry in
-  let ops = ref [] and pcs = ref [] and sizes = ref [] in
-  let classes = ref [] in
-  let term_class = ref (-1) in
-  let count = ref 0 in
+(* Decode a superblock starting at [entry]. The run ends at the first event
+   instruction (kept as the decoded terminator), at the first undecodable or
+   fast-path-ineligible instruction, when the next instruction would push
+   the page set past [max_pages], or after [max_insts] instructions.
+   Inlined jumps redirect decoding to their target; inlined branches
+   continue on the fall-through path. A degenerate block (empty body, no
+   terminator) still covers the entry bytes so that patching them
+   invalidates it. *)
+let translate ?(max_insts = default_max_insts) ?(max_pages = default_max_pages)
+    ~gens ~epoch ~isa ~decode ~compile ~fuse entry =
+  (* Units and per-instruction metadata accumulate separately: fusion
+     merges closures, never metadata. *)
+  let units = ref [] and widths = ref [] and selfs = ref [] and nunits = ref 0 in
+  let pcs = ref [] and sizes = ref [] and classes = ref [] in
+  let n_insts = ref 0 in
+  let pages = ref [] and n_pages = ref 0 in
+  let n_jumps = ref 0 and n_branches = ref 0 and n_fused = ref 0 in
+  let term = ref None and term_fn = ref None and term_class = ref (-1) in
   let pc = ref entry in
-  let term = ref None in
   let stop = ref false in
+  let covers p = List.mem p !pages in
+  let pages_fit a len =
+    let p0 = page_of a and p1 = page_of (a + len - 1) in
+    let need =
+      (if covers p0 then 0 else 1)
+      + if p1 <> p0 && not (covers p1) then 1 else 0
+    in
+    !n_pages + need <= max_pages
+  in
+  let add_pages a len =
+    let p0 = page_of a and p1 = page_of (a + len - 1) in
+    if not (covers p0) then begin
+      pages := p0 :: !pages;
+      incr n_pages
+    end;
+    if p1 <> p0 && not (covers p1) then begin
+      pages := p1 :: !pages;
+      incr n_pages
+    end
+  in
+  let push_unit f w ~self =
+    units := f :: !units;
+    widths := w :: !widths;
+    selfs := self :: !selfs;
+    incr nunits
+  in
+  let push_inst ipc size cls =
+    pcs := ipc :: !pcs;
+    sizes := size :: !sizes;
+    classes := cls :: !classes;
+    incr n_insts
+  in
+  (* One straight-line closure held back, awaiting a fusion partner. Its
+     metadata is already pushed — only the unit is delayed, so unit order
+     still follows decode order. *)
+  let pending = ref None in
+  let flush_pending () =
+    match !pending with
+    | Some (_, _, _, f) ->
+        push_unit f 1 ~self:false;
+        pending := None
+    | None -> ()
+  in
   while not !stop do
-    if !count >= max_insts || page_of !pc <> entry_page then stop := true
+    if !n_insts >= max_insts then begin
+      flush_pending ();
+      stop := true
+    end
     else
       match decode !pc with
-      | None -> stop := true
-      | Some (inst, size) -> (
-          match compile ~pc:!pc inst size with
-          | Stop -> stop := true
-          | Term ->
-              term := Some (inst, size);
-              term_class := Profile.class_code inst;
-              pc := !pc + size;
-              stop := true
-          | Op f ->
-              ops := f :: !ops;
-              pcs := !pc :: !pcs;
-              sizes := size :: !sizes;
-              classes := Profile.class_code inst :: !classes;
-              incr count;
-              pc := !pc + size)
+      | None ->
+          flush_pending ();
+          stop := true
+      | Some (inst, size) ->
+          if not (pages_fit !pc size) then begin
+            flush_pending ();
+            stop := true
+          end
+          else (
+            match compile ~pc:!pc inst size with
+            | Stop ->
+                flush_pending ();
+                stop := true
+            | Term ->
+                flush_pending ();
+                add_pages !pc size;
+                term := Some (inst, size);
+                term_class := Profile.class_code inst;
+                pc := !pc + size;
+                stop := true
+            | Term_fn f ->
+                flush_pending ();
+                add_pages !pc size;
+                term := Some (inst, size);
+                term_fn := Some f;
+                term_class := Profile.class_code inst;
+                pc := !pc + size;
+                stop := true
+            | Op f ->
+                add_pages !pc size;
+                push_inst !pc size (Profile.class_code inst);
+                (match !pending with
+                | None -> pending := Some (!pc, inst, size, f)
+                | Some (ppc, pinst, psize, pf) -> (
+                    match fuse ~pc:ppc pinst psize inst size with
+                    | Some g ->
+                        push_unit g 2 ~self:true;
+                        incr n_fused;
+                        pending := None
+                    | None ->
+                        push_unit pf 1 ~self:false;
+                        pending := Some (!pc, inst, size, f)));
+                pc := !pc + size
+            | Op_self f ->
+                (* carries its own retire accounting; never a fusion
+                   candidate *)
+                flush_pending ();
+                add_pages !pc size;
+                push_inst !pc size (Profile.class_code inst);
+                push_unit f 1 ~self:true;
+                pc := !pc + size
+            | Jump (f, target) ->
+                flush_pending ();
+                add_pages !pc size;
+                push_inst !pc size (Profile.class_code inst);
+                push_unit f 1 ~self:true;
+                incr n_jumps;
+                pc := target
+            | Brcond f ->
+                add_pages !pc size;
+                push_inst !pc size (Profile.class_code inst);
+                (match !pending with
+                | None -> push_unit f 1 ~self:true
+                | Some (ppc, pinst, psize, pf) -> (
+                    match fuse ~pc:ppc pinst psize inst size with
+                    | Some g ->
+                        push_unit g 2 ~self:true;
+                        incr n_fused;
+                        pending := None
+                    | None ->
+                        push_unit pf 1 ~self:false;
+                        push_unit f 1 ~self:true;
+                        pending := None));
+                incr n_branches;
+                pc := !pc + size)
   done;
-  (* [hi] covers every decoded byte; a degenerate block covers the widest
-     possible instruction at the entry so a patch there re-translates. *)
-  let hi = if !pc > entry then !pc - 1 else entry + 3 in
+  (* A degenerate block covers the widest possible instruction at the entry
+     so a patch there re-translates. *)
+  if !n_insts = 0 && !term = None then add_pages entry 4;
+  let widths = Array.of_list (List.rev !widths) in
+  let selfs = Array.of_list (List.rev !selfs) in
+  let starts = Array.make (!nunits + 1) 0 in
+  let auto = Array.make (!nunits + 1) 0 in
+  for i = 0 to !nunits - 1 do
+    starts.(i + 1) <- starts.(i) + widths.(i);
+    auto.(i + 1) <- auto.(i) + (if selfs.(i) then 0 else widths.(i))
+  done;
+  let pages = Array.of_list !pages in
   { entry;
-    lo = entry;
-    hi;
+    pages;
     isa;
-    stamp = Gen.stamp gens ~lo:entry ~hi;
-    ops = Array.of_list (List.rev !ops);
+    stamp = Gen.stamp_pages gens pages;
+    ops = Array.of_list (List.rev !units);
+    starts;
+    auto;
     pcs = Array.of_list (List.rev !pcs);
     sizes = Array.of_list (List.rev !sizes);
     term = !term;
+    term_fn = !term_fn;
     fall = !pc;
     classes =
       (let l = List.rev !classes in
@@ -131,6 +327,9 @@ let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compil
        List.iteri (fun i c -> Bytes.set_uint8 b i c) l;
        b);
     term_class = !term_class;
+    n_jumps = !n_jumps;
+    n_branches = !n_branches;
+    n_fused = !n_fused;
     echeck = epoch;
     link_fall = None;
     link_taken = None;
@@ -138,15 +337,15 @@ let translate ?(max_insts = default_max_insts) ~gens ~epoch ~isa ~decode ~compil
 
 (* Fast validity: a block checked under the current code epoch is valid by
    construction (the epoch advances on every generation bump). On an epoch
-   change, fall back to the full stamp + capability check and re-certify;
-   generations are monotonic, so an equal stamp proves no covered page
-   changed. A block that fails here is replaced in the block table — its
-   [echeck] is never refreshed again, so any chain link still pointing at
-   it can never pass the epoch guard (links are severed lazily). *)
+   change, fall back to the full page-set stamp + capability check and
+   re-certify; generations are monotonic, so an equal sum proves no covered
+   page changed. A block that fails here is replaced in the block table —
+   its [echeck] is never refreshed again, so any chain link still pointing
+   at it can never pass the epoch guard (links are severed lazily). *)
 let revalidate gens ~isa ~epoch b =
   b.echeck = epoch
   || (Ext.equal isa b.isa
-      && Gen.stamp gens ~lo:b.lo ~hi:b.hi = b.stamp
+      && Gen.stamp_pages gens b.pages = b.stamp
       &&
       (b.echeck <- epoch;
        true))
@@ -156,6 +355,6 @@ let set_link_fall b next = b.link_fall <- Some next
 let set_link_taken b next = b.link_taken <- Some next
 let set_prow b r = b.prow <- r
 
-let body_length b = Array.length b.ops
+let body_length b = Array.length b.pcs
 
 let degenerate b = Array.length b.ops = 0 && b.term = None

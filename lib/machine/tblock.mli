@@ -1,14 +1,28 @@
-(** Translation blocks: straight-line instruction runs pre-decoded and
-    compiled into closure arrays, with cheap page-granular invalidation.
+(** Translation superblocks: instruction runs pre-decoded and compiled into
+    closure arrays, with cheap page-granular invalidation.
 
-    A block is a maximal run of non-control-flow instructions starting at an
-    entry pc, ending at the first branch/jump/event instruction (kept,
-    decoded, as the block's terminator), at a page boundary, or at an
-    instruction the machine cannot put on the fast path. Blocks are
-    validated against a {!Gen} generation table: patching code bumps the
-    generations of the covered pages, and any block (or cached decode)
-    overlapping a bumped page fails its stamp check and is re-translated —
-    invalidation costs O(pages patched), never a cache scan.
+    A superblock starts at an entry pc and extends past direct control flow:
+    the machine may compile a direct jump as an inlined transfer (decoding
+    continues at the target) and a conditional branch as an inlined guard
+    whose taken path leaves the block through a side exit (decoding
+    continues at the fall-through). The run ends at the first event
+    instruction (kept, decoded, as the block's terminator), at an
+    instruction the machine cannot put on the fast path, when the per-block
+    page set would exceed its cap, or at the instruction-count cap.
+
+    A peephole pass over the decoded run offers adjacent pairs to the
+    machine's [fuse] callback; a fused pair becomes one execution unit. The
+    per-instruction metadata ([pcs]/[sizes]/[classes]) is kept exact per
+    instruction regardless of fusion — [starts] maps units back to
+    instruction indices so fuel, faults and profiler prefix walks stay
+    bit-exact.
+
+    Blocks are validated against a {!Gen} generation table: patching code
+    bumps the generations of the covered pages, and any block (or cached
+    decode) overlapping a bumped page fails its stamp check and is
+    re-translated — invalidation costs O(pages patched), never a cache
+    scan. A block records every page its bytes span, so cross-page blocks
+    keep invalidation page-granular.
 
     The module is parameterized over the machine state ['m]; the machine
     supplies decoding and per-instruction compilation, this module owns
@@ -16,7 +30,9 @@
 
 module Gen : sig
   type t
-  (** Page-granular generation counters (monotonic). *)
+  (** Page-granular generation counters (monotonic), stored in a growable
+      flat array keyed by page index: stamping is plain array sums on the
+      post-epoch-bump revalidation path, no hashing. *)
 
   val create : unit -> t
 
@@ -27,30 +43,70 @@ module Gen : sig
   (** Sum of the generations of the pages covering [lo, hi] (inclusive).
       Generations only grow, so equal stamps over the same range mean no
       covered page changed. *)
+
+  val stamp_pages : t -> int array -> int
+  (** Sum of the generations of an explicit page-index set (a block's
+      [pages]); same monotonicity argument as {!stamp}. *)
 end
 
 type 'm compiled =
   | Op of ('m -> unit)
-      (** Straight-line: executes the instruction, advances pc, retires. *)
-  | Term  (** Control-flow or event instruction: ends the block, kept decoded. *)
+      (** Straight-line: executes the instruction; the retired counter is
+          credited in bulk by the dispatch loop (see [auto]). *)
+  | Op_self of ('m -> unit)
+      (** Straight-line like [Op], but the closure retires internally
+          (vector / interpreter-fallback instructions); excluded from
+          [auto]. *)
+  | Jump of ('m -> unit) * int
+      (** Inlined direct jump: the closure transfers to the static target
+          (the [int]) and retires; decoding continues at the target. *)
+  | Brcond of ('m -> unit)
+      (** Inlined conditional branch: the closure retires and either falls
+          through or leaves the block via the machine's side-exit exception;
+          decoding continues at the fall-through. *)
+  | Term  (** Event instruction: ends the block, kept decoded. *)
+  | Term_fn of ('m -> unit)
+      (** Terminator proven event-free at translation time (direct call,
+          indirect jump under the C extension, branch with aligned
+          targets): the closure transfers control, retires and cannot
+          fault, so the dispatch loop may run it directly instead of going
+          through the decoded-instruction event path. The decoded pair is
+          still recorded in [term] as the slow-path/oracle fallback. *)
   | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
 
 type 'm t = private {
   entry : int;
-  lo : int;
-  hi : int;
+  pages : int array;  (** deduplicated page indices the block's bytes span *)
   isa : Ext.t;
   stamp : int;
   ops : ('m -> unit) array;
+      (** execution units; a fused unit covers two instructions *)
+  starts : int array;
+      (** unit [u]'s first body-instruction index; length
+          [Array.length ops + 1], last entry = body instruction count *)
+  auto : int array;
+      (** number of auto-retired instructions in units [0, u) — single
+          straight-line units whose closures leave the retired counter to
+          the dispatch loop; same length as [starts] *)
   pcs : int array;
   sizes : int array;
   term : (Inst.t * int) option;
-  fall : int;  (** pc following the last decoded instruction *)
+  term_fn : ('m -> unit) option;
+      (** compiled event-free terminator (see {!Term_fn}); [term] still
+          holds the decoded pair for paths that must go through the
+          interpreter (icache accounting, the step oracle) *)
+  fall : int;
+      (** pc where decoding stopped (fall-through of the last decoded
+          instruction, or an inlined trailing jump's target) *)
   classes : Bytes.t;
       (** {!Profile.class_code} of each body instruction, computed once at
           translation — the static instruction mix the profiler multiplies
-          by dynamic dispatch counts *)
+          by dynamic dispatch counts; exact per instruction even under
+          fusion *)
   term_class : int;  (** class code of the terminator, -1 if none *)
+  n_jumps : int;  (** inlined direct jumps in the body *)
+  n_branches : int;  (** inlined conditional branches (potential side exits) *)
+  n_fused : int;  (** fused pairs in the body *)
   mutable echeck : int;
       (** code epoch at the last successful validation ({!revalidate}) *)
   mutable link_fall : 'm t option;
@@ -64,31 +120,37 @@ type 'm t = private {
 
 val translate :
   ?max_insts:int ->
+  ?max_pages:int ->
   gens:Gen.t ->
   epoch:int ->
   isa:Ext.t ->
   decode:(int -> (Inst.t * int) option) ->
   compile:(pc:int -> Inst.t -> int -> 'm compiled) ->
+  fuse:(pc:int -> Inst.t -> int -> Inst.t -> int -> ('m -> unit) option) ->
   int ->
   'm t
-(** [translate ~gens ~epoch ~isa ~decode ~compile entry] decodes the
-    straight-line run at [entry]. [decode pc] returns [None] when the bytes
-    at [pc] cannot be decoded or fetched (the block ends there; the slow
-    path will raise the precise fault when execution reaches it). [epoch] is
+(** [translate ~gens ~epoch ~isa ~decode ~compile ~fuse entry] decodes the
+    superblock at [entry]. [decode pc] returns [None] when the bytes at
+    [pc] cannot be decoded or fetched (the block ends there; the slow path
+    will raise the precise fault when execution reaches it).
+    [fuse ~pc:pc1 inst1 size1 inst2 size2] may return a single closure
+    executing the adjacent pair [inst1;inst2] (both effects, both
+    retirements, pc stepping through [pc1+size1]); it is offered
+    straight-line pairs and straight-line+inlined-branch pairs. [epoch] is
     the machine's current code epoch, recorded as the block's initial
     [echeck]. *)
 
 val revalidate : Gen.t -> isa:Ext.t -> epoch:int -> 'm t -> bool
 (** Validity check with an epoch fast path: a block whose [echeck] equals
     the current code epoch is valid with a single compare; otherwise the
-    full capability + generation-stamp check runs and, on success, [echeck]
+    full capability + page-set-stamp check runs and, on success, [echeck]
     is refreshed. A [false] block must be re-translated — and must {e not}
     have its [echeck] refreshed by other means, since chain links rely on a
     stale [echeck] never matching again (epochs only grow). *)
 
 val epoch_current : 'm t -> int -> bool
 (** [epoch_current b epoch] is [b.echeck = epoch]: the chain-follow guard —
-    no stamp re-summation, no hashtable. *)
+    no stamp re-summation, no table walk. *)
 
 val set_link_fall : 'm t -> 'm t -> unit
 val set_link_taken : 'm t -> 'm t -> unit
@@ -101,6 +163,7 @@ val set_prow : 'm t -> Profile.row option -> unit
     the one sanctioned mutation of [prow]). *)
 
 val body_length : 'm t -> int
+(** Body instruction count (not unit count — fusion does not change it). *)
 
 val degenerate : 'm t -> bool
 (** No body and no terminator: the entry instruction must be executed via

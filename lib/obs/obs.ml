@@ -6,6 +6,16 @@ type event =
   | Tb_hit of { entry : int; body : int }
   | Tb_invalidate of { addr : int; len : int }
   | Tb_chain of { src : int; dst : int }
+  | Tb_superblock of {
+      entry : int;
+      insts : int;
+      pages : int;
+      jumps : int;
+      exits : int;
+      fused : int;
+    }
+  | Tb_side_exit of { entry : int; target : int }
+  | Tb_fuse of { pc : int; kind : string }
   | Tlb_flush of { addr : int; len : int }
   | Icache_burst of { addr : int; misses : int }
   | Fault_raised of { pc : int; cause : string }
@@ -39,7 +49,7 @@ type event =
       traps : int;
     }
 
-let schema_version = 2
+let schema_version = 3
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -137,6 +147,19 @@ module Json = struct
     | Tb_invalidate { addr; len } ->
         obj "tb_invalidate" [ ("addr", i addr); ("len", i len) ]
     | Tb_chain { src; dst } -> obj "tb_chain" [ ("src", i src); ("dst", i dst) ]
+    | Tb_superblock { entry; insts; pages; jumps; exits; fused } ->
+        obj "tb_superblock"
+          [
+            ("entry", i entry);
+            ("insts", i insts);
+            ("pages", i pages);
+            ("jumps", i jumps);
+            ("exits", i exits);
+            ("fused", i fused);
+          ]
+    | Tb_side_exit { entry; target } ->
+        obj "tb_side_exit" [ ("entry", i entry); ("target", i target) ]
+    | Tb_fuse { pc; kind } -> obj "tb_fuse" [ ("pc", i pc); ("kind", s kind) ]
     | Tlb_flush { addr; len } ->
         obj "tlb_flush" [ ("addr", i addr); ("len", i len) ]
     | Icache_burst { addr; misses } ->
@@ -339,6 +362,21 @@ module Json = struct
               arity 2;
               Tb_invalidate { addr = geti "addr"; len = geti "len" }
           | "tb_chain" -> arity 2; Tb_chain { src = geti "src"; dst = geti "dst" }
+          | "tb_superblock" ->
+              arity 6;
+              Tb_superblock
+                {
+                  entry = geti "entry";
+                  insts = geti "insts";
+                  pages = geti "pages";
+                  jumps = geti "jumps";
+                  exits = geti "exits";
+                  fused = geti "fused";
+                }
+          | "tb_side_exit" ->
+              arity 2;
+              Tb_side_exit { entry = geti "entry"; target = geti "target" }
+          | "tb_fuse" -> arity 2; Tb_fuse { pc = geti "pc"; kind = gets "kind" }
           | "tlb_flush" ->
               arity 2;
               Tlb_flush { addr = geti "addr"; len = geti "len" }
@@ -471,6 +509,10 @@ module Agg = struct
     mutable tb_hits : int;
     mutable tb_invalidations : int;
     mutable tb_chains : int;
+    mutable tb_superblocks : int;
+    mutable tb_cross_page : int;
+    mutable tb_side_exits : int;
+    mutable tb_fused : int;
     mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;
@@ -498,6 +540,10 @@ module Agg = struct
           tb_hits = 0;
           tb_invalidations = 0;
           tb_chains = 0;
+          tb_superblocks = 0;
+          tb_cross_page = 0;
+          tb_side_exits = 0;
+          tb_fused = 0;
           tlb_flushes = 0;
           icache_bursts = 0;
           steals = 0;
@@ -518,8 +564,13 @@ module Agg = struct
     let g = t.tot in
     match ev with
     | Meta _ | Phase_begin _ | Phase_end _ | Rw_site _ | Rw_exit _
-    | Smile_write _ | Table_add _ ->
+    | Smile_write _ | Table_add _ | Tb_fuse _ ->
         ()
+    | Tb_superblock { pages; fused; _ } ->
+        g.tb_superblocks <- g.tb_superblocks + 1;
+        if pages > 1 then g.tb_cross_page <- g.tb_cross_page + 1;
+        g.tb_fused <- g.tb_fused + fused
+    | Tb_side_exit _ -> g.tb_side_exits <- g.tb_side_exits + 1
     | Tb_compile { body; _ } ->
         g.tb_compiles <- g.tb_compiles + 1;
         t.bodies <- body :: t.bodies

@@ -57,6 +57,24 @@ type event =
   | Tb_chain of { src : int; dst : int }
       (** The block at [src] was directly chained to the block at [dst]:
           subsequent transfers along this edge skip the block-table probe. *)
+  | Tb_superblock of {
+      entry : int;
+      insts : int;
+      pages : int;
+      jumps : int;
+      exits : int;
+      fused : int;
+    }
+      (** Compile-time shape of the superblock at [entry] (paired with its
+          [Tb_compile]): [insts] body instructions spanning [pages] pages,
+          with [jumps] inlined direct jumps, [exits] inlined conditional
+          branches (potential side exits) and [fused] macro-op pairs. *)
+  | Tb_side_exit of { entry : int; target : int }
+      (** A dispatch of the block at [entry] left through a taken inlined
+          branch to [target] instead of completing its body. *)
+  | Tb_fuse of { pc : int; kind : string }
+      (** Translation fused the pair starting at [pc]; [kind] is
+          ["lui_addi"], ["auipc_addi"], ["auipc_ld"] or ["cmp_br"]. *)
   | Tlb_flush of { addr : int; len : int }
       (** A mapping/permission change over [addr, addr+len) advanced the
           software-TLB permission epoch; every memory's TLB lazily flushes
@@ -193,6 +211,10 @@ module Agg : sig
     mutable tb_hits : int;
     mutable tb_invalidations : int;
     mutable tb_chains : int;
+    mutable tb_superblocks : int;
+    mutable tb_cross_page : int;  (** superblocks spanning more than one page *)
+    mutable tb_side_exits : int;
+    mutable tb_fused : int;  (** fused pairs summed over compiled superblocks *)
     mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;

@@ -52,6 +52,10 @@ type row = {
   mutable r_term_hits : int;  (* dispatches that also retired the terminator *)
   r_partial : int array;  (* per-class counts outside the full-body fast path *)
   mutable r_partial_comp : int;  (* compressed count within r_partial *)
+  mutable r_exits : (int * int ref) list;
+      (* deferred partial dispatches as (prefix length, count): a hot side
+         exit repeats the same prefix, so we count it here and walk the
+         class prefix once at flush time instead of once per dispatch *)
   mutable r_retired : int;
   mutable r_penalty : int;
   mutable r_tlb : int;
@@ -106,7 +110,7 @@ let row_live t r = r.r_session = t.t_session
    re-translated to a different body, and by [snapshot] to resolve the
    [static mix x full-body dispatches] product. *)
 let flush_static r =
-  if r.r_full > 0 || r.r_term_hits > 0 then begin
+  if r.r_full > 0 || r.r_term_hits > 0 || r.r_exits <> [] then begin
     let n = Bytes.length r.r_classes in
     for i = 0 to n - 1 do
       let c = Bytes.get_uint8 r.r_classes i in
@@ -114,6 +118,16 @@ let flush_static r =
       if c land compressed_bit <> 0 then
         r.r_partial_comp <- r.r_partial_comp + r.r_full
     done;
+    List.iter
+      (fun (e, cnt) ->
+        let w = !cnt in
+        for i = 0 to e - 1 do
+          let c = Bytes.get_uint8 r.r_classes i in
+          r.r_partial.(c land 7) <- r.r_partial.(c land 7) + w;
+          if c land compressed_bit <> 0 then
+            r.r_partial_comp <- r.r_partial_comp + w
+        done)
+      r.r_exits;
     (if r.r_term >= 0 && r.r_term_hits > 0 then begin
        r.r_partial.(r.r_term land 7) <-
          r.r_partial.(r.r_term land 7) + r.r_term_hits;
@@ -121,7 +135,8 @@ let flush_static r =
          r.r_partial_comp <- r.r_partial_comp + r.r_term_hits
      end);
     r.r_full <- 0;
-    r.r_term_hits <- 0
+    r.r_term_hits <- 0;
+    r.r_exits <- []
   end
 
 let new_row t ~entry ~classes ~term =
@@ -136,6 +151,7 @@ let new_row t ~entry ~classes ~term =
       r_term_hits = 0;
       r_partial = Array.make n_classes 0;
       r_partial_comp = 0;
+      r_exits = [];
       r_retired = 0;
       r_penalty = 0;
       r_tlb = 0;
@@ -243,15 +259,15 @@ let block_dispatch t row ~executed ~retired ~cycles ~tlb ~icache ~fault
     row.r_full <- row.r_full + 1;
     if term_retired then row.r_term_hits <- row.r_term_hits + 1
   end
-  else
-    (* Partial dispatch (mid-body fault or fuel exhaustion): walk the
-       executed prefix once. *)
-    for i = 0 to executed - 1 do
-      let c = Bytes.get_uint8 row.r_classes i in
-      row.r_partial.(c land 7) <- row.r_partial.(c land 7) + 1;
-      if c land compressed_bit <> 0 then
-        row.r_partial_comp <- row.r_partial_comp + 1
-    done;
+  else begin
+    (* Partial dispatch (taken side exit, mid-body fault or fuel
+       exhaustion). Side exits can dominate branchy blocks, so the prefix
+       walk is deferred: count dispatches per prefix length here and
+       resolve them against the static mix once, at flush time. *)
+    match List.assoc_opt executed row.r_exits with
+    | Some cnt -> incr cnt
+    | None -> row.r_exits <- (executed, ref 1) :: row.r_exits
+  end;
   row.r_retired <- row.r_retired + retired;
   row.r_penalty <- row.r_penalty + (cycles - retired);
   row.r_tlb <- row.r_tlb + tlb;

@@ -104,7 +104,10 @@ val block_dispatch :
   target:int ->
   unit
 (** Account one block-engine dispatch: [executed] completed body
-    instructions (= the full body unless a fault or fuel cut it short),
+    instructions (= the full body unless a taken side exit, a fault or fuel
+    cut it short — partial dispatches are counted per prefix length and
+    resolved against the static mix at snapshot time, so hot side exits stay
+    O(1) per dispatch),
     [retired]/[cycles]/[tlb]/[icache] the machine-counter deltas over the
     whole dispatch window (terminator and handlers included), [fault]
     whether the window raised a machine fault, [target] the pc after the

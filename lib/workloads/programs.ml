@@ -333,3 +333,48 @@ let vecadd ?(name = "vecadd") variant ~n =
   Asm.dlabel a "dst";
   Asm.dspace a (8 * n);
   Asm.assemble a
+
+(* ----------------------------------------------------------------- *)
+(* branchy                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let branchy ?(name = "branchy") ~rounds () =
+  let a = Asm.create ~name () in
+  Asm.func a "_start";
+  Asm.li a Reg.t0 rounds;
+  Asm.li a Reg.t1 0x2545F491;
+  (* xorshift state *)
+  Asm.li a Reg.t2 0;
+  (* accumulator *)
+  Asm.label a "Louter";
+  Asm.branch_to a Inst.Beq Reg.t0 Reg.x0 "Ldone";
+  (* xorshift64 step: state ^= state << 13; >> 7; << 17 *)
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t4, Reg.t1, 13));
+  Asm.inst a (Inst.Op (Inst.Xor, Reg.t1, Reg.t1, Reg.t4));
+  Asm.inst a (Inst.Opi (Inst.Srli, Reg.t4, Reg.t1, 7));
+  Asm.inst a (Inst.Op (Inst.Xor, Reg.t1, Reg.t1, Reg.t4));
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t4, Reg.t1, 17));
+  Asm.inst a (Inst.Op (Inst.Xor, Reg.t1, Reg.t1, Reg.t4));
+  (* two data-dependent branches on fresh state bits: effectively random
+     taken/not-taken, the worst case for side-exit-heavy superblocks *)
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.t5, Reg.t1, 1));
+  Asm.branch_to a Inst.Beq Reg.t5 Reg.x0 "Lskip1";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 1));
+  Asm.label a "Lskip1";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.t5, Reg.t1, 2));
+  Asm.branch_to a Inst.Beq Reg.t5 Reg.x0 "Lskip2";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 3));
+  Asm.label a "Lskip2";
+  (* compare+branch pair in fusable shape *)
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.t5, Reg.t1, 16));
+  Asm.inst a (Inst.Op (Inst.Slt, Reg.t6, Reg.x0, Reg.t5));
+  Asm.branch_to a Inst.Bne Reg.t6 Reg.x0 "Lskip3";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 5));
+  Asm.label a "Lskip3";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, -1));
+  Asm.j a "Louter";
+  Asm.label a "Ldone";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.assemble a

@@ -21,6 +21,12 @@ val vecadd : ?name:string -> variant -> n:int -> Binfile.t
 (** Element-wise 64-bit vector addition, strip-mined. The [`Base] variant's
     loop is in the canonical upgradeable shape. *)
 
+val branchy : ?name:string -> rounds:int -> unit -> Binfile.t
+(** Branch-dense kernel: a tight loop stepping an xorshift PRNG and
+    branching on its low bits each iteration — the taken/not-taken mix is
+    effectively random, stressing side-exit-heavy superblock dispatch (plus
+    one compare+branch pair in fusable shape). *)
+
 val gemv :
   ?name:string -> ?rows:int * int -> variant -> sew:Inst.sew -> n:int -> Binfile.t
 (** Matrix–vector product [y = A x] over [sew]-width integers ("dgemv" at

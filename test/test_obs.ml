@@ -73,6 +73,15 @@ let event_gen =
               { entry; body; hits; retired; loads; stores; branches; alu; vector;
                 compressed; penalty; tlb; icache; faults; recovered; traps }));
         map2 (fun src dst -> Obs.Tb_chain { src; dst }) addr addr;
+        (let* entry = addr and* insts = int_range 0 256 in
+         let* pages = int_range 1 8 and* jumps = int_range 0 32 in
+         let* exits = int_range 0 32 and* fused = int_range 0 128 in
+         return (Obs.Tb_superblock { entry; insts; pages; jumps; exits; fused }));
+        map2 (fun entry target -> Obs.Tb_side_exit { entry; target }) addr addr;
+        map2
+          (fun pc kind -> Obs.Tb_fuse { pc; kind })
+          addr
+          (oneofl [ "lui_addi"; "auipc_addi"; "auipc_ld"; "cmp_br" ]);
         map2 (fun a len -> Obs.Tlb_flush { addr = a; len }) addr (int_range 1 4096);
         map2 (fun a misses -> Obs.Icache_burst { addr = a; misses }) addr (int_range 8 512);
         map2 (fun pc cause -> Obs.Fault_raised { pc; cause }) addr cause;

@@ -563,11 +563,12 @@ let check_snaps ~what step block =
       (pp_snap step) (pp_snap block)
   else true
 
-let run_native ~engine ?(chain = true) ~icache ~fuel bin isa =
+let run_native ~engine ?(chain = true) ?(super = true) ~icache ~fuel bin isa =
   let mem = Loader.load bin in
   let m = Machine.create ~mem ~isa () in
   Machine.set_block_engine m engine;
   Machine.set_block_chaining m chain;
+  Machine.set_superblocks m super;
   if icache then Machine.enable_icache m;
   Loader.init_machine m bin;
   snapshot m (Machine.run ~fuel m)
@@ -587,9 +588,11 @@ let prop_block_engine_native =
       let bin = Specgen.build (fuzz_profile seed) in
       let what = Printf.sprintf "native seed=%d fuel=%d" seed fuel in
       let step = run_native ~engine:false ~icache ~fuel bin ext_isa in
+      let plain = run_native ~engine:true ~super:false ~icache ~fuel bin ext_isa in
       let unchained = run_native ~engine:true ~chain:false ~icache ~fuel bin ext_isa in
       let chained = run_native ~engine:true ~icache ~fuel bin ext_isa in
-      check_snaps ~what:(what ^ " (unchained)") step unchained
+      check_snaps ~what:(what ^ " (straight-line)") step plain
+      && check_snaps ~what:(what ^ " (unchained)") step unchained
       && check_snaps ~what:(what ^ " (chained)") step chained)
 
 (* Lazy rewriting: the runtime patches code on the first fault at each site,
@@ -597,13 +600,14 @@ let prop_block_engine_native =
    up to the fault) already covers. The patched bytes must be picked up —
    including through direct chain links, which are severed by the code-epoch
    bump the patch performs. *)
-let run_chimera ~engine ?(chain = true) seed =
+let run_chimera ~engine ?(chain = true) ?(super = true) seed =
   let bin = Specgen.build (fuzz_profile seed) in
   let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
   let rt = Chimera_rt.create ctx in
   let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa:base_isa () in
   Machine.set_block_engine m engine;
   Machine.set_block_chaining m chain;
+  Machine.set_superblocks m super;
   snapshot m (Chimera_rt.run rt ~fuel:50_000_000 m)
 
 let prop_block_engine_self_modifying =
@@ -613,9 +617,11 @@ let prop_block_engine_self_modifying =
     QCheck.(make Gen.(int_bound 100_000))
     (fun seed ->
       let step = run_chimera ~engine:false seed in
+      let plain = run_chimera ~engine:true ~super:false seed in
       let unchained = run_chimera ~engine:true ~chain:false seed in
       let chained = run_chimera ~engine:true seed in
-      check_snaps ~what:(Printf.sprintf "chimera seed=%d (unchained)" seed) step unchained
+      check_snaps ~what:(Printf.sprintf "chimera seed=%d (straight-line)" seed) step plain
+      && check_snaps ~what:(Printf.sprintf "chimera seed=%d (unchained)" seed) step unchained
       && check_snaps ~what:(Printf.sprintf "chimera seed=%d (chained)" seed) step chained)
 
 let () =
