@@ -157,12 +157,18 @@ let migrate t ~to_ =
     (* defer while inside target instructions: their addresses are not
        semantically equivalent across views (paper: probe at the exit) *)
     let stepped = ref 0 in
-    while in_targets t.cur (Machine.pc t.m) && !stepped < 100_000 do
-      (match Machine.step ~handlers:t.cur.v_handlers t.m with
-      | None -> ()
-      | Some _ -> stepped := 100_000);
-      incr stepped
+    let stopped = ref false in
+    while
+      (not !stopped) && in_targets t.cur (Machine.pc t.m) && !stepped < 100_000
+    do
+      match Machine.step ~handlers:t.cur.v_handlers t.m with
+      | None -> incr stepped
+      | Some _ -> stopped := true
     done;
+    (* these steps retire outside [Machine.run], so the process-wide
+       retired counter never sees them; credit them to the extra counter
+       so the bench's MIPS covers everything the simulator executed *)
+    Machine.add_observed_extra !stepped;
     (* carry the vector state across the class boundary *)
     (match (vregs_region t.cur, vregs_region target) with
     | None, Some _ ->

@@ -49,7 +49,27 @@ and t = {
           harness exercises both) *)
   mutable side_exits : int;  (** dispatches that left a block via a taken
                                  inlined branch *)
-  mutable fused_pairs : int;  (** pairs fused at translation time *)
+  mutable fused_pairs : int;
+      (** instructions merged into multi-instruction units at translation
+          time (Σ (unit width − 1) over translated blocks) *)
+  mutable ir : bool;
+      (** lower straight-line runs through the linear IR ({!Tir}) with
+          constant propagation and dead-write elimination; off falls back
+          to direct per-instruction closure compilation (the bench's
+          [--no-ir] ablation) *)
+  (* per-translation IR pass statistics, flushed to process atomics once
+     per [run] like the other counters *)
+  mutable ir_blocks : int;  (** translations that produced IR units *)
+  mutable ir_units : int;  (** execution units emitted from IR runs *)
+  mutable ir_folded : int;  (** ops folded to constants *)
+  mutable ir_dead : int;  (** ops killed by dead-write elimination *)
+  mutable ir_pc_elided : int;  (** ops emitted without a pc write *)
+  mutable ir_tlb_elided : int;  (** paired accesses sharing one TLB check *)
+  mutable ir_cached : int;  (** operand reads served from known constants *)
+  ir_state : Tir.state;
+      (** translation-time known-register state, reset per translation and
+          threaded across the block's runs (reusable scratch, no per-block
+          allocation) *)
   mutable prof : Profile.t option;
       (** attached guest profiler; both engines account through it when set
           (picked up from [Profile.global] at creation) *)
@@ -95,6 +115,11 @@ let set_block_engine_default on = block_engine_default := on
 let superblocks_default = ref true
 let set_superblocks_default on = superblocks_default := on
 
+(* IR lowering default for new machines; the bench driver's --no-ir flag
+   clears it so the ablation row quantifies the IR passes in isolation. *)
+let ir_default = ref true
+let set_ir_default on = ir_default := on
+
 let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
   let view = new_view mem in
   { cur = view;
@@ -121,6 +146,15 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     superblocks = !superblocks_default;
     side_exits = 0;
     fused_pairs = 0;
+    ir = !ir_default;
+    ir_blocks = 0;
+    ir_units = 0;
+    ir_folded = 0;
+    ir_dead = 0;
+    ir_pc_elided = 0;
+    ir_tlb_elided = 0;
+    ir_cached = 0;
+    ir_state = Tir.state_create ();
     prof = Profile.global () }
 
 let mem t = t.cur.vmem
@@ -185,7 +219,12 @@ let invalidate_code t ~addr ~len =
      and every chain link established before the patch stops matching *)
   t.code_epoch <- t.code_epoch + 1
 
-let enable_icache ?sets ?line t = t.icache <- Some (Icache.create ?sets ?line ())
+let enable_icache ?sets ?line t =
+  t.icache <- Some (Icache.create ?sets ?line ());
+  (* cached blocks may contain multi-instruction IR units, which bypass the
+     dispatch loop's per-fetch accounting; drop them so retranslation
+     produces the per-instruction shape the icache model needs *)
+  List.iter (fun v -> Hashtbl.reset v.blocks) t.views
 
 let icache_misses t =
   match t.icache with None -> 0 | Some ic -> Icache.misses ic
@@ -217,93 +256,12 @@ exception Efault of Fault.t
    nothing on the loop back edge. *)
 exception Side_exit
 
-let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
-let bool64 b = if b then 1L else 0L
-
-let mulh a b =
-  (* High 64 bits of the signed 128-bit product. *)
-  let open Int64 in
-  let lo_mask = 0xFFFFFFFFL in
-  let a_lo = logand a lo_mask and a_hi = shift_right a 32 in
-  let b_lo = logand b lo_mask and b_hi = shift_right b 32 in
-  let ll = mul a_lo b_lo in
-  let lh = mul a_lo b_hi in
-  let hl = mul a_hi b_lo in
-  let hh = mul a_hi b_hi in
-  let carry =
-    shift_right_logical
-      (add (add (logand lh lo_mask) (logand hl lo_mask)) (shift_right_logical ll 32))
-      32
-  in
-  add (add hh (add (shift_right lh 32) (shift_right hl 32))) carry
-
-let alu op a b =
-  let open Int64 in
-  match op with
-  | Inst.Add -> add a b
-  | Inst.Sub -> sub a b
-  | Inst.Sll -> shift_left a (to_int b land 63)
-  | Inst.Slt -> bool64 (compare a b < 0)
-  | Inst.Sltu -> bool64 (unsigned_compare a b < 0)
-  | Inst.Xor -> logxor a b
-  | Inst.Srl -> shift_right_logical a (to_int b land 63)
-  | Inst.Sra -> shift_right a (to_int b land 63)
-  | Inst.Or -> logor a b
-  | Inst.And -> logand a b
-  | Inst.Mul -> mul a b
-  | Inst.Mulh -> mulh a b
-  | Inst.Div ->
-      if b = 0L then -1L
-      else if a = min_int && b = -1L then min_int
-      else div a b
-  | Inst.Divu -> if b = 0L then -1L else unsigned_div a b
-  | Inst.Rem ->
-      if b = 0L then a else if a = min_int && b = -1L then 0L else rem a b
-  | Inst.Remu -> if b = 0L then a else unsigned_rem a b
-  | Inst.Addw -> sext32 (add a b)
-  | Inst.Subw -> sext32 (sub a b)
-  | Inst.Sllw -> sext32 (shift_left a (to_int b land 31))
-  | Inst.Srlw -> sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (to_int b land 31))
-  | Inst.Sraw -> sext32 (shift_right (sext32 a) (to_int b land 31))
-  | Inst.Mulw -> sext32 (mul a b)
-  | Inst.Divw ->
-      let a = sext32 a and b = sext32 b in
-      if b = 0L then -1L
-      else if a = 0xFFFFFFFF80000000L && b = -1L then sext32 a
-      else sext32 (div a b)
-  | Inst.Remw ->
-      let a = sext32 a and b = sext32 b in
-      if b = 0L then a
-      else if a = 0xFFFFFFFF80000000L && b = -1L then 0L
-      else sext32 (rem a b)
-  | Inst.Sh1add -> add (shift_left a 1) b
-  | Inst.Sh2add -> add (shift_left a 2) b
-  | Inst.Sh3add -> add (shift_left a 3) b
-  | Inst.Andn -> logand a (lognot b)
-  | Inst.Orn -> logor a (lognot b)
-  | Inst.Xnor -> lognot (logxor a b)
-  | Inst.Min -> if compare a b < 0 then a else b
-  | Inst.Max -> if compare a b > 0 then a else b
-  | Inst.Minu -> if unsigned_compare a b < 0 then a else b
-  | Inst.Maxu -> if unsigned_compare a b > 0 then a else b
-
-let alui op a imm =
-  let open Int64 in
-  let b = of_int imm in
-  match op with
-  | Inst.Addi -> add a b
-  | Inst.Slti -> bool64 (compare a b < 0)
-  | Inst.Sltiu -> bool64 (unsigned_compare a b < 0)
-  | Inst.Xori -> logxor a b
-  | Inst.Ori -> logor a b
-  | Inst.Andi -> logand a b
-  | Inst.Slli -> shift_left a (imm land 63)
-  | Inst.Srli -> shift_right_logical a (imm land 63)
-  | Inst.Srai -> shift_right a (imm land 63)
-  | Inst.Addiw -> sext32 (add a b)
-  | Inst.Slliw -> sext32 (shift_left a (imm land 31))
-  | Inst.Srliw -> sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (imm land 31))
-  | Inst.Sraiw -> sext32 (shift_right (sext32 a) (imm land 31))
+(* ALU semantics live in {!Tir} now, shared between the interpreter, the
+   closure compiler and the IR constant folder — a folded result is
+   bit-identical to the step engine by construction. *)
+let sext32 = Tir.sext32
+let alu = Tir.alu
+let alui = Tir.alui
 
 let branch_taken c a b =
   match c with
@@ -1182,129 +1140,591 @@ let compile_op t ~pc inst size =
             Tblock.Op op
         | _ -> Tblock.Op_self op
 
-(* Fetch accounting for one instruction inside a fused closure: the run
-   loop cannot interleave icache touches with the pair's effects, so fused
-   units carry their own — ordering relative to faults then matches the
-   step engine exactly (an instruction's lines are touched only once it is
-   reached). *)
-let touch_fetch t ipc sz =
-  match t.icache with
-  | None -> ()
-  | Some ic ->
-      let miss = t.costs.Costs.icache_miss in
-      if not (Icache.access ic ipc) then t.cycles_extra <- t.cycles_extra + miss;
-      if not (Icache.access ic (ipc + sz - 1)) then t.cycles_extra <- t.cycles_extra + miss
+(* ------------------------------------------------------------------ *)
+(* IR emission                                                         *)
+(* ------------------------------------------------------------------ *)
 
-(* Peephole fusion over adjacent decoded pairs: both effects and both
-   retirements stay exact. Like single-instruction closures, fused pairs
-   write [t.pc] lazily: only a fault-capable second half sets its own pc
-   (before the access, so a fault reports it with the first half already
-   retired — indistinguishable from unfused execution). Only patterns whose
-   intermediate values are computable at translation time are fused. *)
-let fuse_pair t ~pc inst1 size1 inst2 size2 =
-  if not t.superblocks then None
-  else
-    let pc2 = pc + size1 in
-    match (inst1, inst2) with
-    | Inst.Lui (rd, hi20), Inst.Opi (Inst.Addi, rd2, rs1, lo)
-      when Reg.equal rs1 rd && Reg.equal rd2 rd ->
-        (* li rd, imm32: the addi reads the lui result, so the final
-           constant folds at translation time; both writes land on rd *)
-        let v1 = Int64.of_int (hi20 lsl 12) in
-        let v2 = Int64.add v1 (Int64.of_int lo) in
-        Some
-          (fun t ->
-            touch_fetch t pc size1;
-            set_reg t rd v1;
-            retire_scalar t;
-            touch_fetch t pc2 size2;
-            set_reg t rd v2;
-            retire_scalar t)
-    | Inst.Auipc (rd, hi20), Inst.Opi (Inst.Addi, rd2, rs1, lo)
-      when Reg.equal rs1 rd && Reg.equal rd2 rd ->
-        (* la rd, sym: pc-relative address materialization *)
-        let v1 = Int64.of_int (pc + (hi20 lsl 12)) in
-        let v2 = Int64.add v1 (Int64.of_int lo) in
-        Some
-          (fun t ->
-            touch_fetch t pc size1;
-            set_reg t rd v1;
-            retire_scalar t;
-            touch_fetch t pc2 size2;
-            set_reg t rd v2;
-            retire_scalar t)
-    | Inst.Auipc (rd, hi20), Inst.Load { width; unsigned; rd = rd2; rs1; imm }
-      when Reg.equal rs1 rd && not (Reg.equal rd Reg.x0) ->
-        (* pc-relative load: the effective address is static *)
-        let v1 = Int64.of_int (pc + (hi20 lsl 12)) in
-        let addr = addr_of (Int64.add v1 (Int64.of_int imm)) in
-        Some
-          (fun t ->
-            touch_fetch t pc size1;
-            set_reg t rd v1;
-            retire_scalar t;
-            touch_fetch t pc2 size2;
-            t.pc <- pc2;
-            set_reg t rd2 (load_value t.cur.vmem width unsigned addr);
-            retire_scalar t)
-    | ( Inst.Op (((Inst.Slt | Inst.Sltu) as op), rd, ra, rb),
-        Inst.Branch (c, rs1, rs2, off) )
-      when off > 0 && target_aligned t (pc2 + off) ->
-        let target = pc2 + off in
-        Some
-          (fun t ->
-            touch_fetch t pc size1;
-            set_reg t rd (alu op (get_reg t ra) (get_reg t rb));
-            retire_scalar t;
-            touch_fetch t pc2 size2;
-            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
-              t.pc <- target;
-              retire_scalar t;
-              raise_notrace Side_exit
-            end
-            else retire_scalar t)
-    | ( Inst.Opi (((Inst.Slti | Inst.Sltiu) as op), rd, ra, imm),
-        Inst.Branch (c, rs1, rs2, off) )
-      when off > 0 && target_aligned t (pc2 + off) ->
-        let target = pc2 + off in
-        Some
-          (fun t ->
-            touch_fetch t pc size1;
-            set_reg t rd (alui op (get_reg t ra) imm);
-            retire_scalar t;
-            touch_fetch t pc2 size2;
-            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
-              t.pc <- target;
-              retire_scalar t;
-              raise_notrace Side_exit
-            end
-            else retire_scalar t)
-    | _ -> None
+let page_mask = Memory.page_size - 1
 
-let fuse_kind inst1 inst2 =
-  match (inst1, inst2) with
-  | Inst.Lui _, _ -> "lui_addi"
-  | Inst.Auipc _, Inst.Opi _ -> "auipc_addi"
-  | Inst.Auipc _, _ -> "auipc_ld"
-  | _ -> "cmp_br"
+(* 32-bit sign extension of a [0, 2^32) int — the load_u32 result — in
+   native arithmetic, so a sign-extending word load boxes exactly once. *)
+let sext32_int v = (v lxor 0x8000_0000) - 0x8000_0000
+
+(* Compile one optimized IR op to its effect closure. Mirrors the legacy
+   [compile_op] specializations, plus two allocation-saving idioms that are
+   exact in native [int]: effective addresses are computed as
+   [Int64.to_int base + off] (equal to the boxed Int64 sum modulo 2^63,
+   which is all an address is), and store data is masked in [int].
+   Fault-capable ops write their own pc first, exactly like the legacy
+   closures; pure ops never touch pc. *)
+let emit_effect (o : Tir.op) : t -> unit =
+  let pc = o.Tir.opc in
+  match o.Tir.k with
+  | Tir.Kdead -> fun _ -> ()
+  | Tir.Kconst (rd, v) -> fun t -> set_reg t rd v
+  | Tir.Kmv (rd, rs) -> fun t -> set_reg t rd (get_reg t rs)
+  | Tir.Kalu (op, rd, r1, r2) -> (
+      (* W-type ops are exact in native [int]: the 32-bit truncated result
+         only depends on the operands' low 32 bits, which [Int64.to_int]
+         (mod 2^63) preserves — one result box instead of a box per
+         intermediate Int64 step *)
+      match op with
+      | Inst.Add -> fun t -> set_reg t rd (Int64.add (get_reg t r1) (get_reg t r2))
+      | Inst.Sub -> fun t -> set_reg t rd (Int64.sub (get_reg t r1) (get_reg t r2))
+      | Inst.And ->
+          fun t -> set_reg t rd (Int64.logand (get_reg t r1) (get_reg t r2))
+      | Inst.Or -> fun t -> set_reg t rd (Int64.logor (get_reg t r1) (get_reg t r2))
+      | Inst.Xor ->
+          fun t -> set_reg t rd (Int64.logxor (get_reg t r1) (get_reg t r2))
+      | Inst.Addw ->
+          fun t ->
+            let v =
+              (Int64.to_int (get_reg t r1) + Int64.to_int (get_reg t r2))
+              land 0xFFFFFFFF
+            in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Subw ->
+          fun t ->
+            let v =
+              (Int64.to_int (get_reg t r1) - Int64.to_int (get_reg t r2))
+              land 0xFFFFFFFF
+            in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Mulw ->
+          fun t ->
+            let v =
+              Int64.to_int (get_reg t r1) * Int64.to_int (get_reg t r2)
+              land 0xFFFFFFFF
+            in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Sllw ->
+          fun t ->
+            let sh = Int64.to_int (get_reg t r2) land 31 in
+            let v = (Int64.to_int (get_reg t r1) lsl sh) land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Srlw ->
+          fun t ->
+            let sh = Int64.to_int (get_reg t r2) land 31 in
+            let v = (Int64.to_int (get_reg t r1) land 0xFFFFFFFF) lsr sh in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Sraw ->
+          fun t ->
+            let sh = Int64.to_int (get_reg t r2) land 31 in
+            let v = sext32_int (Int64.to_int (get_reg t r1) land 0xFFFFFFFF) in
+            set_reg t rd (Int64.of_int (v asr sh))
+      | Inst.Mul -> fun t -> set_reg t rd (Int64.mul (get_reg t r1) (get_reg t r2))
+      | _ -> fun t -> set_reg t rd (Tir.alu op (get_reg t r1) (get_reg t r2)))
+  | Tir.Kaluc (op, rd, r1, c) -> (
+      match op with
+      | Inst.Add -> fun t -> set_reg t rd (Int64.add (get_reg t r1) c)
+      | Inst.And -> fun t -> set_reg t rd (Int64.logand (get_reg t r1) c)
+      | Inst.Or -> fun t -> set_reg t rd (Int64.logor (get_reg t r1) c)
+      | Inst.Xor -> fun t -> set_reg t rd (Int64.logxor (get_reg t r1) c)
+      | Inst.Addw ->
+          let ci = Int64.to_int c in
+          fun t ->
+            let v = (Int64.to_int (get_reg t r1) + ci) land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Subw ->
+          let ci = Int64.to_int c in
+          fun t ->
+            let v = (Int64.to_int (get_reg t r1) - ci) land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Mulw ->
+          let ci = Int64.to_int c in
+          fun t ->
+            let v = Int64.to_int (get_reg t r1) * ci land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | _ -> fun t -> set_reg t rd (Tir.alu op (get_reg t r1) c))
+  | Tir.Kalui (op, rd, r1, imm) -> (
+      match op with
+      | Inst.Addi ->
+          let c = Int64.of_int imm in
+          fun t -> set_reg t rd (Int64.add (get_reg t r1) c)
+      | Inst.Andi ->
+          let c = Int64.of_int imm in
+          fun t -> set_reg t rd (Int64.logand (get_reg t r1) c)
+      | Inst.Slli ->
+          let sh = imm land 63 in
+          fun t -> set_reg t rd (Int64.shift_left (get_reg t r1) sh)
+      | Inst.Srli ->
+          let sh = imm land 63 in
+          fun t -> set_reg t rd (Int64.shift_right_logical (get_reg t r1) sh)
+      | Inst.Srai ->
+          let sh = imm land 63 in
+          fun t -> set_reg t rd (Int64.shift_right (get_reg t r1) sh)
+      | Inst.Addiw ->
+          fun t ->
+            let v = (Int64.to_int (get_reg t r1) + imm) land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Slliw ->
+          let sh = imm land 31 in
+          fun t ->
+            let v = (Int64.to_int (get_reg t r1) lsl sh) land 0xFFFFFFFF in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Srliw ->
+          let sh = imm land 31 in
+          fun t ->
+            let v = (Int64.to_int (get_reg t r1) land 0xFFFFFFFF) lsr sh in
+            set_reg t rd (Int64.of_int (sext32_int v))
+      | Inst.Sraiw ->
+          let sh = imm land 31 in
+          fun t ->
+            let v = sext32_int (Int64.to_int (get_reg t r1) land 0xFFFFFFFF) in
+            set_reg t rd (Int64.of_int (v asr sh))
+      | _ -> fun t -> set_reg t rd (Tir.alui op (get_reg t r1) imm))
+  | Tir.Kload { width; unsigned; rd; base; off } -> (
+      match (width, unsigned) with
+      | Inst.D, _ ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Memory.load_u64 t.cur.vmem addr)
+      | Inst.W, false ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (sext32_int (Memory.load_u32 t.cur.vmem addr)))
+      | Inst.W, true ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (Memory.load_u32 t.cur.vmem addr))
+      | Inst.H, false ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (Encode.sext (Memory.load_u16 t.cur.vmem addr) 16))
+      | Inst.H, true ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (Memory.load_u16 t.cur.vmem addr))
+      | Inst.B, false ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (Encode.sext (Memory.load_u8 t.cur.vmem addr) 8))
+      | Inst.B, true ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            set_reg t rd (Int64.of_int (Memory.load_u8 t.cur.vmem addr)))
+  | Tir.Kloadc { width; unsigned; rd; addr } -> (
+      match (width, unsigned) with
+      | Inst.D, _ ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Memory.load_u64 t.cur.vmem addr)
+      | Inst.W, false ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (sext32_int (Memory.load_u32 t.cur.vmem addr)))
+      | Inst.W, true ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (Memory.load_u32 t.cur.vmem addr))
+      | Inst.H, false ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (Encode.sext (Memory.load_u16 t.cur.vmem addr) 16))
+      | Inst.H, true ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (Memory.load_u16 t.cur.vmem addr))
+      | Inst.B, false ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (Encode.sext (Memory.load_u8 t.cur.vmem addr) 8))
+      | Inst.B, true ->
+          fun t ->
+            t.pc <- pc;
+            set_reg t rd (Int64.of_int (Memory.load_u8 t.cur.vmem addr)))
+  | Tir.Kstore { width; rs2; base; off } -> (
+      match width with
+      | Inst.D ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            Memory.store_u64 t.cur.vmem addr (get_reg t rs2)
+      | Inst.W ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            Memory.store_u32 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFFFFFFFF)
+      | Inst.H ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            Memory.store_u16 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFFFF)
+      | Inst.B ->
+          fun t ->
+            t.pc <- pc;
+            let addr = Int64.to_int (get_reg t base) + off in
+            Memory.store_u8 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFF))
+  | Tir.Kstorec { width; rs2; addr } -> (
+      match width with
+      | Inst.D ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u64 t.cur.vmem addr (get_reg t rs2)
+      | Inst.W ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u32 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFFFFFFFF)
+      | Inst.H ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u16 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFFFF)
+      | Inst.B ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u8 t.cur.vmem addr (Int64.to_int (get_reg t rs2) land 0xFF))
+  | Tir.Kstorev { width; v; base; off } -> (
+      match width with
+      | Inst.D ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u64 t.cur.vmem (Int64.to_int (get_reg t base) + off) v
+      | Inst.W ->
+          let vi = Int64.to_int v land 0xFFFFFFFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u32 t.cur.vmem (Int64.to_int (get_reg t base) + off) vi
+      | Inst.H ->
+          let vi = Int64.to_int v land 0xFFFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u16 t.cur.vmem (Int64.to_int (get_reg t base) + off) vi
+      | Inst.B ->
+          let vi = Int64.to_int v land 0xFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u8 t.cur.vmem (Int64.to_int (get_reg t base) + off) vi)
+  | Tir.Kstorecv { width; v; addr } -> (
+      match width with
+      | Inst.D ->
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u64 t.cur.vmem addr v
+      | Inst.W ->
+          let vi = Int64.to_int v land 0xFFFFFFFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u32 t.cur.vmem addr vi
+      | Inst.H ->
+          let vi = Int64.to_int v land 0xFFFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u16 t.cur.vmem addr vi
+      | Inst.B ->
+          let vi = Int64.to_int v land 0xFF in
+          fun t ->
+            t.pc <- pc;
+            Memory.store_u8 t.cur.vmem addr vi)
+
+(* The read-modify-write middle op as a value transformer, or None if the
+   op at [i+1] is not a pure ALU of the form [x <- x op _]. *)
+let rmw_apply (k : Tir.kind) x =
+  match k with
+  | Tir.Kalu (op, rd, r1, r2) when Reg.equal rd x && Reg.equal r1 x ->
+      Some (fun t v -> Tir.alu op v (get_reg t r2))
+  | Tir.Kalu (op, rd, r1, r2) when Reg.equal rd x && Reg.equal r2 x ->
+      Some (fun t v -> Tir.alu op (get_reg t r1) v)
+  | Tir.Kaluc (op, rd, r1, c) when Reg.equal rd x && Reg.equal r1 x ->
+      Some (fun _ v -> Tir.alu op v c)
+  | Tir.Kalui (op, rd, r1, imm) when Reg.equal rd x && Reg.equal r1 x ->
+      Some (fun _ v -> Tir.alui op v imm)
+  | _ -> None
+
+(* Emit one optimized straight-line run as execution units:
+
+   - a maximal run of pure (non-fault-capable) ops becomes ONE unit —
+     sound because nothing inside it is observable (no faults, no side
+     exits; a fuel split lands on unit boundaries or replays the whole
+     unit through the interpreter), which is also what makes the
+     dead-write kills inside it invisible. Dead ops cost nothing at run
+     time (no closure at all), and runs of folded constants collapse into
+     single multi-register writes;
+   - [load; alu; store] to one address (the classic in-memory
+     read-modify-write) becomes one self-retiring unit computing the
+     address once in native arithmetic;
+   - adjacent 8-byte loads (or stores) off the same base register become
+     one unit performing a single TLB check when both land on one page —
+     the second access reuses the first one's page bytes (see
+     Memory.read_data), with a guarded fallback for page-crossing pairs.
+
+   Retirement: pure-segment units leave crediting to the dispatch loop
+   ([eself = false]); memory-pattern units retire internally at the same
+   points the step engine would, so partial progress at a fault is
+   bit-identical. *)
+let emit_run t stats ir_units tlb_elided (ops : Tir.op array) =
+  Tir.optimize t.ir_state stats ops;
+  let n = Array.length ops in
+  let out = ref [] and nout = ref 0 in
+  let push ?fuse efn ewidth eself =
+    out := { Tblock.efn; ewidth; eself } :: !out;
+    incr nout;
+    match fuse with
+    | Some (pc, kind) when !Obs.enabled ->
+        Obs.emit (Obs.Tb_fuse { pc; kind })
+    | _ -> ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    let o = ops.(!i) in
+    if not (Tir.faultable o.Tir.k) then begin
+      (* maximal pure segment [i, j) *)
+      let j = ref (!i + 1) in
+      while !j < n && not (Tir.faultable ops.(!j).Tir.k) do incr j done;
+      let width = !j - !i in
+      (* build the effect list, skipping dead ops and merging constant
+         runs into single multi-register writes *)
+      let effs = ref [] and neffs = ref 0 in
+      let k = ref !i in
+      while !k < !j do
+        (match ops.(!k).Tir.k with
+        | Tir.Kdead -> incr k
+        | Tir.Kconst _ ->
+            let c0 = !k in
+            let c = ref !k in
+            while
+              !c < !j
+              && match ops.(!c).Tir.k with Tir.Kconst _ | Tir.Kdead -> true | _ -> false
+            do
+              incr c
+            done;
+            (* collect the constants in the [c0, c) stretch *)
+            let rds = ref [] and vals = ref [] and nc = ref 0 in
+            for x = c0 to !c - 1 do
+              match ops.(x).Tir.k with
+              | Tir.Kconst (rd, v) ->
+                  rds := Reg.to_int rd :: !rds;
+                  vals := v :: !vals;
+                  incr nc
+              | _ -> ()
+            done;
+            (match (!rds, !vals) with
+            | [ r1 ], [ v1 ] ->
+                effs := (fun t -> Array.unsafe_set t.xregs r1 v1) :: !effs
+            | [ r2; r1 ], [ v2; v1 ] ->
+                effs :=
+                  (fun t ->
+                    Array.unsafe_set t.xregs r1 v1;
+                    Array.unsafe_set t.xregs r2 v2)
+                  :: !effs
+            | _ ->
+                let rds = Array.of_list (List.rev !rds) in
+                let vals = Array.of_list (List.rev !vals) in
+                let m = Array.length rds in
+                effs :=
+                  (fun t ->
+                    for x = 0 to m - 1 do
+                      Array.unsafe_set t.xregs (Array.unsafe_get rds x)
+                        (Array.unsafe_get vals x)
+                    done)
+                  :: !effs);
+            if !nc > 0 then incr neffs;
+            k := !c
+        | _ ->
+            effs := emit_effect ops.(!k) :: !effs;
+            incr neffs;
+            incr k)
+      done;
+      let efn =
+        match !effs with
+        | [] -> fun _ -> ()
+        | [ f ] -> f
+        | [ f2; f1 ] ->
+            fun t ->
+              f1 t;
+              f2 t
+        | l ->
+            let fs = Array.of_list (List.rev l) in
+            let m = Array.length fs in
+            fun t ->
+              for x = 0 to m - 1 do
+                (Array.unsafe_get fs x) t
+              done
+      in
+      push ?fuse:(if width > 1 then Some (o.Tir.opc, "pure_run") else None) efn width false;
+      i := !j
+    end
+    else begin
+      (* fault-capable op: try the memory patterns *)
+      let consumed = ref 0 in
+      (match o.Tir.k with
+      | Tir.Kload { width = (Inst.D | Inst.W) as w; unsigned = false; rd = x; base = b; off }
+        when !i + 2 < n && Reg.to_int x <> 0 && not (Reg.equal x b) -> (
+          (* load; alu; store back to the same slot *)
+          match rmw_apply ops.(!i + 1).Tir.k x with
+          | Some apply -> (
+              match ops.(!i + 2).Tir.k with
+              | Tir.Kstore { width = w2; rs2; base = b2; off = off2 }
+                when w2 = w && Reg.equal rs2 x && Reg.equal b2 b && off2 = off ->
+                  let pc1 = o.Tir.opc and pc3 = ops.(!i + 2).Tir.opc in
+                  let efn =
+                    match w with
+                    | Inst.D ->
+                        fun t ->
+                          t.pc <- pc1;
+                          let m = t.cur.vmem in
+                          let a = Int64.to_int (get_reg t b) + off in
+                          let v = Memory.load_u64 m a in
+                          let v' = apply t v in
+                          set_reg t x v';
+                          t.retired <- t.retired + 2;
+                          t.pc <- pc3;
+                          Memory.store_u64 m a v';
+                          t.retired <- t.retired + 1
+                    | _ ->
+                        fun t ->
+                          t.pc <- pc1;
+                          let m = t.cur.vmem in
+                          let a = Int64.to_int (get_reg t b) + off in
+                          let v = Int64.of_int (sext32_int (Memory.load_u32 m a)) in
+                          let v' = apply t v in
+                          set_reg t x v';
+                          t.retired <- t.retired + 2;
+                          t.pc <- pc3;
+                          Memory.store_u32 m a (Int64.to_int v' land 0xFFFFFFFF);
+                          t.retired <- t.retired + 1
+                  in
+                  push ~fuse:(pc1, "rmw") efn 3 true;
+                  consumed := 3
+              | _ -> ())
+          | None -> ())
+      | _ -> ());
+      if !consumed = 0 then begin
+        match (o.Tir.k, if !i + 1 < n then Some ops.(!i + 1).Tir.k else None) with
+        | ( Tir.Kload { width = Inst.D; rd = r1; base = b; off = o1; _ },
+            Some (Tir.Kload { width = Inst.D; rd = r2; base = b2; off = o2; _ }) )
+          when Reg.equal b b2 && not (Reg.equal r1 b) ->
+            (* paired 8-byte loads off one base: one TLB check when both
+               land on the same page *)
+            let pc1 = o.Tir.opc and pc2 = ops.(!i + 1).Tir.opc in
+            let d = o2 - o1 in
+            let efn t =
+              t.pc <- pc1;
+              let m = t.cur.vmem in
+              let a1 = Int64.to_int (get_reg t b) + o1 in
+              let off1 = a1 land page_mask in
+              let off2 = off1 + d in
+              if off1 + 8 <= Memory.page_size && off2 >= 0 && off2 + 8 <= Memory.page_size
+              then begin
+                let pg = Memory.read_data m a1 in
+                set_reg t r1 (Bytes.get_int64_le pg off1);
+                set_reg t r2 (Bytes.get_int64_le pg off2);
+                t.retired <- t.retired + 2
+              end
+              else begin
+                set_reg t r1 (Memory.load_u64 m a1);
+                t.retired <- t.retired + 1;
+                t.pc <- pc2;
+                set_reg t r2 (Memory.load_u64 m (Int64.to_int (get_reg t b) + o2));
+                t.retired <- t.retired + 1
+              end
+            in
+            push ~fuse:(pc1, "ld_pair") efn 2 true;
+            incr tlb_elided;
+            consumed := 2
+        | ( Tir.Kstore { width = Inst.D; rs2 = r1; base = b; off = o1 },
+            Some (Tir.Kstore { width = Inst.D; rs2 = r2; base = b2; off = o2 }) )
+          when Reg.equal b b2 ->
+            let pc1 = o.Tir.opc and pc2 = ops.(!i + 1).Tir.opc in
+            let d = o2 - o1 in
+            let efn t =
+              t.pc <- pc1;
+              let m = t.cur.vmem in
+              let a1 = Int64.to_int (get_reg t b) + o1 in
+              let off1 = a1 land page_mask in
+              let off2 = off1 + d in
+              if off1 + 8 <= Memory.page_size && off2 >= 0 && off2 + 8 <= Memory.page_size
+              then begin
+                let pg = Memory.write_data m a1 in
+                Bytes.set_int64_le pg off1 (get_reg t r1);
+                Bytes.set_int64_le pg off2 (get_reg t r2);
+                t.retired <- t.retired + 2
+              end
+              else begin
+                Memory.store_u64 m a1 (get_reg t r1);
+                t.retired <- t.retired + 1;
+                t.pc <- pc2;
+                Memory.store_u64 m (Int64.to_int (get_reg t b) + o2) (get_reg t r2);
+                t.retired <- t.retired + 1
+              end
+            in
+            push ~fuse:(pc1, "st_pair") efn 2 true;
+            incr tlb_elided;
+            consumed := 2
+        | _ ->
+            push (emit_effect o) 1 false;
+            consumed := 1
+      end;
+      i := !i + !consumed
+    end
+  done;
+  ir_units := !ir_units + !nout;
+  List.rev !out
+
+let use_ir t = t.ir && t.icache = None
 
 let translate_block t entry =
-  Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
-    ~decode:(fun pc ->
-      match decode_at t pc with
-      | d -> Some d
-      | exception Efault _ -> None
-      | exception Memory.Violation _ -> None)
-    ~compile:(fun ~pc inst size -> compile_op t ~pc inst size)
-    ~fuse:(fun ~pc inst1 size1 inst2 size2 ->
-      match fuse_pair t ~pc inst1 size1 inst2 size2 with
-      | Some _ as r ->
-          t.fused_pairs <- t.fused_pairs + 1;
-          if !Obs.enabled then
-            Obs.emit (Obs.Tb_fuse { pc; kind = fuse_kind inst1 inst2 });
-          r
-      | None -> None)
-    entry
+  let stats = Tir.stats_create () in
+  let ir_units = ref 0 and tlb_elided = ref 0 in
+  Tir.state_reset t.ir_state;
+  let b =
+    Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
+      ~decode:(fun pc ->
+        match decode_at t pc with
+        | d -> Some d
+        | exception Efault _ -> None
+        | exception Memory.Violation _ -> None)
+      ~lower:(fun ~pc inst size ->
+        (* capability gating here: only instructions this hart can execute
+           reach the IR; anything else falls through to [compile], whose
+           legacy path stops the block with the precise fault semantics *)
+        if use_ir t && Ext.supports t.isa inst then Tir.lower ~pc inst size
+        else None)
+      ~compile:(fun ~pc inst size ->
+        let c = compile_op t ~pc inst size in
+        (* maintain the translation-time register state across non-IR
+           units: an inlined jal writes a known link value, interpreter
+           and vector units have unknown register effects, inlined
+           branches and jumps write nothing *)
+        (match c with
+        | Tblock.Jump _ -> (
+            match inst with
+            | Inst.Jal (rd, _) ->
+                Tir.state_learn t.ir_state rd (Int64.of_int (pc + size))
+            | _ -> ())
+        | Tblock.Op _ | Tblock.Op_self _ -> Tir.state_clobber t.ir_state
+        | Tblock.Brcond _ | Tblock.Term | Tblock.Term_fn _ | Tblock.Stop -> ());
+        c)
+      ~emit:(fun ops -> emit_run t stats ir_units tlb_elided ops)
+      entry
+  in
+  t.fused_pairs <- t.fused_pairs + b.Tblock.n_fused;
+  if !ir_units > 0 then begin
+    t.ir_blocks <- t.ir_blocks + 1;
+    t.ir_units <- t.ir_units + !ir_units;
+    t.ir_folded <- t.ir_folded + stats.Tir.s_folded;
+    t.ir_dead <- t.ir_dead + stats.Tir.s_dead;
+    t.ir_pc_elided <- t.ir_pc_elided + stats.Tir.s_pc_elided;
+    t.ir_tlb_elided <- t.ir_tlb_elided + !tlb_elided;
+    t.ir_cached <- t.ir_cached + stats.Tir.s_cached;
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Tb_ir
+           { entry;
+             units = !ir_units;
+             folded = stats.Tir.s_folded;
+             dead = stats.Tir.s_dead;
+             pc_elided = stats.Tir.s_pc_elided;
+             tlb_elided = !tlb_elided;
+             cached = stats.Tir.s_cached })
+  end;
+  b
 
 let block_at t =
   match Hashtbl.find_opt t.cur.blocks t.pc with
@@ -1565,18 +1985,16 @@ let run_blocks ~handlers ~fuel t =
             ~tlb:(Memory.tlb_misses_live mem0 - tlb0)
             ~icache:(icache_miss_count t - ic0) ~fault:faulted ~target:t.pc
       | _ -> ());
-      (* A fused pair split by the fuel limit leaves at most one unit of
-         fuel unspent on this block; burn it through the slow path so fuel
-         semantics stay bit-identical to the step engine. (Accounted after
-         the block window: [step] attributes itself.) *)
-      if
-        fault = None && (not !side) && (not full) && !result = None
-        && !remaining > 0
-        && body_retired < ninsts
-      then begin
-        (match step ~handlers t with Some s -> result := Some s | None -> ());
-        decr remaining
-      end
+      (* A multi-instruction unit split by the fuel limit leaves up to
+         [width - 1] units of fuel unspent on this block; burn them through
+         the slow path so fuel semantics stay bit-identical to the step
+         engine. (Accounted after the block window: [step] attributes
+         itself.) *)
+      if fault = None && (not !side) && not full then
+        while !result = None && !remaining > 0 && t.retired - r0 < ninsts do
+          (match step ~handlers t with Some s -> result := Some s | None -> ());
+          decr remaining
+        done
     end
   done;
   match !result with Some s -> s | None -> Fuel_exhausted
@@ -1606,6 +2024,50 @@ let reset_observed_superblock () =
   Atomic.set g_side_exits 0;
   Atomic.set g_fused 0
 
+(* Instructions retired outside [run] (MMView migration single-steps,
+   harness-driven catch-up): counted separately so the bench can report
+   MIPS over everything the simulator actually executed. *)
+let g_extra = Atomic.make 0
+let add_observed_extra n = ignore (Atomic.fetch_and_add g_extra n)
+let observed_extra () = Atomic.get g_extra
+let reset_observed_extra () = Atomic.set g_extra 0
+
+type ir_stats = {
+  irs_blocks : int;
+  irs_units : int;
+  irs_folded : int;
+  irs_dead : int;
+  irs_pc_elided : int;
+  irs_tlb_elided : int;
+  irs_cached : int;
+}
+
+let g_ir_blocks = Atomic.make 0
+let g_ir_units = Atomic.make 0
+let g_ir_folded = Atomic.make 0
+let g_ir_dead = Atomic.make 0
+let g_ir_pc_elided = Atomic.make 0
+let g_ir_tlb_elided = Atomic.make 0
+let g_ir_cached = Atomic.make 0
+
+let observed_ir () =
+  { irs_blocks = Atomic.get g_ir_blocks;
+    irs_units = Atomic.get g_ir_units;
+    irs_folded = Atomic.get g_ir_folded;
+    irs_dead = Atomic.get g_ir_dead;
+    irs_pc_elided = Atomic.get g_ir_pc_elided;
+    irs_tlb_elided = Atomic.get g_ir_tlb_elided;
+    irs_cached = Atomic.get g_ir_cached }
+
+let reset_observed_ir () =
+  Atomic.set g_ir_blocks 0;
+  Atomic.set g_ir_units 0;
+  Atomic.set g_ir_folded 0;
+  Atomic.set g_ir_dead 0;
+  Atomic.set g_ir_pc_elided 0;
+  Atomic.set g_ir_tlb_elided 0;
+  Atomic.set g_ir_cached 0
+
 let flush_run_stats t =
   if t.chain_hits <> 0 then begin
     ignore (Atomic.fetch_and_add g_chain_hits t.chain_hits);
@@ -1622,6 +2084,22 @@ let flush_run_stats t =
   if t.fused_pairs <> 0 then begin
     ignore (Atomic.fetch_and_add g_fused t.fused_pairs);
     t.fused_pairs <- 0
+  end;
+  if t.ir_blocks <> 0 then begin
+    ignore (Atomic.fetch_and_add g_ir_blocks t.ir_blocks);
+    ignore (Atomic.fetch_and_add g_ir_units t.ir_units);
+    ignore (Atomic.fetch_and_add g_ir_folded t.ir_folded);
+    ignore (Atomic.fetch_and_add g_ir_dead t.ir_dead);
+    ignore (Atomic.fetch_and_add g_ir_pc_elided t.ir_pc_elided);
+    ignore (Atomic.fetch_and_add g_ir_tlb_elided t.ir_tlb_elided);
+    ignore (Atomic.fetch_and_add g_ir_cached t.ir_cached);
+    t.ir_blocks <- 0;
+    t.ir_units <- 0;
+    t.ir_folded <- 0;
+    t.ir_dead <- 0;
+    t.ir_pc_elided <- 0;
+    t.ir_tlb_elided <- 0;
+    t.ir_cached <- 0
   end;
   List.iter (fun v -> Memory.flush_tlb_stats v.vmem) t.views
 
@@ -1641,3 +2119,14 @@ let set_block_chaining t on = t.chain <- on
 let block_chaining t = t.chain
 let set_superblocks t on = t.superblocks <- on
 let superblocks t = t.superblocks
+
+let set_ir t on =
+  if t.ir <> on then begin
+    t.ir <- on;
+    (* translated blocks embed the choice; drop them so both settings see
+       freshly translated code *)
+    List.iter (fun v -> Hashtbl.reset v.blocks) t.views;
+    t.code_epoch <- t.code_epoch + 1
+  end
+
+let ir t = t.ir

@@ -156,18 +156,35 @@ val block_chaining : t -> bool
 
 val set_superblocks : t -> bool -> unit
 (** Enable/disable superblock formation (on by default): inlined direct
-    jumps and conditional branches with guarded side exits, cross-page
-    blocks, and macro-op fusion. When off, translation falls back to
-    straight-line blocks that end at the first control-flow instruction —
-    the intermediate engine the differential tests compare against. Only
-    affects blocks translated after the call (cached blocks keep the shape
-    they were compiled with), so flip it before running. *)
+    jumps and conditional branches with guarded side exits, and cross-page
+    blocks. When off, translation falls back to straight-line blocks that
+    end at the first control-flow instruction — the intermediate engine the
+    differential tests compare against. Only affects blocks translated
+    after the call (cached blocks keep the shape they were compiled with),
+    so flip it before running. *)
 
 val superblocks : t -> bool
 
 val set_superblocks_default : bool -> unit
 (** Superblock setting for machines created after this call (the bench
     harness's [--engine] flag sets it before building workloads). *)
+
+val set_ir : t -> bool -> unit
+(** Enable/disable the linear-IR translation pipeline (on by default).
+    When on, straight-line runs are lowered to {!Tir}, optimized
+    block-locally (constant propagation into folded ops, dead-write
+    elimination, memory-pattern fusion) and emitted as multi-instruction
+    execution units. When off, every instruction compiles to its direct
+    legacy closure — the bench's [--no-ir] ablation. Unlike
+    {!set_superblocks}, flipping this drops cached blocks (both settings
+    then see freshly translated code). The icache model bypasses the IR
+    regardless (per-fetch accounting needs per-instruction units). *)
+
+val ir : t -> bool
+
+val set_ir_default : bool -> unit
+(** IR setting for machines created after this call (the bench harness's
+    [--no-ir] flag clears it before building workloads). *)
 
 (** {1 Instrumentation} *)
 
@@ -200,9 +217,34 @@ val observed_chain : unit -> int * int
 val reset_observed_chain : unit -> unit
 
 val observed_superblock : unit -> int * int
-(** Process-wide [(side exits, fused pairs)] accumulated by completed
-    {!run} calls — a side exit is a dispatch that left its block through a
-    taken inlined branch; fused pairs count pairs merged at translation
-    time. *)
+(** Process-wide [(side exits, fused instructions)] accumulated by
+    completed {!run} calls — a side exit is a dispatch that left its block
+    through a taken inlined branch; fused instructions count instructions
+    beyond the first in multi-instruction execution units
+    (Σ (unit width − 1) over translated blocks). *)
 
 val reset_observed_superblock : unit -> unit
+
+val add_observed_extra : int -> unit
+(** Credit instructions retired outside {!run} (e.g. {!step} loops driven
+    by MMView migration) to the process-wide extra counter, so harnesses
+    can report throughput over everything the simulator executed. *)
+
+val observed_extra : unit -> int
+val reset_observed_extra : unit -> unit
+
+type ir_stats = {
+  irs_blocks : int;  (** translations that produced IR units *)
+  irs_units : int;  (** execution units emitted from IR runs *)
+  irs_folded : int;  (** ops folded to translation-time constants *)
+  irs_dead : int;  (** ops killed by dead-write elimination *)
+  irs_pc_elided : int;  (** ops emitted without a pc write *)
+  irs_tlb_elided : int;  (** paired accesses sharing one TLB check *)
+  irs_cached : int;  (** operand reads served from known constants *)
+}
+
+val observed_ir : unit -> ir_stats
+(** Process-wide IR translation statistics accumulated by completed {!run}
+    calls (same flush discipline as the other observed counters). *)
+
+val reset_observed_ir : unit -> unit

@@ -37,6 +37,8 @@ type t
 
 val create : unit -> t
 val page_size : int
+val page_bits : int
+(** [page_size = 1 lsl page_bits]. *)
 
 val map : t -> addr:int -> len:int -> perm -> unit
 (** Allocate zero-filled pages covering [addr, addr+len).
@@ -70,6 +72,26 @@ val store_u64 : t -> int -> int64 -> unit
 
 val fetch_u16 : t -> int -> int
 (** 16-bit instruction fetch: requires execute permission. *)
+
+(** {1 Check-elision-safe page access}
+
+    [read_data]/[write_data] perform one full TLB-checked translation of
+    the page containing the address and return its payload bytes. The
+    block engine's fused memory units use them to elide redundant checks:
+    a second access of the {e same kind} whose address provably lands on
+    the {e same page} within one execution unit may reuse the returned
+    bytes directly. This is sound because permissions can only change from
+    host-side code (handlers, loaders) — never from guest instructions —
+    and an execution unit never spans a handler-visible point, so the
+    permission check the first access performed still covers the second.
+    Offsets into the returned bytes must stay within [page_size]. *)
+
+val read_data : t -> int -> bytes
+(** Page payload for a read access to the page containing the address.
+    Counts one TLB hit/miss; raises {!Violation} like [load_*]. *)
+
+val write_data : t -> int -> bytes
+(** Page payload for a write access; counterpart of {!read_data}. *)
 
 (** {1 Unchecked accessors (loader / kernel)} *)
 

@@ -6,15 +6,21 @@
    at their fall-through (the taken path leaves the block through a guarded
    side exit at run time), and the block may span several pages — each page
    it touches is recorded in a small per-block page set whose generations
-   are summed on revalidation. A peephole pass fuses common adjacent pairs
-   into single closures; the per-instruction metadata (pcs, sizes, classes)
-   stays exact so fuel accounting, fault attribution and the profiler's
-   prefix walks are unaffected by fusion.
+   are summed on revalidation.
+
+   Straight-line instructions are lowered into the linear IR ({!Tir}) and
+   buffered; at the first control-flow, non-lowerable or terminating
+   instruction the buffered run is handed to the machine's [emit] callback,
+   which optimizes it as a whole and returns execution units (each covering
+   one or more instructions). The per-instruction metadata (pcs, sizes,
+   classes) stays exact regardless of how the emitter groups instructions
+   into units, so fuel accounting, fault attribution and the profiler's
+   prefix walks are unaffected by IR optimization.
 
    The module is parameterized over the machine state ['m]: the machine
-   supplies [decode], [compile] and [fuse] callbacks, so this module owns
-   the block layout, the termination policy and the invalidation
-   bookkeeping without depending on the executor. *)
+   supplies [decode], [lower], [compile] and [emit] callbacks, so this
+   module owns the block layout, the termination policy and the
+   invalidation bookkeeping without depending on the executor. *)
 
 let page_shift =
   let rec go n s = if n <= 1 then s else go (n lsr 1) (s + 1) in
@@ -100,13 +106,22 @@ type 'm compiled =
           decoded pair for the interpreter paths. *)
   | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
 
+(* One execution unit produced by the machine's [emit] callback from a
+   lowered IR run: a closure covering [ewidth] consecutive body
+   instructions. [eself = true] units retire internally (they contain
+   fault-capable accesses and must credit partial progress themselves);
+   [eself = false] units leave retirement to the dispatch loop's bulk
+   credit. *)
+type 'm emitted = { efn : 'm -> unit; ewidth : int; eself : bool }
+
 type 'm t = {
   entry : int;
   pages : int array;  (** deduplicated page indices the block's bytes span *)
   isa : Ext.t;  (** capability set the block was compiled against *)
   stamp : int;
-  ops : ('m -> unit) array;  (** execution units; a fused unit covers two
-                                 instructions *)
+  ops : ('m -> unit) array;
+      (** execution units; a unit may cover several instructions (merged
+          constant runs, fused memory patterns) *)
   starts : int array;
       (** [starts.(u)] is the body-instruction index of unit [u]'s first
           instruction; length [Array.length ops + 1], with the last entry
@@ -136,7 +151,9 @@ type 'm t = {
   term_class : int;  (** class code of the terminator, -1 if none *)
   n_jumps : int;  (** inlined direct jumps in the body *)
   n_branches : int;  (** inlined conditional branches (potential side exits) *)
-  n_fused : int;  (** fused pairs in the body *)
+  n_fused : int;
+      (** instructions beyond the first in multi-instruction units —
+          Σ (unit width − 1) over the body *)
   mutable echeck : int;
       (** machine code-epoch at the last successful validation; equality
           with the current epoch certifies the stamp without re-summing *)
@@ -160,9 +177,9 @@ let default_max_pages = 8
    terminator) still covers the entry bytes so that patching them
    invalidates it. *)
 let translate ?(max_insts = default_max_insts) ?(max_pages = default_max_pages)
-    ~gens ~epoch ~isa ~decode ~compile ~fuse entry =
-  (* Units and per-instruction metadata accumulate separately: fusion
-     merges closures, never metadata. *)
+    ~gens ~epoch ~isa ~decode ~lower ~compile ~emit entry =
+  (* Units and per-instruction metadata accumulate separately: the emitter
+     groups instructions into units, never metadata. *)
   let units = ref [] and widths = ref [] and selfs = ref [] and nunits = ref 0 in
   let pcs = ref [] and sizes = ref [] and classes = ref [] in
   let n_insts = ref 0 in
@@ -203,99 +220,94 @@ let translate ?(max_insts = default_max_insts) ?(max_pages = default_max_pages)
     classes := cls :: !classes;
     incr n_insts
   in
-  (* One straight-line closure held back, awaiting a fusion partner. Its
-     metadata is already pushed — only the unit is delayed, so unit order
-     still follows decode order. *)
-  let pending = ref None in
-  let flush_pending () =
-    match !pending with
-    | Some (_, _, _, f) ->
-        push_unit f 1 ~self:false;
-        pending := None
-    | None -> ()
+  (* Straight-line instructions are lowered into an IR run buffer; at any
+     block event (control flow, non-lowerable instruction, terminator,
+     block end) the buffered run is optimized and emitted as units. The
+     per-instruction metadata is pushed eagerly at decode, so unit order
+     follows decode order and metadata is never touched by the emitter. *)
+  let run = ref [] and nrun = ref 0 in
+  let flush_run () =
+    if !nrun > 0 then begin
+      let ops = Array.of_list (List.rev !run) in
+      let ninsts = !nrun in
+      run := [];
+      nrun := 0;
+      let us = emit ops in
+      let nu = List.length us in
+      List.iter (fun e -> push_unit e.efn e.ewidth ~self:e.eself) us;
+      (* instructions beyond one-per-unit were merged *)
+      n_fused := !n_fused + (ninsts - nu)
+    end
   in
   while not !stop do
     if !n_insts >= max_insts then begin
-      flush_pending ();
+      flush_run ();
       stop := true
     end
     else
       match decode !pc with
       | None ->
-          flush_pending ();
+          flush_run ();
           stop := true
       | Some (inst, size) ->
           if not (pages_fit !pc size) then begin
-            flush_pending ();
+            flush_run ();
             stop := true
           end
           else (
-            match compile ~pc:!pc inst size with
-            | Stop ->
-                flush_pending ();
-                stop := true
-            | Term ->
-                flush_pending ();
-                add_pages !pc size;
-                term := Some (inst, size);
-                term_class := Profile.class_code inst;
-                pc := !pc + size;
-                stop := true
-            | Term_fn f ->
-                flush_pending ();
-                add_pages !pc size;
-                term := Some (inst, size);
-                term_fn := Some f;
-                term_class := Profile.class_code inst;
-                pc := !pc + size;
-                stop := true
-            | Op f ->
+            match lower ~pc:!pc inst size with
+            | Some iop ->
                 add_pages !pc size;
                 push_inst !pc size (Profile.class_code inst);
-                (match !pending with
-                | None -> pending := Some (!pc, inst, size, f)
-                | Some (ppc, pinst, psize, pf) -> (
-                    match fuse ~pc:ppc pinst psize inst size with
-                    | Some g ->
-                        push_unit g 2 ~self:true;
-                        incr n_fused;
-                        pending := None
-                    | None ->
-                        push_unit pf 1 ~self:false;
-                        pending := Some (!pc, inst, size, f)));
+                run := iop :: !run;
+                incr nrun;
                 pc := !pc + size
-            | Op_self f ->
-                (* carries its own retire accounting; never a fusion
-                   candidate *)
-                flush_pending ();
-                add_pages !pc size;
-                push_inst !pc size (Profile.class_code inst);
-                push_unit f 1 ~self:true;
-                pc := !pc + size
-            | Jump (f, target) ->
-                flush_pending ();
-                add_pages !pc size;
-                push_inst !pc size (Profile.class_code inst);
-                push_unit f 1 ~self:true;
-                incr n_jumps;
-                pc := target
-            | Brcond f ->
-                add_pages !pc size;
-                push_inst !pc size (Profile.class_code inst);
-                (match !pending with
-                | None -> push_unit f 1 ~self:true
-                | Some (ppc, pinst, psize, pf) -> (
-                    match fuse ~pc:ppc pinst psize inst size with
-                    | Some g ->
-                        push_unit g 2 ~self:true;
-                        incr n_fused;
-                        pending := None
-                    | None ->
-                        push_unit pf 1 ~self:false;
-                        push_unit f 1 ~self:true;
-                        pending := None));
-                incr n_branches;
-                pc := !pc + size)
+            | None -> (
+                (* The buffered run must be emitted BEFORE [compile] runs:
+                   emission replays the run through the machine's
+                   translation-time register state, and [compile] may
+                   clobber or update that state for the event instruction
+                   (interpreter fallback, inlined call) — in program
+                   order, the run comes first. *)
+                flush_run ();
+                match compile ~pc:!pc inst size with
+                | Stop -> stop := true
+                | Term ->
+                    add_pages !pc size;
+                    term := Some (inst, size);
+                    term_class := Profile.class_code inst;
+                    pc := !pc + size;
+                    stop := true
+                | Term_fn f ->
+                    add_pages !pc size;
+                    term := Some (inst, size);
+                    term_fn := Some f;
+                    term_class := Profile.class_code inst;
+                    pc := !pc + size;
+                    stop := true
+                | Op f ->
+                    add_pages !pc size;
+                    push_inst !pc size (Profile.class_code inst);
+                    push_unit f 1 ~self:false;
+                    pc := !pc + size
+                | Op_self f ->
+                    (* carries its own retire accounting *)
+                    add_pages !pc size;
+                    push_inst !pc size (Profile.class_code inst);
+                    push_unit f 1 ~self:true;
+                    pc := !pc + size
+                | Jump (f, target) ->
+                    add_pages !pc size;
+                    push_inst !pc size (Profile.class_code inst);
+                    push_unit f 1 ~self:true;
+                    incr n_jumps;
+                    pc := target
+                | Brcond f ->
+                    add_pages !pc size;
+                    push_inst !pc size (Profile.class_code inst);
+                    push_unit f 1 ~self:true;
+                    incr n_branches;
+                    pc := !pc + size))
   done;
   (* A degenerate block covers the widest possible instruction at the entry
      so a patch there re-translates. *)

@@ -10,12 +10,14 @@
     instruction the machine cannot put on the fast path, when the per-block
     page set would exceed its cap, or at the instruction-count cap.
 
-    A peephole pass over the decoded run offers adjacent pairs to the
-    machine's [fuse] callback; a fused pair becomes one execution unit. The
-    per-instruction metadata ([pcs]/[sizes]/[classes]) is kept exact per
-    instruction regardless of fusion — [starts] maps units back to
-    instruction indices so fuel, faults and profiler prefix walks stay
-    bit-exact.
+    Straight-line instructions are lowered into the linear IR ({!Tir}) and
+    buffered as a run; at every block event the run is handed to the
+    machine's [emit] callback, which optimizes it whole (constant
+    propagation, dead-write elimination) and returns execution units, each
+    covering one or more instructions. The per-instruction metadata
+    ([pcs]/[sizes]/[classes]) is kept exact per instruction regardless of
+    how the emitter groups — [starts] maps units back to instruction
+    indices so fuel, faults and profiler prefix walks stay bit-exact.
 
     Blocks are validated against a {!Gen} generation table: patching code
     bumps the generations of the covered pages, and any block (or cached
@@ -74,13 +76,20 @@ type 'm compiled =
           still recorded in [term] as the slow-path/oracle fallback. *)
   | Stop  (** Not executable on the fast path (e.g. unsupported extension). *)
 
+type 'm emitted = { efn : 'm -> unit; ewidth : int; eself : bool }
+(** One execution unit produced by the machine's [emit] callback from a
+    lowered IR run: [efn] covers [ewidth] consecutive body instructions.
+    [eself = true] units retire internally (fault-capable multi-instruction
+    patterns crediting partial progress themselves); [eself = false] units
+    leave retirement to the dispatch loop's bulk credit through [auto]. *)
+
 type 'm t = private {
   entry : int;
   pages : int array;  (** deduplicated page indices the block's bytes span *)
   isa : Ext.t;
   stamp : int;
   ops : ('m -> unit) array;
-      (** execution units; a fused unit covers two instructions *)
+      (** execution units; a unit may cover several instructions *)
   starts : int array;
       (** unit [u]'s first body-instruction index; length
           [Array.length ops + 1], last entry = body instruction count *)
@@ -106,7 +115,9 @@ type 'm t = private {
   term_class : int;  (** class code of the terminator, -1 if none *)
   n_jumps : int;  (** inlined direct jumps in the body *)
   n_branches : int;  (** inlined conditional branches (potential side exits) *)
-  n_fused : int;  (** fused pairs in the body *)
+  n_fused : int;
+      (** instructions beyond the first in multi-instruction units —
+          Σ (unit width − 1) over the body *)
   mutable echeck : int;
       (** code epoch at the last successful validation ({!revalidate}) *)
   mutable link_fall : 'm t option;
@@ -125,20 +136,22 @@ val translate :
   epoch:int ->
   isa:Ext.t ->
   decode:(int -> (Inst.t * int) option) ->
+  lower:(pc:int -> Inst.t -> int -> Tir.op option) ->
   compile:(pc:int -> Inst.t -> int -> 'm compiled) ->
-  fuse:(pc:int -> Inst.t -> int -> Inst.t -> int -> ('m -> unit) option) ->
+  emit:(Tir.op array -> 'm emitted list) ->
   int ->
   'm t
-(** [translate ~gens ~epoch ~isa ~decode ~compile ~fuse entry] decodes the
-    superblock at [entry]. [decode pc] returns [None] when the bytes at
-    [pc] cannot be decoded or fetched (the block ends there; the slow path
-    will raise the precise fault when execution reaches it).
-    [fuse ~pc:pc1 inst1 size1 inst2 size2] may return a single closure
-    executing the adjacent pair [inst1;inst2] (both effects, both
-    retirements, pc stepping through [pc1+size1]); it is offered
-    straight-line pairs and straight-line+inlined-branch pairs. [epoch] is
-    the machine's current code epoch, recorded as the block's initial
-    [echeck]. *)
+(** [translate ~gens ~epoch ~isa ~decode ~lower ~compile ~emit entry]
+    decodes the superblock at [entry]. [decode pc] returns [None] when the
+    bytes at [pc] cannot be decoded or fetched (the block ends there; the
+    slow path will raise the precise fault when execution reaches it).
+    [lower] turns a straight-line instruction into an IR op ([None] routes
+    it to [compile] instead — control flow, terminators, instructions the
+    machine keeps on its legacy path). Buffered IR runs are flushed
+    through [emit] at every block event; [emit] returns the run's
+    execution units in order, whose widths must sum to the run's
+    instruction count. [epoch] is the machine's current code epoch,
+    recorded as the block's initial [echeck]. *)
 
 val revalidate : Gen.t -> isa:Ext.t -> epoch:int -> 'm t -> bool
 (** Validity check with an epoch fast path: a block whose [echeck] equals

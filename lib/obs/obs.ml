@@ -16,6 +16,15 @@ type event =
     }
   | Tb_side_exit of { entry : int; target : int }
   | Tb_fuse of { pc : int; kind : string }
+  | Tb_ir of {
+      entry : int;
+      units : int;
+      folded : int;
+      dead : int;
+      pc_elided : int;
+      tlb_elided : int;
+      cached : int;
+    }
   | Tlb_flush of { addr : int; len : int }
   | Icache_burst of { addr : int; misses : int }
   | Fault_raised of { pc : int; cause : string }
@@ -49,7 +58,7 @@ type event =
       traps : int;
     }
 
-let schema_version = 3
+let schema_version = 4
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -160,6 +169,17 @@ module Json = struct
     | Tb_side_exit { entry; target } ->
         obj "tb_side_exit" [ ("entry", i entry); ("target", i target) ]
     | Tb_fuse { pc; kind } -> obj "tb_fuse" [ ("pc", i pc); ("kind", s kind) ]
+    | Tb_ir { entry; units; folded; dead; pc_elided; tlb_elided; cached } ->
+        obj "tb_ir"
+          [
+            ("entry", i entry);
+            ("units", i units);
+            ("folded", i folded);
+            ("dead", i dead);
+            ("pc_elided", i pc_elided);
+            ("tlb_elided", i tlb_elided);
+            ("cached", i cached);
+          ]
     | Tlb_flush { addr; len } ->
         obj "tlb_flush" [ ("addr", i addr); ("len", i len) ]
     | Icache_burst { addr; misses } ->
@@ -377,6 +397,18 @@ module Json = struct
               arity 2;
               Tb_side_exit { entry = geti "entry"; target = geti "target" }
           | "tb_fuse" -> arity 2; Tb_fuse { pc = geti "pc"; kind = gets "kind" }
+          | "tb_ir" ->
+              arity 7;
+              Tb_ir
+                {
+                  entry = geti "entry";
+                  units = geti "units";
+                  folded = geti "folded";
+                  dead = geti "dead";
+                  pc_elided = geti "pc_elided";
+                  tlb_elided = geti "tlb_elided";
+                  cached = geti "cached";
+                }
           | "tlb_flush" ->
               arity 2;
               Tlb_flush { addr = geti "addr"; len = geti "len" }
@@ -513,6 +545,13 @@ module Agg = struct
     mutable tb_cross_page : int;
     mutable tb_side_exits : int;
     mutable tb_fused : int;
+    mutable tb_ir_blocks : int;
+    mutable tb_ir_units : int;
+    mutable ir_folded : int;
+    mutable ir_dead : int;
+    mutable ir_pc_elided : int;
+    mutable ir_tlb_elided : int;
+    mutable ir_cached : int;
     mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;
@@ -544,6 +583,13 @@ module Agg = struct
           tb_cross_page = 0;
           tb_side_exits = 0;
           tb_fused = 0;
+          tb_ir_blocks = 0;
+          tb_ir_units = 0;
+          ir_folded = 0;
+          ir_dead = 0;
+          ir_pc_elided = 0;
+          ir_tlb_elided = 0;
+          ir_cached = 0;
           tlb_flushes = 0;
           icache_bursts = 0;
           steals = 0;
@@ -571,6 +617,14 @@ module Agg = struct
         if pages > 1 then g.tb_cross_page <- g.tb_cross_page + 1;
         g.tb_fused <- g.tb_fused + fused
     | Tb_side_exit _ -> g.tb_side_exits <- g.tb_side_exits + 1
+    | Tb_ir { units; folded; dead; pc_elided; tlb_elided; cached; _ } ->
+        g.tb_ir_blocks <- g.tb_ir_blocks + 1;
+        g.tb_ir_units <- g.tb_ir_units + units;
+        g.ir_folded <- g.ir_folded + folded;
+        g.ir_dead <- g.ir_dead + dead;
+        g.ir_pc_elided <- g.ir_pc_elided + pc_elided;
+        g.ir_tlb_elided <- g.ir_tlb_elided + tlb_elided;
+        g.ir_cached <- g.ir_cached + cached
     | Tb_compile { body; _ } ->
         g.tb_compiles <- g.tb_compiles + 1;
         t.bodies <- body :: t.bodies

@@ -68,13 +68,32 @@ type event =
       (** Compile-time shape of the superblock at [entry] (paired with its
           [Tb_compile]): [insts] body instructions spanning [pages] pages,
           with [jumps] inlined direct jumps, [exits] inlined conditional
-          branches (potential side exits) and [fused] macro-op pairs. *)
+          branches (potential side exits) and [fused] instructions merged
+          into multi-instruction execution units. *)
   | Tb_side_exit of { entry : int; target : int }
       (** A dispatch of the block at [entry] left through a taken inlined
           branch to [target] instead of completing its body. *)
   | Tb_fuse of { pc : int; kind : string }
-      (** Translation fused the pair starting at [pc]; [kind] is
-          ["lui_addi"], ["auipc_addi"], ["auipc_ld"] or ["cmp_br"]. *)
+      (** The IR emitter grouped several instructions starting at [pc] into
+          one execution unit; [kind] is ["pure_run"] (a straight-line run of
+          non-faulting ops), ["rmw"] (load/alu/store to one address),
+          ["ld_pair"] or ["st_pair"] (adjacent 8-byte accesses off one base
+          sharing a TLB check). *)
+  | Tb_ir of {
+      entry : int;
+      units : int;
+      folded : int;
+      dead : int;
+      pc_elided : int;
+      tlb_elided : int;
+      cached : int;
+    }
+      (** IR pass statistics for the translation at [entry] (paired with
+          its [Tb_compile]): the lowered runs were emitted as [units]
+          execution units after [folded] ops were folded to constants
+          (substituting [cached] operand reads), [dead] ops were killed by
+          dead-write elimination, [pc_elided] ops were emitted without a pc
+          write, and [tlb_elided] paired accesses shared one TLB check. *)
   | Tlb_flush of { addr : int; len : int }
       (** A mapping/permission change over [addr, addr+len) advanced the
           software-TLB permission epoch; every memory's TLB lazily flushes
@@ -214,7 +233,16 @@ module Agg : sig
     mutable tb_superblocks : int;
     mutable tb_cross_page : int;  (** superblocks spanning more than one page *)
     mutable tb_side_exits : int;
-    mutable tb_fused : int;  (** fused pairs summed over compiled superblocks *)
+    mutable tb_fused : int;
+        (** fused instructions (Σ unit width − 1) summed over compiled
+            superblocks *)
+    mutable tb_ir_blocks : int;  (** translations that produced IR units *)
+    mutable tb_ir_units : int;
+    mutable ir_folded : int;
+    mutable ir_dead : int;
+    mutable ir_pc_elided : int;
+    mutable ir_tlb_elided : int;
+    mutable ir_cached : int;
     mutable tlb_flushes : int;
     mutable icache_bursts : int;
     mutable steals : int;

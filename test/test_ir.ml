@@ -1,0 +1,157 @@
+(* Golden tests for the IR translation passes (lib/machine/tir.ml): small
+   deterministic programs whose architectural result AND pass statistics
+   (Machine.observed_ir) are both pinned. The differential property tests
+   prove the passes are invisible to guest semantics; these prove each pass
+   actually fires on the pattern it exists for — a silent pass regression
+   (e.g. a lowering change that stops runs from forming) would keep every
+   differential test green while quietly giving the speedup back. *)
+
+let base_isa = Ext.rv64gc
+
+let build body =
+  let a = Asm.create ~name:"irgold" () in
+  Asm.func a "_start";
+  body a;
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.assemble a
+
+let run_collect bin =
+  Machine.reset_observed_ir ();
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa:base_isa () in
+  Loader.init_machine m bin;
+  let stop = Machine.run ~fuel:100_000 m in
+  (stop, Machine.observed_ir ())
+
+let exit_code = function
+  | Machine.Exited c -> c
+  | Machine.Faulted f -> Alcotest.failf "faulted: %s" (Fault.to_string f)
+  | Machine.Fuel_exhausted -> Alcotest.fail "fuel exhausted"
+
+(* Constant propagation: li-seeded registers flow through an alu chain at
+   translation time; every op folds to a Kconst and the operand reads are
+   served from the cached constants, not the register file. *)
+let test_const_fold () =
+  let bin =
+    build (fun a ->
+        Asm.li a Reg.t1 5;
+        Asm.li a Reg.t2 7;
+        Asm.inst a (Inst.Op (Inst.Add, Reg.t3, Reg.t1, Reg.t2));
+        Asm.inst a (Inst.Op (Inst.Xor, Reg.t4, Reg.t3, Reg.t1));
+        Asm.inst a (Inst.Opi (Inst.Addi, Reg.t5, Reg.t4, 1));
+        Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t5, 255)))
+  in
+  let stop, ir = run_collect bin in
+  (* 5 + 7 = 12; 12 xor 5 = 9; 9 + 1 = 10 *)
+  Alcotest.(check int) "exit" 10 (exit_code stop);
+  Alcotest.(check bool) "folded >= 4 (add, xor, addi, andi)" true
+    (ir.Machine.irs_folded >= 4);
+  Alcotest.(check bool) "cached operand reads" true (ir.Machine.irs_cached >= 4)
+
+(* Dead-write elimination: overwritten register writes inside one straight
+   pure run never reach the register file. *)
+let test_dead_writes () =
+  let bin =
+    build (fun a ->
+        Asm.li a Reg.t1 1;
+        Asm.li a Reg.t1 2;
+        Asm.li a Reg.t1 3;
+        Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.t1, 0)))
+  in
+  let stop, ir = run_collect bin in
+  Alcotest.(check int) "exit" 3 (exit_code stop);
+  Alcotest.(check bool) "two overwritten writes killed" true
+    (ir.Machine.irs_dead >= 2)
+
+(* Pure runs are emitted as merged units with no per-instruction pc writes:
+   the pc-elision counter covers the whole chain, and the unit count is far
+   below the instruction count. *)
+let test_pc_elision () =
+  let bin =
+    build (fun a ->
+        Asm.li a Reg.t1 1;
+        for _ = 1 to 10 do
+          Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, 1))
+        done;
+        Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t1, 255)))
+  in
+  let stop, ir = run_collect bin in
+  Alcotest.(check int) "exit" 11 (exit_code stop);
+  Alcotest.(check bool) "pure ops emitted without pc writes" true
+    (ir.Machine.irs_pc_elided >= 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "merged into few units (got %d)" ir.Machine.irs_units)
+    true
+    (ir.Machine.irs_units <= 6)
+
+(* TLB-check elision: adjacent 8-byte loads (and stores) off one base share
+   a single translated check; the RMW triple collapses into one unit. *)
+let test_tlb_elision () =
+  let a = Asm.create ~name:"irgold-tlb" () in
+  Asm.func a "_start";
+  (* load the data pointer from memory: a la-seeded base would be a
+     translation-time constant and the accesses would compile to the
+     static-address forms, which need no pairing to skip the TLB walk *)
+  Asm.la a Reg.t0 "ptr";
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.a0; rs1 = Reg.t0; imm = 0 });
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t1; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t2; rs1 = Reg.a0; imm = 8 });
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t1; rs1 = Reg.a0; imm = 16 });
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t2; rs1 = Reg.a0; imm = 24 });
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.a0; imm = 32 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t3, Reg.t3, 5));
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.t3; rs1 = Reg.a0; imm = 32 });
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.t1, Reg.t2));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t1, Reg.t1, Reg.t3));
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t1, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.rlabel a "ptr";
+  Asm.rword_label a "data";
+  Asm.dlabel a "data";
+  List.iter (Asm.dword64 a) [ 1L; 2L; 0L; 0L; 10L; 0L ];
+  let bin = Asm.assemble a in
+  let stop, ir = run_collect bin in
+  (* t1 = 1, t2 = 2, t3 = 10 + 5; exit (1 + 2 + 15) land 255 = 18 *)
+  Alcotest.(check int) "exit" 18 (exit_code stop);
+  Alcotest.(check bool) "ld_pair + st_pair elide TLB checks" true
+    (ir.Machine.irs_tlb_elided >= 2);
+  Alcotest.(check bool) "fusion reduced unit count" true
+    (ir.Machine.irs_units < 10)
+
+(* Cached constants must still be architecturally visible at a side exit: a
+   taken inlined branch leaves the block after folded ops, and the folded
+   register values have to be in the register file at that point. *)
+let test_fold_visible_at_side_exit () =
+  let a = Asm.create ~name:"irgold-exit" () in
+  Asm.func a "_start";
+  Asm.li a Reg.t1 5;
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, 2));
+  (* taken branch: superblock formation inlines it; the exit must observe
+     the folded t1 = 7 *)
+  Asm.branch_to a Inst.Bne Reg.t1 Reg.x0 "out";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t1, Reg.t1, 100));
+  Asm.label a "out";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t1, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  let bin = Asm.assemble a in
+  let stop, ir = run_collect bin in
+  Alcotest.(check int) "exit sees folded value" 7 (exit_code stop);
+  Alcotest.(check bool) "the addi folded" true (ir.Machine.irs_folded >= 1)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "chimera_ir"
+    [ ("passes",
+       [ tc "const folding + cached operands" `Quick test_const_fold;
+         tc "dead-write elimination" `Quick test_dead_writes;
+         tc "pc-write elision over pure runs" `Quick test_pc_elision;
+         tc "TLB-check elision on paired accesses" `Quick test_tlb_elision;
+         tc "folded values visible at side exit" `Quick
+           test_fold_visible_at_side_exit ]) ]

@@ -81,7 +81,7 @@ let event_gen =
         map2
           (fun pc kind -> Obs.Tb_fuse { pc; kind })
           addr
-          (oneofl [ "lui_addi"; "auipc_addi"; "auipc_ld"; "cmp_br" ]);
+          (oneofl [ "pure_run"; "rmw"; "ld_pair"; "st_pair" ]);
         map2 (fun a len -> Obs.Tlb_flush { addr = a; len }) addr (int_range 1 4096);
         map2 (fun a misses -> Obs.Icache_burst { addr = a; misses }) addr (int_range 8 512);
         map2 (fun pc cause -> Obs.Fault_raised { pc; cause }) addr cause;

@@ -610,6 +610,162 @@ let run_chimera ~engine ?(chain = true) ?(super = true) seed =
   Machine.set_superblocks m super;
   snapshot m (Chimera_rt.run rt ~fuel:50_000_000 m)
 
+(* --- IR translation pipeline differential ------------------------------------ *)
+
+(* Random loop bodies over a register pool, salted with the exact patterns
+   the IR passes fold, kill and fuse: W-type arithmetic (native-int emitter
+   arms), RMW triples, adjacent-pair loads, mixed-width stores. Each program
+   runs in three phases — a warm run cut off mid-block by exact fuel, a
+   continuation across an in-place code patch (SMC invalidation of a cached,
+   already-hot block), and a continuation across a warm-TLB permission
+   downgrade that makes the loop's next store fault. Step, straight-line
+   block, superblock-with-IR and superblock-without-IR must agree
+   bit-for-bit on registers, retired counts, pcs and fault identity at every
+   phase boundary. *)
+
+let ir_pool = [| 5; 6; 7; 12; 13; 14; 15; 28; 29; 30; 31 |]
+
+let ir_program rng =
+  let reg () = Reg.of_int ir_pool.(Random.State.int rng (Array.length ir_pool)) in
+  let a = Asm.create ~name:"irfuzz" () in
+  Asm.func a "_start";
+  Asm.la a Reg.a0 "data";
+  let niter = 1500 + Random.State.int rng 1000 in
+  Asm.li a Reg.a1 niter;
+  Array.iter
+    (fun i -> Asm.li a (Reg.of_int i) (Random.State.int rng 0x10000))
+    ir_pool;
+  Asm.label a "L";
+  let patch_off = Asm.here a in
+  (* x18 (s2) sits outside the compressed register file, so this xori always
+     encodes in 4 bytes — the SMC phase overwrites it in place *)
+  Asm.inst a (Inst.Opi (Inst.Xori, Reg.s2, Reg.s2, 0x55));
+  let n = 4 + Random.State.int rng 8 in
+  for _ = 1 to n do
+    match Random.State.int rng 12 with
+    | 0 | 1 | 2 ->
+        let ops = [| Inst.Add; Inst.Sub; Inst.And; Inst.Or; Inst.Xor; Inst.Mul |] in
+        Asm.inst a (Inst.Op (ops.(Random.State.int rng 6), reg (), reg (), reg ()))
+    | 3 | 4 ->
+        let ops =
+          [| Inst.Addw; Inst.Subw; Inst.Mulw; Inst.Sllw; Inst.Srlw; Inst.Sraw |]
+        in
+        Asm.inst a (Inst.Op (ops.(Random.State.int rng 6), reg (), reg (), reg ()))
+    | 5 ->
+        Asm.inst a
+          (Inst.Opi (Inst.Addi, reg (), reg (), Random.State.int rng 2048 - 1024))
+    | 6 ->
+        let ops = [| Inst.Slliw; Inst.Srliw; Inst.Sraiw; Inst.Addiw |] in
+        Asm.inst a
+          (Inst.Opi (ops.(Random.State.int rng 4), reg (), reg (), Random.State.int rng 31))
+    | 7 ->
+        let ops = [| Inst.Slli; Inst.Srli; Inst.Srai |] in
+        Asm.inst a
+          (Inst.Opi (ops.(Random.State.int rng 3), reg (), reg (), Random.State.int rng 63))
+    | 8 ->
+        (* adjacent 8-byte loads off one base: ld_pair fusion *)
+        let r1 = reg () and r2 = reg () in
+        Asm.inst a
+          (Inst.Load { width = Inst.D; unsigned = false; rd = r1; rs1 = Reg.a0; imm = 0 });
+        Asm.inst a
+          (Inst.Load { width = Inst.D; unsigned = false; rd = r2; rs1 = Reg.a0; imm = 8 })
+    | 9 ->
+        (* RMW triple: load/alu/store to one address *)
+        let r = reg () in
+        Asm.inst a
+          (Inst.Load { width = Inst.D; unsigned = false; rd = r; rs1 = Reg.a0; imm = 16 });
+        Asm.inst a (Inst.Opi (Inst.Addi, r, r, 3));
+        Asm.inst a (Inst.Store { width = Inst.D; rs2 = r; rs1 = Reg.a0; imm = 16 })
+    | 10 ->
+        let widths = [| Inst.W; Inst.H; Inst.B |] in
+        Asm.inst a
+          (Inst.Load
+             { width = widths.(Random.State.int rng 3);
+               unsigned = Random.State.bool rng; rd = reg (); rs1 = Reg.a0;
+               imm = 8 * Random.State.int rng 3 })
+    | _ ->
+        let widths = [| Inst.D; Inst.W; Inst.H; Inst.B |] in
+        Asm.inst a
+          (Inst.Store
+             { width = widths.(Random.State.int rng 4); rs2 = reg (); rs1 = Reg.a0;
+               imm = 24 })
+  done;
+  (* at least one store per iteration, so a permission downgrade faults
+     within one trip round the loop *)
+  Asm.inst a (Inst.Store { width = Inst.D; rs2 = Reg.s2; rs1 = Reg.a0; imm = 0 });
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a0, Reg.a0, 16));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.a1, Reg.a1, -1));
+  Asm.branch_to a Inst.Bne Reg.a1 Reg.x0 "L";
+  Array.iter
+    (fun i -> Asm.inst a (Inst.Op (Inst.Add, Reg.a1, Reg.a1, Reg.of_int i)))
+    ir_pool;
+  Asm.inst a (Inst.Op (Inst.Add, Reg.a1, Reg.a1, Reg.s2));
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.a1, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.dlabel a "data";
+  for _ = 0 to (niter * 2) + 8 do
+    Asm.dword64 a (Int64.of_int (Random.State.int rng 0x3FFFFFF))
+  done;
+  let bin = Asm.assemble a in
+  (bin, (Binfile.symbol bin "_start").Binfile.sym_addr + patch_off)
+
+let run_ir_phases mode bin ~patch_addr ~f1 ~f2 =
+  let mem = Loader.load bin in
+  let m = Machine.create ~mem ~isa:base_isa () in
+  (match mode with
+  | `Step -> Machine.set_block_engine m false
+  | `Block -> Machine.set_superblocks m false
+  | `Super -> ()
+  | `Super_noir -> Machine.set_ir m false);
+  Loader.init_machine m bin;
+  let s1 = snapshot m (Machine.run ~fuel:f1 m) in
+  (* SMC: flip the xori's immediate under a cached, already-executed block;
+     every engine sees the patch at the same instruction boundary because
+     the phase fuels are exact *)
+  let buf = Bytes.create 4 in
+  ignore (Encode.write buf 0 (Inst.Opi (Inst.Xori, Reg.s2, Reg.s2, 0xAA)));
+  Memory.poke_bytes mem patch_addr buf;
+  Machine.invalidate_code m ~addr:patch_addr ~len:4;
+  let s2 = snapshot m (Machine.run ~fuel:f2 m) in
+  (* warm-TLB permission downgrade: the data pages turn read-only mid-loop;
+     the next store must fault at the same pc in every engine, through any
+     cached translation, chain link or elided-check fused unit *)
+  List.iter
+    (fun (s : Binfile.section) ->
+      if s.Binfile.sec_perm.Memory.w then
+        Memory.set_perm mem ~addr:s.Binfile.sec_addr
+          ~len:(Bytes.length s.Binfile.sec_data) Memory.perm_r)
+    bin.Binfile.sections;
+  let s3 = snapshot m (Machine.run ~fuel:50_000 m) in
+  (s1, s2, s3)
+
+let prop_ir_pipeline_differential =
+  QCheck.Test.make
+    ~name:
+      "ir: step/block/super/no-ir bit-identical across SMC patch and TLB downgrade"
+    ~count:12
+    QCheck.(
+      make
+        Gen.(
+          let* seed = int_bound 100_000 in
+          let* f1 = int_range 500 6_000 in
+          let* f2 = int_range 500 6_000 in
+          return (seed, f1, f2)))
+    (fun (seed, f1, f2) ->
+      let bin, patch_addr = ir_program (Random.State.make [| seed |]) in
+      let r1, r2, r3 = run_ir_phases `Step bin ~patch_addr ~f1 ~f2 in
+      List.for_all
+        (fun (label, mode) ->
+          let b1, b2, b3 = run_ir_phases mode bin ~patch_addr ~f1 ~f2 in
+          let what p =
+            Printf.sprintf "ir seed=%d f1=%d f2=%d %s phase%d" seed f1 f2 label p
+          in
+          check_snaps ~what:(what 1) r1 b1
+          && check_snaps ~what:(what 2) r2 b2
+          && check_snaps ~what:(what 3) r3 b3)
+        [ ("block", `Block); ("super", `Super); ("super-noir", `Super_noir) ])
+
 let prop_block_engine_self_modifying =
   QCheck.Test.make
     ~name:"block engine: identical across runtime code patching (lazy rewrite)"
@@ -642,4 +798,5 @@ let () =
          [ prop_differential_rewriting; prop_differential_greg ]);
       ("block-engine",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_block_engine_native; prop_block_engine_self_modifying ]) ]
+         [ prop_block_engine_native; prop_block_engine_self_modifying ]);
+      ("ir", [ QCheck_alcotest.to_alcotest prop_ir_pipeline_differential ]) ]

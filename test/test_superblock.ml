@@ -136,8 +136,8 @@ let test_mid_instruction_branch () =
 let test_branchy () =
   let bin = Programs.branchy ~rounds:200 () in
   (* full run plus a dense fuel sweep: every prefix length of the loop
-     body's superblock gets cut at least once, including through the
-     compare+branch pair the peephole fuses *)
+     body's superblock gets cut at least once, including inside the
+     multi-instruction units the IR emitter fuses *)
   tri ~fuel:1_000_000 "branchy" bin;
   for fuel = 1 to 64 do
     tri ~fuel "branchy sweep" bin
