@@ -184,6 +184,16 @@ type stat = {
   st_prof_retired : int;  (* profiler's retired total; -1 when not profiling *)
   st_extra : int;  (* instructions retired outside Machine.run (migration
                       deferral steps, micro's Bechamel-timed section) *)
+  st_ic_hits : int;  (* inline-cache hits (dispatch skipped the block table) *)
+  st_ic_misses : int;  (* inline-cache misses (fell back + retrained) *)
+  st_ic_mega : int;  (* dispatches through megamorphic sites (uncached) *)
+  st_promotions : int;  (* tier promotions (block -> superblock -> IR) *)
+  st_recompiles : int;  (* profile-guided relayout recompiles *)
+  st_x_dispatches : int;  (* dispatches inside extra-counter windows
+                             (migration deferral) — excluded from the rate
+                             denominators below so rates describe translated
+                             workload code only *)
+  st_x_side_exits : int;  (* side exits inside extra-counter windows *)
   st_ir : Machine.ir_stats;  (* IR translation-pass statistics *)
 }
 
@@ -205,11 +215,17 @@ let write_json ?overhead file (stats : stat list) =
         else 0.
       in
       let ir = s.st_ir in
+      (* rate denominators over translated workload code only: dispatches
+         (and their side exits) that happened inside an extra-counter window
+         — MMView migration deferral — are subtracted out *)
+      let wd = s.st_dispatches - s.st_x_dispatches in
       Printf.fprintf oc
         "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \
          \"retired_extra\": %d, \"mips\": %.1f, \
          \"tlb_hit_rate\": %.4f, \"chain_hit_rate\": %.4f, \"tb_dispatches\": %d, \
          \"superblock_len_avg\": %.2f, \"side_exit_rate\": %.4f, \"fused_ops\": %d, \
+         \"ic_hit_rate\": %.4f, \"ic_hits\": %d, \"ic_misses\": %d, \
+         \"ic_mega_dispatches\": %d, \"tier_promotions\": %d, \"recompiles\": %d, \
          \"ir_units\": %d, \"ir_folded\": %d, \"ir_dead\": %d, \
          \"pc_writes_elided\": %d, \"tlb_checks_elided\": %d, \
          \"regs_cached_avg\": %.2f, \"events_emitted\": %d%s }%s\n"
@@ -217,9 +233,11 @@ let write_json ?overhead file (stats : stat list) =
         (rate s.st_tlb_hits (s.st_tlb_hits + s.st_tlb_misses))
         (rate s.st_chain_hits s.st_dispatches)
         s.st_dispatches
-        (rate s.st_retired s.st_dispatches)
-        (rate s.st_side_exits s.st_dispatches)
+        (rate s.st_retired wd)
+        (rate (s.st_side_exits - s.st_x_side_exits) wd)
         s.st_fused
+        (rate s.st_ic_hits (s.st_ic_hits + s.st_ic_misses))
+        s.st_ic_hits s.st_ic_misses s.st_ic_mega s.st_promotions s.st_recompiles
         ir.Machine.irs_units ir.Machine.irs_folded ir.Machine.irs_dead
         ir.Machine.irs_pc_elided ir.Machine.irs_tlb_elided
         (rate ir.Machine.irs_cached ir.Machine.irs_blocks)
@@ -884,6 +902,9 @@ let micro _quick =
   Memory.reset_observed_tlb ();
   Machine.reset_observed_chain ();
   Machine.reset_observed_superblock ();
+  Machine.reset_observed_ic ();
+  Machine.reset_observed_tiering ();
+  Machine.reset_observed_extra_window ();
   let det bin =
     let mem = Loader.load bin in
     let m = Machine.create ~mem ~isa:ext_isa () in
@@ -891,7 +912,8 @@ let micro _quick =
     ignore (Machine.run ~fuel:2_000_000 m)
   in
   det (Programs.matmul ~name:"mm-det" `Ext ~n:12);
-  det (Programs.branchy ~name:"branchy-det" ~rounds:100_000 ())
+  det (Programs.branchy ~name:"branchy-det" ~rounds:100_000 ());
+  det (Programs.indirecty ~name:"indirecty-det" ~rounds:50_000 ())
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -1068,10 +1090,15 @@ let check_gc_budget ~minor_words0 ~retired =
     end
   end
 
-let main names quick jobs engine no_ir json_file trace_file chrome_file
-    profile_dir compare_file wall_tol =
+let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
+    chrome_file profile_dir compare_file wall_tol =
   (match engine with
-  | `Super -> ()
+  | `Super ->
+      (* the full adaptive pipeline is the default engine: tiered
+         promotion with profile-guided recompilation plus indirect-jump
+         inline caches; --no-tier / --no-ic ablate them individually *)
+      Machine.set_tiered_default (not no_tier);
+      Machine.set_inline_caches_default (not no_ic)
   | `Block -> Machine.set_superblocks_default false
   | `Step -> Machine.set_block_engine_default false);
   if no_ir then Machine.set_ir_default false;
@@ -1149,14 +1176,21 @@ let main names quick jobs engine no_ir json_file trace_file chrome_file
         Machine.reset_observed_superblock ();
         Machine.reset_observed_extra ();
         Machine.reset_observed_ir ();
+        Machine.reset_observed_ic ();
+        Machine.reset_observed_tiering ();
+        Machine.reset_observed_extra_window ();
         let r0 = Machine.observed_retired () in
         let th0, tm0 = Memory.observed_tlb () in
         let ch0, cd0 = Machine.observed_chain () in
         let se0, fu0 = Machine.observed_superblock () in
         let x0 = Machine.observed_extra () in
+        let ih0, im0, ig0 = Machine.observed_ic () in
+        let tp0, rc0 = Machine.observed_tiering () in
+        let xd0, xs0 = Machine.observed_extra_window () in
         assert (
           r0 = 0 && th0 = 0 && tm0 = 0 && ch0 = 0 && cd0 = 0 && se0 = 0
-          && fu0 = 0 && x0 = 0);
+          && fu0 = 0 && x0 = 0 && ih0 = 0 && im0 = 0 && ig0 = 0 && tp0 = 0
+          && rc0 = 0 && xd0 = 0 && xs0 = 0);
         let e0 = Obs.events_emitted () in
         let w0 = Unix.gettimeofday () in
         traced_phase n (fun () -> (List.assoc n experiments) quick);
@@ -1203,6 +1237,13 @@ let main names quick jobs engine no_ir json_file trace_file chrome_file
             st_events = Obs.events_emitted () - e0;
             st_prof_retired = prof_retired;
             st_extra = Machine.observed_extra () - x0;
+            st_ic_hits = (let h, _, _ = Machine.observed_ic () in h);
+            st_ic_misses = (let _, m, _ = Machine.observed_ic () in m);
+            st_ic_mega = (let _, _, g = Machine.observed_ic () in g);
+            st_promotions = fst (Machine.observed_tiering ());
+            st_recompiles = snd (Machine.observed_tiering ());
+            st_x_dispatches = fst (Machine.observed_extra_window ());
+            st_x_side_exits = snd (Machine.observed_extra_window ());
             st_ir = Machine.observed_ir () }
           :: !stats
       end)
@@ -1252,8 +1293,11 @@ let main names quick jobs engine no_ir json_file trace_file chrome_file
       if fails <> [] then exit 1);
   if !prof_mismatch then exit 1;
   (* [Gc.quick_stat] counts the calling domain's minor allocation, so the
-     budget is only observable when the cells ran on this domain *)
-  if !Par.jobs = 1 then
+     budget is only observable when the cells ran on this domain — and only
+     meaningful with tracing off: an enabled trace allocates one event
+     record per emission (tb_hit/ic_hit fire per dispatch), so words per
+     instruction then measures event density, not the dispatch path. *)
+  if !Par.jobs = 1 && trace_file = None then
     check_gc_budget ~minor_words0
       ~retired:
         (List.fold_left (fun a s -> a + s.st_retired + s.st_extra) 0 !stats);
@@ -1304,6 +1348,29 @@ let no_ir_arg =
            memory-pattern fusion. Ablation knob — simulated counters are \
            identical either way, so the wall-clock delta against a default \
            run is the IR win in isolation.")
+
+let no_tier_arg =
+  Arg.(
+    value & flag
+    & info [ "no-tier" ]
+        ~doc:
+          "Disable tiered execution for every machine the benchmarks create \
+           (only meaningful with the default $(b,super) engine): code is \
+           translated at the top tier on first execution, with no \
+           interpreted warm-up, hotness-driven promotion or profile-guided \
+           relayout recompiles. Ablation knob — simulated counters are \
+           identical either way.")
+
+let no_ic_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ic" ]
+        ~doc:
+          "Disable the per-site inline caches for register-indirect jumps \
+           (only meaningful with the default $(b,super) engine): every \
+           $(b,jalr)/$(b,c.jr)/$(b,c.jalr) dispatch probes the per-view \
+           block table. Ablation knob — simulated counters are identical \
+           either way.")
 
 let json_arg =
   Arg.(
@@ -1368,7 +1435,7 @@ let cmd =
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ names_arg $ quick_arg $ jobs_arg $ engine_arg $ no_ir_arg
-      $ json_arg $ trace_arg $ chrome_arg $ profile_arg $ compare_arg
-      $ wall_tol_arg)
+      $ no_tier_arg $ no_ic_arg $ json_arg $ trace_arg $ chrome_arg
+      $ profile_arg $ compare_arg $ wall_tol_arg)
 
 let () = exit (Cmd.eval cmd)

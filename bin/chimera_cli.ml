@@ -132,8 +132,12 @@ let trace_steps m handlers n fuel =
   done;
   match !stop with Some s -> s | None -> Machine.Fuel_exhausted
 
-let cmd_run file isa fuel plain show_counters steps trace_file profile_file =
+let cmd_run file isa fuel plain show_counters steps trace_file profile_file tiered =
   let bin = Binfile.load_file file in
+  if tiered then begin
+    Machine.set_tiered_default true;
+    Machine.set_inline_caches_default true
+  end;
   let prof =
     match profile_file with
     | None -> None
@@ -201,9 +205,36 @@ let cmd_run file isa fuel plain show_counters steps trace_file profile_file =
           Printf.eprintf "cannot open profile file: %s\n" e;
           exit 2
       in
+      (* annotate with the live machine's tier and inline-cache state: the
+         translations are still resident, so the report can say which tier
+         each hot block ended at and how its call sites resolved *)
+      let tiers =
+        List.map
+          (fun b ->
+            ( b.Machine.bi_entry,
+              Printf.sprintf "t%d%s" b.Machine.bi_tier
+                (if b.Machine.bi_relaid then "*" else "") ))
+          (Machine.block_infos m)
+      in
+      let ics =
+        List.map
+          (fun i ->
+            { Prof_report.icn_site = i.Machine.ici_site;
+              icn_state =
+                (match i.Machine.ici_state with
+                | `Empty -> "empty"
+                | `Mono -> "mono"
+                | `Poly -> "poly"
+                | `Mega -> "mega");
+              icn_targets = i.Machine.ici_targets;
+              icn_hits = i.Machine.ici_hits;
+              icn_misses = i.Machine.ici_misses })
+          (Machine.ic_infos m)
+      in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> Prof_report.render ~disasm:(Disasm.of_binfile bin) oc snaps);
+        (fun () ->
+          Prof_report.render ~disasm:(Disasm.of_binfile bin) ~tiers ~ics oc snaps);
       let folded = f ^ ".folded" in
       let foc = open_out folded in
       Fun.protect ~finally:(fun () -> close_out foc) (fun () -> Profile.write_folded p foc);
@@ -249,13 +280,14 @@ let cmd_profile trace bin_file top out =
   let disasm =
     Option.map (fun f -> Disasm.of_binfile (Binfile.load_file f)) bin_file
   in
+  let totals = Obs.Agg.totals agg in
   match out with
-  | None -> Prof_report.render ~top ?disasm stdout snaps
+  | None -> Prof_report.render ~top ?disasm ~totals stdout snaps
   | Some f ->
       let oc = open_out f in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> Prof_report.render ~top ?disasm oc snaps)
+        (fun () -> Prof_report.render ~top ?disasm ~totals oc snaps)
 
 (* ---- command line ---------------------------------------------------------- *)
 
@@ -311,8 +343,16 @@ let run_cmd =
                input). Combine with $(b,--trace) to embed the profile in the \
                trace for offline 'chimera profile'.")
   in
+  let tiered =
+    Arg.(value & flag & info [ "tiered" ]
+         ~doc:"Tiered execution with jalr inline caches (profile-guided \
+               promotion and recompilation; results are bit-identical, only \
+               dispatch changes). The $(b,--profile) report then annotates \
+               hot blocks with their tier and lists inline-cache sites.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Execute a binary on a simulated hart")
-    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ steps $ trace $ profile)
+    Term.(const cmd_run $ file $ isa $ fuel $ plain $ counters $ steps $ trace $ profile
+          $ tiered)
 
 let profile_cmd =
   let trace = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in

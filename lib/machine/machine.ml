@@ -9,6 +9,33 @@ type view = {
   vmem : Memory.t;
   cache : (int, centry) Hashtbl.t;
   blocks : (int, t Tblock.t) Hashtbl.t;  (** translation blocks, keyed by entry pc *)
+  heat : (int, int ref) Hashtbl.t;
+      (** interpreted-dispatch counts of still-untranslated entries (tiered
+          machines only): an entry is stepped until its heat crosses the
+          first tier threshold, then translated and dropped from here *)
+  ics : (int, icsite) Hashtbl.t;
+      (** per-site inline caches for indirect terminators
+          ([jalr]/[c_jr]/[c_jalr]), keyed by the site pc *)
+}
+
+and icsite = {
+  site_pc : int;
+  mutable site_target : int;
+      (** predicted target pc of the monomorphic slot; [-1] when unbound *)
+  mutable site_tb : t Tblock.t option;
+      (** direct block link for [site_target] — the monomorphic fast path.
+          Guarded on every use by target equality and the one-compare code
+          epoch check, exactly like a chain link, so SMC or a replaced
+          block makes the prediction fail-safe (next use re-resolves). *)
+  mutable site_poly : (int * t Tblock.t) array;
+      (** small polymorphic table behind the monomorphic slot; entries
+          carry the same target + epoch guard *)
+  mutable site_mega : bool;
+      (** megamorphic: more distinct live targets than the polymorphic
+          table holds — the site stops caching and every dispatch goes to
+          the per-view block table *)
+  mutable site_hits : int;  (** cumulative per-site hits (reporting only) *)
+  mutable site_misses : int;
 }
 
 and t = {
@@ -57,6 +84,30 @@ and t = {
           constant propagation and dead-write elimination; off falls back
           to direct per-instruction closure compilation (the bench's
           [--no-ir] ablation) *)
+  mutable tiered : bool;
+      (** hotness-driven tiered execution: entries are interpreted until
+          warm, then climb block → superblock → IR-optimized, and hot
+          blocks whose observed side-exit profile contradicts the static
+          BTFN layout are recompiled with trace-style layout (the bench's
+          [--no-tier] ablation turns this off and translates everything at
+          the top tier immediately) *)
+  mutable ic_on : bool;
+      (** compile inline caches into indirect terminators (the bench's
+          [--no-ic] ablation) *)
+  mutable pending_ic : icsite option;
+      (** set by an indirect terminator closure as it completes; the next
+          dispatch consumes it to predict the successor block through the
+          site's inline cache instead of the single [link_taken] slot *)
+  mutable relayout : (int * bool) list;
+      (** translation-scoped recompile plan: [(branch pc, flip)] pairs from
+          the observed exit profile — [flip = false] cuts the block at the
+          branch (terminator), [flip = true] inverts it and continues
+          decoding at the taken target; empty outside recompilation *)
+  mutable ic_hits : int;  (** dispatches predicted by an inline cache *)
+  mutable ic_misses : int;  (** IC probes that fell back to the block table *)
+  mutable ic_mega_d : int;  (** dispatches through megamorphic sites *)
+  mutable tier_promotions : int;
+  mutable recompiles : int;  (** profile-guided layout recompilations *)
   (* per-translation IR pass statistics, flushed to process atomics once
      per [run] like the other counters *)
   mutable ir_blocks : int;  (** translations that produced IR units *)
@@ -101,7 +152,11 @@ let default_handlers =
   }
 
 let new_view mem =
-  { vmem = mem; cache = Hashtbl.create 1024; blocks = Hashtbl.create 256 }
+  { vmem = mem;
+    cache = Hashtbl.create 1024;
+    blocks = Hashtbl.create 256;
+    heat = Hashtbl.create 256;
+    ics = Hashtbl.create 64 }
 
 (* Process-wide default for newly created machines; the bench driver's
    --engine flag flips it so whole experiments can run on the single-step
@@ -119,6 +174,45 @@ let set_superblocks_default on = superblocks_default := on
    clears it so the ablation row quantifies the IR passes in isolation. *)
 let ir_default = ref true
 let set_ir_default on = ir_default := on
+
+(* Tiered execution and indirect-branch inline caches default OFF at the
+   library level (a fresh machine behaves exactly like the PR6 engine); the
+   bench driver turns both on for its default runs and clears them for the
+   --no-tier / --no-ic ablations. *)
+let tiered_default = ref false
+let set_tiered_default on = tiered_default := on
+let inline_caches_default = ref false
+let set_inline_caches_default on = inline_caches_default := on
+
+(* Tier thresholds. Heat is counted per interpreted instruction at an
+   untranslated entry; hot is counted per dispatch of a translated block.
+   Low thresholds keep the warm-up window short (hot loops reach the top
+   tier within a few hundred iterations) while cold code never pays for
+   translation at all. *)
+let tier1_heat = 4  (* interpreted executions before the first translation *)
+let tier2_hot = 32  (* block dispatches before superblock promotion *)
+let tier3_hot = 128  (* superblock dispatches before IR promotion *)
+let recompile_hot = 256  (* top-tier dispatches before the exit-profile check *)
+
+(* Observed-exit-rate policy for profile-guided relayout: a branch whose
+   conditional taken rate reaches [relayout_cut_rate] contradicts the BTFN
+   assumption and is cut out of the block (compiled as a terminator, which
+   chains through both link slots instead of side-exiting); at
+   [relayout_flip_rate] the branch is so lopsided that the block is laid
+   out through the taken path instead (inverted guard, trace layout). *)
+let relayout_cut_rate = 0.25
+let relayout_flip_rate = 0.70
+
+(* Minimum dispatches that must have reached a unit before its observed
+   exit rate is trusted — below this the rate is noise (a wrapped
+   superblock's late units see only the dispatches that survived every
+   earlier exit, often just one or two). *)
+let relayout_min_sample = 16
+
+(* Polymorphic inline-cache capacity: distinct live targets beyond the
+   monomorphic slot plus this many table entries turn the site
+   megamorphic. *)
+let ic_poly_limit = 8
 
 let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
   let view = new_view mem in
@@ -147,6 +241,15 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     side_exits = 0;
     fused_pairs = 0;
     ir = !ir_default;
+    tiered = !tiered_default;
+    ic_on = !inline_caches_default;
+    pending_ic = None;
+    relayout = [];
+    ic_hits = 0;
+    ic_misses = 0;
+    ic_mega_d = 0;
+    tier_promotions = 0;
+    recompiles = 0;
     ir_blocks = 0;
     ir_units = 0;
     ir_folded = 0;
@@ -757,6 +860,37 @@ let retire_vector t =
 let target_aligned t target =
   target land 1 = 0 && (target land 3 = 0 || Ext.mem Ext.C t.isa)
 
+(* Find-or-create the inline-cache site record for an indirect terminator
+   at [pc] in the current view. The record is captured by the terminator
+   closure at translation time and shared by every translation of the site
+   (re-translation after invalidation, tier promotion), so the learned
+   targets survive block churn; only the per-target block links are
+   re-validated, through the usual epoch guard. *)
+let ic_for t pc =
+  match Hashtbl.find_opt t.cur.ics pc with
+  | Some s -> s
+  | None ->
+      let s =
+        { site_pc = pc;
+          site_target = -1;
+          site_tb = None;
+          site_poly = [||];
+          site_mega = false;
+          site_hits = 0;
+          site_misses = 0 }
+      in
+      Hashtbl.add t.cur.ics pc s;
+      s
+
+(* Recompile-plan lookup for a branch at [pc]; a plan holds at most the
+   branches of one block, so a list scan is fine at translation time. *)
+let relayout_of t pc =
+  let rec go = function
+    | [] -> None
+    | (p, flip) :: tl -> if p = pc then Some flip else go tl
+  in
+  match t.relayout with [] -> None | l -> go l
+
 (* Compile one instruction for the fast path. Event instructions and
    indirect/linking control flow terminate the block (they stay decoded and
    run through {!step_decoded}, so handler delivery and fault pcs are
@@ -792,18 +926,44 @@ let compile_op t ~pc inst size =
       else
         let im = Int64.of_int imm in
         let link = Int64.of_int (pc + size) in
-        Tblock.Term_fn
-          (fun t ->
-            (* target before link write: rd may alias rs1 *)
-            let target =
-              addr_of (Int64.add (get_reg t rs1) im) land lnot 1
-            in
-            set_reg t rd link;
-            t.indirect_retired <- t.indirect_retired + 1;
-            t.pc <- target;
-            retire_scalar t)
+        if t.ic_on then
+          (* the closure publishes its inline-cache site as it completes;
+             the dispatch loop consumes it to predict the successor block
+             (monomorphic slot → polymorphic table → block table). The
+             [Some] cell is allocated once here, not per execution. *)
+          let pic = Some (ic_for t pc) in
+          Tblock.Term_fn
+            (fun t ->
+              (* target before link write: rd may alias rs1 *)
+              let target =
+                addr_of (Int64.add (get_reg t rs1) im) land lnot 1
+              in
+              set_reg t rd link;
+              t.indirect_retired <- t.indirect_retired + 1;
+              t.pc <- target;
+              retire_scalar t;
+              t.pending_ic <- pic)
+        else
+          Tblock.Term_fn
+            (fun t ->
+              (* target before link write: rd may alias rs1 *)
+              let target =
+                addr_of (Int64.add (get_reg t rs1) im) land lnot 1
+              in
+              set_reg t rd link;
+              t.indirect_retired <- t.indirect_retired + 1;
+              t.pc <- target;
+              retire_scalar t)
   | Inst.C_jr rs1 ->
       if not (Ext.mem Ext.C t.isa) then Tblock.Term
+      else if t.ic_on then
+        let pic = Some (ic_for t pc) in
+        Tblock.Term_fn
+          (fun t ->
+            t.indirect_retired <- t.indirect_retired + 1;
+            t.pc <- addr_of (get_reg t rs1) land lnot 1;
+            retire_scalar t;
+            t.pending_ic <- pic)
       else
         Tblock.Term_fn
           (fun t ->
@@ -814,14 +974,26 @@ let compile_op t ~pc inst size =
       if not (Ext.mem Ext.C t.isa) then Tblock.Term
       else
         let link = Int64.of_int (pc + size) in
-        Tblock.Term_fn
-          (fun t ->
-            (* target before the ra write: rs1 may be ra *)
-            let target = addr_of (get_reg t rs1) land lnot 1 in
-            t.indirect_retired <- t.indirect_retired + 1;
-            set_reg t Reg.ra link;
-            t.pc <- target;
-            retire_scalar t)
+        if t.ic_on then
+          let pic = Some (ic_for t pc) in
+          Tblock.Term_fn
+            (fun t ->
+              (* target before the ra write: rs1 may be ra *)
+              let target = addr_of (get_reg t rs1) land lnot 1 in
+              t.indirect_retired <- t.indirect_retired + 1;
+              set_reg t Reg.ra link;
+              t.pc <- target;
+              retire_scalar t;
+              t.pending_ic <- pic)
+        else
+          Tblock.Term_fn
+            (fun t ->
+              (* target before the ra write: rs1 may be ra *)
+              let target = addr_of (get_reg t rs1) land lnot 1 in
+              t.indirect_retired <- t.indirect_retired + 1;
+              set_reg t Reg.ra link;
+              t.pc <- target;
+              retire_scalar t)
   | Inst.Jal (rd, off) ->
       (* jal linking ra is a call: kept as a terminator so the profiler's
          shadow call stack sees it; any other link register is inlined *)
@@ -867,77 +1039,132 @@ let compile_op t ~pc inst size =
          (and chains through the link slots like any other block end); only
          forward branches, usually not taken, are worth inlining *)
       let target = pc + off in
-      if (not t.superblocks) || off <= 0 || not (target_aligned t target) then
-        if not (target_aligned t target) then Tblock.Term
-        else
-          (* loop backedge (or block engine): terminator, but both targets
-             are static and aligned so it cannot fault — direct closure *)
-          let fall = pc + size in
+      if not (target_aligned t target) then Tblock.Term
+      else begin
+        let fall = pc + size in
+        let as_term () =
+          (* loop backedge, block engine, or a profile-guided cut:
+             terminator, but both targets are static and aligned so it
+             cannot fault — direct closure (chains through both link
+             slots, never side-exits) *)
           Tblock.Term_fn
             (fun t ->
               if branch_taken c (get_reg t rs1) (get_reg t rs2) then
                 t.pc <- target
               else t.pc <- fall;
               retire_scalar t)
-      else
-        Tblock.Brcond
-          (fun t ->
-            if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
-              t.pc <- target;
-              retire_scalar t;
-              raise_notrace Side_exit
-            end
-            else retire_scalar t)
+        in
+        match relayout_of t pc with
+        | Some true when t.superblocks && off > 0 ->
+            (* observed mostly-taken: trace layout — invert the guard so
+               the hot taken path falls through into the rest of the block
+               (decoding continues at the target); the now-cold
+               fall-through leaves via the side exit *)
+            Tblock.Jump
+              ( (fun t ->
+                  if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
+                    t.pc <- target;
+                    retire_scalar t
+                  end
+                  else begin
+                    t.pc <- fall;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end),
+                target )
+        | Some _ -> as_term ()
+        | None ->
+            if (not t.superblocks) || off <= 0 then as_term ()
+            else
+              Tblock.Brcond
+                (fun t ->
+                  if branch_taken c (get_reg t rs1) (get_reg t rs2) then begin
+                    t.pc <- target;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end
+                  else retire_scalar t)
+      end
   | Inst.C_beqz (rs1, off) ->
       let target = pc + off in
-      if
-        (not t.superblocks) || off <= 0
-        || not (Ext.supports t.isa inst)
-        || not (target_aligned t target)
-      then
-        if not (Ext.supports t.isa inst) || not (target_aligned t target)
-        then Tblock.Term
-        else
-          let fall = pc + size in
+      if not (Ext.supports t.isa inst) || not (target_aligned t target) then
+        Tblock.Term
+      else begin
+        let fall = pc + size in
+        let as_term () =
           Tblock.Term_fn
             (fun t ->
               if Int64.equal (get_reg t rs1) 0L then t.pc <- target
               else t.pc <- fall;
               retire_scalar t)
-      else
-        Tblock.Brcond
-          (fun t ->
-            if Int64.equal (get_reg t rs1) 0L then begin
-              t.pc <- target;
-              retire_scalar t;
-              raise_notrace Side_exit
-            end
-            else retire_scalar t)
+        in
+        match relayout_of t pc with
+        | Some true when t.superblocks && off > 0 ->
+            Tblock.Jump
+              ( (fun t ->
+                  if Int64.equal (get_reg t rs1) 0L then begin
+                    t.pc <- target;
+                    retire_scalar t
+                  end
+                  else begin
+                    t.pc <- fall;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end),
+                target )
+        | Some _ -> as_term ()
+        | None ->
+            if (not t.superblocks) || off <= 0 then as_term ()
+            else
+              Tblock.Brcond
+                (fun t ->
+                  if Int64.equal (get_reg t rs1) 0L then begin
+                    t.pc <- target;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end
+                  else retire_scalar t)
+      end
   | Inst.C_bnez (rs1, off) ->
       let target = pc + off in
-      if
-        (not t.superblocks) || off <= 0
-        || not (Ext.supports t.isa inst)
-        || not (target_aligned t target)
-      then
-        if not (Ext.supports t.isa inst) || not (target_aligned t target)
-        then Tblock.Term
-        else
-          let fall = pc + size in
+      if not (Ext.supports t.isa inst) || not (target_aligned t target) then
+        Tblock.Term
+      else begin
+        let fall = pc + size in
+        let as_term () =
           Tblock.Term_fn
             (fun t ->
               if Int64.equal (get_reg t rs1) 0L then t.pc <- fall
               else t.pc <- target;
               retire_scalar t)
-      else
-        Tblock.Brcond
-          (fun t ->
-            if Int64.equal (get_reg t rs1) 0L then retire_scalar t
-            else begin
-              t.pc <- target;
-              retire_scalar t;
-              raise_notrace Side_exit
-            end)
+        in
+        match relayout_of t pc with
+        | Some true when t.superblocks && off > 0 ->
+            Tblock.Jump
+              ( (fun t ->
+                  if Int64.equal (get_reg t rs1) 0L then begin
+                    t.pc <- fall;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end
+                  else begin
+                    t.pc <- target;
+                    retire_scalar t
+                  end),
+                target )
+        | Some _ -> as_term ()
+        | None ->
+            if (not t.superblocks) || off <= 0 then as_term ()
+            else
+              Tblock.Brcond
+                (fun t ->
+                  if Int64.equal (get_reg t rs1) 0L then retire_scalar t
+                  else begin
+                    t.pc <- target;
+                    retire_scalar t;
+                    raise_notrace Side_exit
+                  end)
+      end
   | _ ->
       if not (Ext.supports t.isa inst) then Tblock.Stop
       else
@@ -1669,11 +1896,34 @@ let emit_run t stats ir_units tlb_elided (ops : Tir.op array) =
 
 let use_ir t = t.ir && t.icache = None
 
-let translate_block t entry =
+(* Map a requested tier to the shape flags this machine can honor: tier 1
+   is a straight-line block, tier 2 adds superblock formation, tier 3 adds
+   the IR pipeline — each capped by the machine's own ablation flags, so a
+   --engine block machine never climbs past tier 1 (and never churns
+   retranslating into the same shape). *)
+let tier_cap t = if use_ir t then 3 else if t.superblocks then 2 else 1
+
+let translate_block ?(tier = 3) ?(relayout = []) t entry =
   let stats = Tir.stats_create () in
   let ir_units = ref 0 and tlb_elided = ref 0 in
   Tir.state_reset t.ir_state;
+  (* Scope the block shape to the requested tier by overriding the machine
+     flags for the duration of this translation: [compile_op] and the
+     [lower] gate read them directly. The effective tier (after the
+     machine's own caps) is recorded on the block for the promotion
+     driver and the profile report. *)
+  let sb0 = t.superblocks and ir0 = t.ir in
+  if tier <= 1 then t.superblocks <- false;
+  if tier <= 2 then t.ir <- false;
+  t.relayout <- relayout;
+  let etier = tier_cap t in
   let b =
+    Fun.protect
+      ~finally:(fun () ->
+        t.superblocks <- sb0;
+        t.ir <- ir0;
+        t.relayout <- [])
+    @@ fun () ->
     Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
       ~decode:(fun pc ->
         match decode_at t pc with
@@ -1704,6 +1954,7 @@ let translate_block t entry =
       ~emit:(fun ops -> emit_run t stats ir_units tlb_elided ops)
       entry
   in
+  Tblock.set_tier b ~tier:etier ~relaid:(relayout <> []);
   t.fused_pairs <- t.fused_pairs + b.Tblock.n_fused;
   if !ir_units > 0 then begin
     t.ir_blocks <- t.ir_blocks + 1;
@@ -1726,27 +1977,254 @@ let translate_block t entry =
   end;
   b
 
-let block_at t =
+let publish_block t entry b =
+  Hashtbl.replace t.cur.blocks entry b;
+  if !Obs.enabled then begin
+    Obs.emit (Obs.Tb_compile { entry; body = Tblock.body_length b });
+    Obs.emit
+      (Obs.Tb_superblock
+         { entry;
+           insts = Tblock.body_length b;
+           pages = Array.length b.Tblock.pages;
+           jumps = b.Tblock.n_jumps;
+           exits = b.Tblock.n_branches;
+           fused = b.Tblock.n_fused })
+  end
+
+(* Block-table probe at the current pc. [None] means the entry is still
+   below the first tier threshold on a tiered machine: the caller must
+   interpret one instruction instead of dispatching a block. Untiered
+   machines translate on first touch at the top tier their flags allow,
+   exactly the PR6 behavior. *)
+let block_or_cold t =
   match Hashtbl.find_opt t.cur.blocks t.pc with
   | Some b when Tblock.revalidate t.gens ~isa:t.isa ~epoch:t.code_epoch b ->
       if !Obs.enabled then
         Obs.emit (Obs.Tb_hit { entry = t.pc; body = Tblock.body_length b });
-      b
+      Some b
   | Some _ | None ->
-      let b = translate_block t t.pc in
-      Hashtbl.replace t.cur.blocks t.pc b;
-      if !Obs.enabled then begin
-        Obs.emit (Obs.Tb_compile { entry = t.pc; body = Tblock.body_length b });
-        Obs.emit
-          (Obs.Tb_superblock
-             { entry = t.pc;
-               insts = Tblock.body_length b;
-               pages = Array.length b.Tblock.pages;
-               jumps = b.Tblock.n_jumps;
-               exits = b.Tblock.n_branches;
-               fused = b.Tblock.n_fused })
+      if not t.tiered then begin
+        let b = translate_block t t.pc in
+        publish_block t t.pc b;
+        Some b
+      end
+      else begin
+        let h =
+          match Hashtbl.find_opt t.cur.heat t.pc with
+          | Some r ->
+              incr r;
+              !r
+          | None ->
+              Hashtbl.add t.cur.heat t.pc (ref 1);
+              1
+        in
+        if h < tier1_heat then None
+        else begin
+          Hashtbl.remove t.cur.heat t.pc;
+          let b = translate_block ~tier:1 t t.pc in
+          publish_block t t.pc b;
+          Some b
+        end
+      end
+
+(* Derive the recompile plan from a block's observed exit profile: for
+   each inlined branch, the conditional taken rate is its side-exit count
+   over the dispatches that actually reached it (dispatches minus the
+   exits taken earlier in the block). Branches that contradict BTFN get
+   cut (terminator) or, when lopsided enough, flipped (trace layout). *)
+let relayout_plan b =
+  let x = b.Tblock.xexits in
+  if b.Tblock.hot <= 0 || Array.length x = 0 then []
+  else begin
+    let plan = ref [] in
+    let reached = ref b.Tblock.hot in
+    for u = 0 to Array.length x - 1 do
+      let e = Array.unsafe_get x u in
+      (* a superblock can wrap a loop and decode the same branch several
+         times; late occurrences see only the few dispatches that survived
+         every earlier exit, so their rates are noise. Keep the first
+         (best-sampled) occurrence of each pc and ignore units whose
+         sample is below the floor. *)
+      if e > 0 && !reached >= relayout_min_sample then begin
+        let rate = float_of_int e /. float_of_int !reached in
+        if rate >= relayout_cut_rate then begin
+          let ipc = b.Tblock.pcs.(b.Tblock.starts.(u)) in
+          if not (List.mem_assoc ipc !plan) then
+            plan := (ipc, rate >= relayout_flip_rate) :: !plan
+        end
       end;
-      b
+      reached := !reached - e
+    done;
+    List.rev !plan
+  end
+
+(* Replace a block with a higher-tier (or profile-relaid) translation of
+   the same entry. The old block is retired — its epoch check can never
+   pass again — and dropped from the table, so every chain link and
+   inline-cache entry into it fails its guard on the next follow and
+   re-resolves to the replacement. No global epoch bump: unrelated links
+   stay intact. *)
+let replace_block t b ~tier ~relayout =
+  let entry = b.Tblock.entry in
+  Tblock.retire b;
+  Hashtbl.remove t.cur.blocks entry;
+  let nb = translate_block ~tier ~relayout t entry in
+  publish_block t entry nb;
+  nb
+
+(* Hotness driver, run once per dispatch on tiered machines. A block below
+   the machine's tier cap climbs one tier when its dispatch count crosses
+   the next threshold (a tier-2 block's observed exit profile rides along
+   into the tier-3 translation); a top-tier block that keeps side-exiting
+   gets one profile-guided recompile. Both paths replace the block, so
+   the counter restarts and the next check measures the new layout. *)
+let maybe_promote t b =
+  let hot = Tblock.tick_hot b in
+  let tier = b.Tblock.tier in
+  let cap = tier_cap t in
+  if tier < cap && hot >= (if tier = 1 then tier2_hot else tier3_hot) then begin
+    let relayout = if tier >= 2 then relayout_plan b else [] in
+    let exits = Tblock.exits_total b in
+    let nb = replace_block t b ~tier:(tier + 1) ~relayout in
+    t.tier_promotions <- t.tier_promotions + 1;
+    if relayout <> [] then t.recompiles <- t.recompiles + 1;
+    if !Obs.enabled then begin
+      Obs.emit
+        (Obs.Tier_promote
+           { entry = nb.Tblock.entry; tier = nb.Tblock.tier; hot });
+      if relayout <> [] then
+        Obs.emit
+          (Obs.Tb_recompile
+             { entry = nb.Tblock.entry;
+               hot;
+               exits;
+               relaid = List.length relayout })
+    end;
+    nb
+  end
+  else if
+    tier >= 2 && (not b.Tblock.relaid)
+    && hot >= recompile_hot
+    && b.Tblock.n_branches > 0
+  then begin
+    match relayout_plan b with
+    | [] ->
+        (* the observed profile agrees with the static layout: mark the
+           block checked so the scan never runs again *)
+        Tblock.set_tier b ~tier ~relaid:true;
+        b
+    | plan ->
+        let exits = Tblock.exits_total b in
+        let nb = replace_block t b ~tier ~relayout:plan in
+        t.recompiles <- t.recompiles + 1;
+        if !Obs.enabled then
+          Obs.emit
+            (Obs.Tb_recompile
+               { entry = nb.Tblock.entry;
+                 hot;
+                 exits;
+                 relaid = List.length plan });
+        nb
+  end
+  else b
+
+(* Train an inline-cache site after a miss resolved [pc] to [nb]. A miss
+   on the predicted target (stale block: SMC, tier promotion) re-binds the
+   monomorphic slot in place; a genuinely new target demotes the old
+   binding into the polymorphic table (shedding entries that died under
+   it) until the table overflows and the site goes megamorphic. *)
+let ic_train t s pc nb =
+  match s.site_tb with
+  | None ->
+      s.site_tb <- Some nb;
+      s.site_target <- pc
+  | Some _ when s.site_target = pc -> s.site_tb <- Some nb
+  | Some ob ->
+      let keep = ref [] and nkeep = ref 0 in
+      Array.iter
+        (fun ((p, b) as e) ->
+          if
+            p <> pc
+            && p <> s.site_target
+            && Tblock.epoch_current b t.code_epoch
+          then begin
+            keep := e :: !keep;
+            incr nkeep
+          end)
+        s.site_poly;
+      if Tblock.epoch_current ob t.code_epoch then begin
+        keep := (s.site_target, ob) :: !keep;
+        incr nkeep
+      end;
+      if !nkeep >= ic_poly_limit then begin
+        s.site_mega <- true;
+        s.site_tb <- None;
+        s.site_target <- -1;
+        s.site_poly <- [||];
+        if !Obs.enabled then
+          Obs.emit (Obs.Ic_mega { site = s.site_pc; targets = !nkeep + 1 })
+      end
+      else begin
+        s.site_poly <- Array.of_list !keep;
+        s.site_tb <- Some nb;
+        s.site_target <- pc
+      end
+
+(* Inline-cache dispatch: the previous dispatch completed through an
+   indirect terminator that published its site. Counting discipline: a
+   prediction served by the monomorphic slot or the polymorphic table is
+   an IC hit and a chain hit (the dispatch skipped the block table exactly
+   like a link follow); a fall-through to the block table is an IC miss
+   and trains the site; a dispatch through a megamorphic site is counted
+   separately — the site has stopped predicting, so it is neither. *)
+let ic_dispatch t s pc =
+  match s.site_tb with
+  | Some nb when s.site_target = pc && Tblock.epoch_current nb t.code_epoch ->
+      s.site_hits <- s.site_hits + 1;
+      t.ic_hits <- t.ic_hits + 1;
+      t.chain_hits <- t.chain_hits + 1;
+      if !Obs.enabled then
+        Obs.emit (Obs.Ic_hit { site = s.site_pc; target = pc });
+      Some nb
+  | _ -> (
+      let poly =
+        if s.site_mega then None
+        else begin
+          let a = s.site_poly in
+          let n = Array.length a in
+          let rec go i =
+            if i >= n then None
+            else
+              let p, b = Array.unsafe_get a i in
+              if p = pc && Tblock.epoch_current b t.code_epoch then Some b
+              else go (i + 1)
+          in
+          go 0
+        end
+      in
+      match poly with
+      | Some nb ->
+          s.site_hits <- s.site_hits + 1;
+          t.ic_hits <- t.ic_hits + 1;
+          t.chain_hits <- t.chain_hits + 1;
+          if !Obs.enabled then
+            Obs.emit (Obs.Ic_hit { site = s.site_pc; target = pc });
+          Some nb
+      | None ->
+          if s.site_mega then begin
+            t.ic_mega_d <- t.ic_mega_d + 1;
+            block_or_cold t
+          end
+          else (
+            match block_or_cold t with
+            | None -> None  (* entry still interpreted: nothing to cache *)
+            | Some nb ->
+                s.site_misses <- s.site_misses + 1;
+                t.ic_misses <- t.ic_misses + 1;
+                if !Obs.enabled then
+                  Obs.emit (Obs.Ic_miss { site = s.site_pc; target = pc });
+                ic_train t s pc nb;
+                Some nb))
 
 (* ------------------------------------------------------------------ *)
 (* Run loops                                                           *)
@@ -1784,30 +2262,55 @@ let run_blocks ~handlers ~fuel t =
      other path so faults/handler redirects re-enter through the table *)
   let prev = ref None in
   while !result = None && !remaining > 0 do
-    let b =
+    (* an indirect terminator publishes its inline-cache site as it
+       completes; consume it here (or drop it, if this dispatch is not a
+       straight continuation — faults and handler redirects must not
+       train a site with a pc it did not produce) *)
+    let pic = t.pending_ic in
+    if pic != None then t.pending_ic <- None;
+    let bo =
       match !prev with
       | Some (pb, pv) when pv == t.cur -> (
           let pc = t.pc in
-          let to_fall = pc = pb.Tblock.fall in
-          match (if to_fall then pb.Tblock.link_fall else pb.Tblock.link_taken) with
-          | Some nb
-            when nb.Tblock.entry = pc && Tblock.epoch_current nb t.code_epoch ->
-              t.chain_hits <- t.chain_hits + 1;
-              if !Obs.enabled then
-                Obs.emit
-                  (Obs.Tb_hit { entry = pc; body = Tblock.body_length nb });
-              nb
-          | _ ->
-              let nb = block_at t in
-              if to_fall then Tblock.set_link_fall pb nb
-              else Tblock.set_link_taken pb nb;
-              if !Obs.enabled then
-                Obs.emit (Obs.Tb_chain { src = pb.Tblock.entry; dst = pc });
-              nb)
-      | _ -> block_at t
+          match pic with
+          | Some s -> ic_dispatch t s pc
+          | None -> (
+              let to_fall = pc = pb.Tblock.fall in
+              match
+                (if to_fall then pb.Tblock.link_fall else pb.Tblock.link_taken)
+              with
+              | Some nb
+                when nb.Tblock.entry = pc
+                     && Tblock.epoch_current nb t.code_epoch ->
+                  t.chain_hits <- t.chain_hits + 1;
+                  if !Obs.enabled then
+                    Obs.emit
+                      (Obs.Tb_hit { entry = pc; body = Tblock.body_length nb });
+                  Some nb
+              | _ -> (
+                  match block_or_cold t with
+                  | Some nb ->
+                      if to_fall then Tblock.set_link_fall pb nb
+                      else Tblock.set_link_taken pb nb;
+                      if !Obs.enabled then
+                        Obs.emit
+                          (Obs.Tb_chain { src = pb.Tblock.entry; dst = pc });
+                      Some nb
+                  | None -> None)))
+      | _ -> block_or_cold t
     in
     let v0 = t.cur in
     prev := None;
+    match bo with
+    | None ->
+        (* tier 0: the entry is still below the first tier threshold —
+           interpret one instruction. Not a block dispatch (the
+           translated-code rates keep honest denominators) and no chain
+           links are formed across the interpreted gap. *)
+        (match step ~handlers t with Some s -> result := Some s | None -> ());
+        decr remaining
+    | Some b0 ->
+    let b = if t.tiered then maybe_promote t b0 else b0 in
     t.tb_dispatches <- t.tb_dispatches + 1;
     if Tblock.degenerate b then begin
       (* illegal, unsupported, or unmapped entry: the slow path raises the
@@ -1935,6 +2438,9 @@ let run_blocks ~handlers ~fuel t =
                the taken target, so the next iteration chains through the
                taken slot *)
             t.side_exits <- t.side_exits + 1;
+            (* the raising unit's index is the observed exit profile that
+               profile-guided recompilation reads *)
+            if t.tiered then Tblock.note_exit b !u;
             if !Obs.enabled then
               Obs.emit
                 (Obs.Tb_side_exit { entry = b.Tblock.entry; target = t.pc });
@@ -2024,6 +2530,28 @@ let reset_observed_superblock () =
   Atomic.set g_side_exits 0;
   Atomic.set g_fused 0
 
+let g_ic_hits = Atomic.make 0
+let g_ic_misses = Atomic.make 0
+let g_ic_mega = Atomic.make 0
+
+let observed_ic () =
+  (Atomic.get g_ic_hits, Atomic.get g_ic_misses, Atomic.get g_ic_mega)
+
+let reset_observed_ic () =
+  Atomic.set g_ic_hits 0;
+  Atomic.set g_ic_misses 0;
+  Atomic.set g_ic_mega 0
+
+let g_tier_promotions = Atomic.make 0
+let g_recompiles = Atomic.make 0
+
+let observed_tiering () =
+  (Atomic.get g_tier_promotions, Atomic.get g_recompiles)
+
+let reset_observed_tiering () =
+  Atomic.set g_tier_promotions 0;
+  Atomic.set g_recompiles 0
+
 (* Instructions retired outside [run] (MMView migration single-steps,
    harness-driven catch-up): counted separately so the bench can report
    MIPS over everything the simulator actually executed. *)
@@ -2031,6 +2559,25 @@ let g_extra = Atomic.make 0
 let add_observed_extra n = ignore (Atomic.fetch_and_add g_extra n)
 let observed_extra () = Atomic.get g_extra
 let reset_observed_extra () = Atomic.set g_extra 0
+
+(* Block dispatches (and their side exits) that happened inside an
+   extra-counter window — MMView migration deferral, the bench's
+   measurement-phase absorption — are recorded here so the per-experiment
+   rate denominators (superblock length, side-exit rate) can be computed
+   over translated mainline code only. *)
+let g_extra_dispatches = Atomic.make 0
+let g_extra_side_exits = Atomic.make 0
+
+let add_observed_extra_window ~dispatches ~side_exits =
+  if dispatches <> 0 then ignore (Atomic.fetch_and_add g_extra_dispatches dispatches);
+  if side_exits <> 0 then ignore (Atomic.fetch_and_add g_extra_side_exits side_exits)
+
+let observed_extra_window () =
+  (Atomic.get g_extra_dispatches, Atomic.get g_extra_side_exits)
+
+let reset_observed_extra_window () =
+  Atomic.set g_extra_dispatches 0;
+  Atomic.set g_extra_side_exits 0
 
 type ir_stats = {
   irs_blocks : int;
@@ -2085,6 +2632,26 @@ let flush_run_stats t =
     ignore (Atomic.fetch_and_add g_fused t.fused_pairs);
     t.fused_pairs <- 0
   end;
+  if t.ic_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add g_ic_hits t.ic_hits);
+    t.ic_hits <- 0
+  end;
+  if t.ic_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add g_ic_misses t.ic_misses);
+    t.ic_misses <- 0
+  end;
+  if t.ic_mega_d <> 0 then begin
+    ignore (Atomic.fetch_and_add g_ic_mega t.ic_mega_d);
+    t.ic_mega_d <- 0
+  end;
+  if t.tier_promotions <> 0 then begin
+    ignore (Atomic.fetch_and_add g_tier_promotions t.tier_promotions);
+    t.tier_promotions <- 0
+  end;
+  if t.recompiles <> 0 then begin
+    ignore (Atomic.fetch_and_add g_recompiles t.recompiles);
+    t.recompiles <- 0
+  end;
   if t.ir_blocks <> 0 then begin
     ignore (Atomic.fetch_and_add g_ir_blocks t.ir_blocks);
     ignore (Atomic.fetch_and_add g_ir_units t.ir_units);
@@ -2130,3 +2697,84 @@ let set_ir t on =
   end
 
 let ir t = t.ir
+
+let set_tiered t on =
+  if t.tiered <> on then begin
+    t.tiered <- on;
+    (* blocks carry tier state and hotness counters; restart from a clean
+       slate so the two settings never mix (same discipline as set_ir) *)
+    List.iter
+      (fun v ->
+        Hashtbl.reset v.blocks;
+        Hashtbl.reset v.heat)
+      t.views;
+    t.code_epoch <- t.code_epoch + 1
+  end
+
+let tiered t = t.tiered
+
+let set_inline_caches t on =
+  if t.ic_on <> on then begin
+    t.ic_on <- on;
+    (* indirect terminator closures embed the choice (and capture site
+       records); drop blocks and sites so the setting is uniform *)
+    List.iter
+      (fun v ->
+        Hashtbl.reset v.blocks;
+        Hashtbl.reset v.ics)
+      t.views;
+    t.pending_ic <- None;
+    t.code_epoch <- t.code_epoch + 1
+  end
+
+let inline_caches t = t.ic_on
+
+(* ------------------------------------------------------------------ *)
+(* Tier / inline-cache introspection (profile report, CLI)             *)
+(* ------------------------------------------------------------------ *)
+
+type block_info = {
+  bi_entry : int;
+  bi_tier : int;
+  bi_relaid : bool;
+  bi_hot : int;
+  bi_exits : int;
+}
+
+let block_infos t =
+  Hashtbl.fold
+    (fun entry b acc ->
+      { bi_entry = entry;
+        bi_tier = b.Tblock.tier;
+        bi_relaid = b.Tblock.relaid;
+        bi_hot = b.Tblock.hot;
+        bi_exits = Tblock.exits_total b }
+      :: acc)
+    t.cur.blocks []
+
+type ic_info = {
+  ici_site : int;
+  ici_state : [ `Empty | `Mono | `Poly | `Mega ];
+  ici_targets : int;
+  ici_hits : int;
+  ici_misses : int;
+}
+
+let ic_infos t =
+  Hashtbl.fold
+    (fun site s acc ->
+      let state, targets =
+        if s.site_mega then (`Mega, 0)
+        else
+          match (s.site_tb, Array.length s.site_poly) with
+          | None, 0 -> (`Empty, 0)
+          | Some _, 0 -> (`Mono, 1)
+          | mono, n -> (`Poly, n + if mono = None then 0 else 1)
+      in
+      { ici_site = site;
+        ici_state = state;
+        ici_targets = targets;
+        ici_hits = s.site_hits;
+        ici_misses = s.site_misses }
+      :: acc)
+    t.cur.ics []

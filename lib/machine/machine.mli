@@ -186,6 +186,40 @@ val set_ir_default : bool -> unit
 (** IR setting for machines created after this call (the bench harness's
     [--no-ir] flag clears it before building workloads). *)
 
+val set_tiered : t -> bool -> unit
+(** Enable/disable tiered execution (off by default). When on, cold code is
+    interpreted through the step path and counted per-pc; a pc crossing the
+    warm-up threshold is translated as a straight-line tier-1 block, then
+    promoted superblock (tier 2) and IR-optimized (tier 3) as its hotness
+    counter climbs. Hot blocks whose observed side-exit profile contradicts
+    the static BTFN layout are recompiled with a trace-style layout picked
+    from the exit counts. Flipping the setting drops cached blocks and heat
+    counters (both settings then see freshly translated code). Tier
+    promotion only retranslates — never reinterprets — so the fault
+    determinism contract is untouched: every tier retires the same
+    instructions and raises the same faults as the step oracle. *)
+
+val tiered : t -> bool
+
+val set_tiered_default : bool -> unit
+(** Tiering for machines created after this call (the bench harness's
+    [--no-tier] flag clears it before building workloads). *)
+
+val set_inline_caches : t -> bool -> unit
+(** Enable/disable per-site inline caches for register-indirect jumps
+    ([jalr]/[c.jr]/[c.jalr]; off by default). Each such site gets a cache
+    with a monomorphic fast path — the predicted target pc plus a direct
+    block link, guarded by the code epoch — falling back through a small
+    polymorphic table to the per-view block cache; sites whose table
+    overflows go megamorphic and stop caching. Flipping the setting drops
+    cached blocks and cache sites (terminator closures embed the choice). *)
+
+val inline_caches : t -> bool
+
+val set_inline_caches_default : bool -> unit
+(** Inline-cache setting for machines created after this call (the bench
+    harness's [--no-ic] flag clears it before building workloads). *)
+
 (** {1 Instrumentation} *)
 
 val set_profile : t -> Profile.t option -> unit
@@ -233,6 +267,35 @@ val add_observed_extra : int -> unit
 val observed_extra : unit -> int
 val reset_observed_extra : unit -> unit
 
+val add_observed_extra_window : dispatches:int -> side_exits:int -> unit
+(** Record block dispatches (and their side exits) that happened inside an
+    extra-counter window — MMView migration deferral, the bench's
+    measurement-phase absorption — so harnesses can subtract them from the
+    per-experiment rate denominators and report rates over translated
+    workload code only. *)
+
+val observed_extra_window : unit -> int * int
+(** Process-wide [(dispatches, side exits)] recorded via
+    {!add_observed_extra_window}. *)
+
+val reset_observed_extra_window : unit -> unit
+
+val observed_ic : unit -> int * int * int
+(** Process-wide [(hits, misses, megamorphic dispatches)] accumulated by
+    completed {!run} calls on machines with inline caches on: a hit followed
+    a cached epoch-valid link, a miss fell back to the block table and
+    retrained the site, and a megamorphic dispatch went through an
+    overflowed site that no longer caches (neither hit nor miss —
+    [ic_hit_rate] is hits / (hits + misses)). *)
+
+val reset_observed_ic : unit -> unit
+
+val observed_tiering : unit -> int * int
+(** Process-wide [(tier promotions, profile-guided recompiles)] accumulated
+    by completed {!run} calls on tiered machines. *)
+
+val reset_observed_tiering : unit -> unit
+
 type ir_stats = {
   irs_blocks : int;  (** translations that produced IR units *)
   irs_units : int;  (** execution units emitted from IR runs *)
@@ -248,3 +311,30 @@ val observed_ir : unit -> ir_stats
     calls (same flush discipline as the other observed counters). *)
 
 val reset_observed_ir : unit -> unit
+
+(** {1 Tier / inline-cache introspection}
+
+    Snapshots of the current view's block table and inline-cache sites, for
+    the profile report and the CLI ("why is this block still cold"). *)
+
+type block_info = {
+  bi_entry : int;
+  bi_tier : int;  (** 1 = block, 2 = superblock, 3 = IR-optimized *)
+  bi_relaid : bool;  (** layout came from an observed exit profile *)
+  bi_hot : int;  (** dispatches since (re)translation *)
+  bi_exits : int;  (** side exits observed since (re)translation *)
+}
+
+val block_infos : t -> block_info list
+(** One entry per cached block in the current view, unordered. *)
+
+type ic_info = {
+  ici_site : int;
+  ici_state : [ `Empty | `Mono | `Poly | `Mega ];
+  ici_targets : int;  (** distinct targets cached (0 once megamorphic) *)
+  ici_hits : int;
+  ici_misses : int;
+}
+
+val ic_infos : t -> ic_info list
+(** One entry per inline-cache site in the current view, unordered. *)

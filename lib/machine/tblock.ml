@@ -163,6 +163,23 @@ type 'm t = {
   mutable prow : Profile.row option;
       (** cached profiler row for [entry]; valid only while
           [Profile.row_live] holds for the machine's attached profile *)
+  mutable tier : int;
+      (** execution tier this block was translated at: 1 = straight-line
+          block, 2 = superblock, 3 = IR-optimized superblock. Untiered
+          machines translate everything at the top tier their flags allow. *)
+  mutable relaid : bool;
+      (** profile-guided layout already applied: the block was recompiled
+          from its observed side-exit profile and must not be recompiled
+          again (the tiering driver's convergence guarantee) *)
+  mutable hot : int;
+      (** dispatches since translation — the hotness counter driving tier
+          promotion and the recompile trigger; also the denominator of the
+          per-branch observed taken rates in [xexits] *)
+  mutable xexits : int array;
+      (** per-unit side-exit counts ([xexits.(u)] = side exits raised by
+          unit [u]); [|])] until the first side exit, then length
+          [Array.length ops]. Together with [hot] this is the observed
+          exit profile that profile-guided recompilation reads. *)
 }
 
 let default_max_insts = 256
@@ -345,7 +362,11 @@ let translate ?(max_insts = default_max_insts) ?(max_pages = default_max_pages)
     echeck = epoch;
     link_fall = None;
     link_taken = None;
-    prow = None }
+    prow = None;
+    tier = 3;
+    relaid = false;
+    hot = 0;
+    xexits = [||] }
 
 (* Fast validity: a block checked under the current code epoch is valid by
    construction (the epoch advances on every generation bump). On an epoch
@@ -366,6 +387,36 @@ let epoch_current b epoch = b.echeck = epoch
 let set_link_fall b next = b.link_fall <- Some next
 let set_link_taken b next = b.link_taken <- Some next
 let set_prow b r = b.prow <- r
+
+(* A replaced block (tier promotion, profile-guided recompile) must never
+   pass a chain or inline-cache epoch guard again. Epochs only grow from 0,
+   so [min_int] is unreachable; and since the block is simultaneously
+   dropped from the block table, nothing ever calls [revalidate] on it to
+   refresh [echeck]. This severs every link into the block lazily without
+   bumping the global epoch (which would sever everyone's links). *)
+let retire b =
+  b.echeck <- min_int;
+  b.link_fall <- None;
+  b.link_taken <- None
+
+let set_tier b ~tier ~relaid =
+  b.tier <- tier;
+  b.relaid <- relaid
+
+(* Pre-increment so the first dispatch reads 1: threshold compares stay
+   off-by-one-proof ([tick_hot b >= threshold]). *)
+let tick_hot b =
+  b.hot <- b.hot + 1;
+  b.hot
+
+let note_exit b u =
+  if Array.length b.xexits = 0 then b.xexits <- Array.make (Array.length b.ops) 0;
+  if u >= 0 && u < Array.length b.xexits then
+    b.xexits.(u) <- b.xexits.(u) + 1
+
+let exit_count b u = if u < Array.length b.xexits then b.xexits.(u) else 0
+
+let exits_total b = Array.fold_left ( + ) 0 b.xexits
 
 let body_length b = Array.length b.pcs
 

@@ -127,6 +127,19 @@ type 'm t = private {
   mutable prow : Profile.row option;
       (** cached profiler row for [entry] (set via {!set_prow}); valid only
           while [Profile.row_live] holds for the machine's profile *)
+  mutable tier : int;
+      (** execution tier the block was translated at (1 = block,
+          2 = superblock, 3 = IR-optimized); set via {!set_tier} *)
+  mutable relaid : bool;
+      (** profile-guided layout applied — the block is the product of a
+          recompile and is never recompiled again *)
+  mutable hot : int;
+      (** dispatches since translation ({!tick_hot}) — the hotness counter
+          behind tier promotion and the recompile trigger *)
+  mutable xexits : int array;
+      (** per-unit side-exit counts ({!note_exit}); [[||]] until the first
+          side exit. [xexits.(u) / hot] is unit [u]'s observed taken rate —
+          the signal profile-guided recompilation lays the block out from. *)
 }
 
 val translate :
@@ -174,6 +187,34 @@ val set_link_taken : 'm t -> 'm t -> unit
 val set_prow : 'm t -> Profile.row option -> unit
 (** Cache the profiler row for this block (the record is private; this is
     the one sanctioned mutation of [prow]). *)
+
+val retire : 'm t -> unit
+(** Permanently invalidate a block that has been {e replaced} (tier
+    promotion, profile-guided recompile): [echeck] is forced to an
+    unreachable epoch and the outgoing links are dropped. Every chain link
+    or inline-cache entry still pointing at the block fails its
+    {!epoch_current} guard on the next follow and re-resolves through the
+    block table — precise, lazy severing with no global epoch bump. The
+    caller must drop the block from its table in the same breath, or
+    {!revalidate} would resurrect it. *)
+
+val set_tier : 'm t -> tier:int -> relaid:bool -> unit
+(** Record the tier a block was translated at and whether its layout came
+    from an observed exit profile (see [tier] / [relaid]). *)
+
+val tick_hot : 'm t -> int
+(** Increment the hotness counter and return the new value (the first
+    dispatch reads 1). Called once per dispatch by tiered machines. *)
+
+val note_exit : 'm t -> int -> unit
+(** Count a side exit raised by unit [u] (allocates the per-unit count
+    array on first use; out-of-range units are ignored). *)
+
+val exit_count : 'm t -> int -> int
+(** Side exits observed from unit [u] since translation. *)
+
+val exits_total : 'm t -> int
+(** Total side exits observed from the block since translation. *)
 
 val body_length : 'm t -> int
 (** Body instruction count (not unit count — fusion does not change it). *)

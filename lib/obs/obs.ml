@@ -25,6 +25,11 @@ type event =
       tlb_elided : int;
       cached : int;
     }
+  | Tier_promote of { entry : int; tier : int; hot : int }
+  | Tb_recompile of { entry : int; hot : int; exits : int; relaid : int }
+  | Ic_hit of { site : int; target : int }
+  | Ic_miss of { site : int; target : int }
+  | Ic_mega of { site : int; targets : int }
   | Tlb_flush of { addr : int; len : int }
   | Icache_burst of { addr : int; misses : int }
   | Fault_raised of { pc : int; cause : string }
@@ -58,7 +63,7 @@ type event =
       traps : int;
     }
 
-let schema_version = 4
+let schema_version = 5
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -180,6 +185,23 @@ module Json = struct
             ("tlb_elided", i tlb_elided);
             ("cached", i cached);
           ]
+    | Tier_promote { entry; tier; hot } ->
+        obj "tier_promote"
+          [ ("entry", i entry); ("tier", i tier); ("hot", i hot) ]
+    | Tb_recompile { entry; hot; exits; relaid } ->
+        obj "tb_recompile"
+          [
+            ("entry", i entry);
+            ("hot", i hot);
+            ("exits", i exits);
+            ("relaid", i relaid);
+          ]
+    | Ic_hit { site; target } ->
+        obj "ic_hit" [ ("site", i site); ("target", i target) ]
+    | Ic_miss { site; target } ->
+        obj "ic_miss" [ ("site", i site); ("target", i target) ]
+    | Ic_mega { site; targets } ->
+        obj "ic_mega" [ ("site", i site); ("targets", i targets) ]
     | Tlb_flush { addr; len } ->
         obj "tlb_flush" [ ("addr", i addr); ("len", i len) ]
     | Icache_burst { addr; misses } ->
@@ -409,6 +431,28 @@ module Json = struct
                   tlb_elided = geti "tlb_elided";
                   cached = geti "cached";
                 }
+          | "tier_promote" ->
+              arity 3;
+              Tier_promote
+                { entry = geti "entry"; tier = geti "tier"; hot = geti "hot" }
+          | "tb_recompile" ->
+              arity 4;
+              Tb_recompile
+                {
+                  entry = geti "entry";
+                  hot = geti "hot";
+                  exits = geti "exits";
+                  relaid = geti "relaid";
+                }
+          | "ic_hit" ->
+              arity 2;
+              Ic_hit { site = geti "site"; target = geti "target" }
+          | "ic_miss" ->
+              arity 2;
+              Ic_miss { site = geti "site"; target = geti "target" }
+          | "ic_mega" ->
+              arity 2;
+              Ic_mega { site = geti "site"; targets = geti "targets" }
           | "tlb_flush" ->
               arity 2;
               Tlb_flush { addr = geti "addr"; len = geti "len" }
@@ -557,6 +601,11 @@ module Agg = struct
     mutable steals : int;
     mutable migrations : int;
     mutable signals : int;
+    mutable tier_promotions : int;
+    mutable recompiles : int;
+    mutable ic_hits : int;
+    mutable ic_misses : int;
+    mutable ic_megamorphic : int;
   }
 
   type t = {
@@ -595,6 +644,11 @@ module Agg = struct
           steals = 0;
           migrations = 0;
           signals = 0;
+          tier_promotions = 0;
+          recompiles = 0;
+          ic_hits = 0;
+          ic_misses = 0;
+          ic_megamorphic = 0;
         };
       sites = Hashtbl.create 64;
       bodies = [];
@@ -617,6 +671,11 @@ module Agg = struct
         if pages > 1 then g.tb_cross_page <- g.tb_cross_page + 1;
         g.tb_fused <- g.tb_fused + fused
     | Tb_side_exit _ -> g.tb_side_exits <- g.tb_side_exits + 1
+    | Tier_promote _ -> g.tier_promotions <- g.tier_promotions + 1
+    | Tb_recompile _ -> g.recompiles <- g.recompiles + 1
+    | Ic_hit _ -> g.ic_hits <- g.ic_hits + 1
+    | Ic_miss _ -> g.ic_misses <- g.ic_misses + 1
+    | Ic_mega _ -> g.ic_megamorphic <- g.ic_megamorphic + 1
     | Tb_ir { units; folded; dead; pc_elided; tlb_elided; cached; _ } ->
         g.tb_ir_blocks <- g.tb_ir_blocks + 1;
         g.tb_ir_units <- g.tb_ir_units + units;

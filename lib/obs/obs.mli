@@ -31,9 +31,10 @@
 
     Emission points, by layer:
     - machine: {{!constructor-Tb_compile}Tb_compile}/[Tb_hit]/[Tb_invalidate]/
-      [Tb_chain] (translation-block engine), [Tlb_flush] (software TLB),
-      [Fault_raised] (deterministic faults, both engines), [Icache_burst]
-      (L1i model);
+      [Tb_chain] (translation-block engine), [Tier_promote]/[Tb_recompile]
+      (tiered recompilation), [Ic_hit]/[Ic_miss]/[Ic_mega] (indirect-jump
+      inline caches), [Tlb_flush] (software TLB), [Fault_raised]
+      (deterministic faults, both engines), [Icache_burst] (L1i model);
     - rewriter: [Rw_site]/[Rw_exit] (trampoline placement and exit-register
       resolution), [Smile_write] (trampoline bytes written),
       [Table_add] (fault/trap-table entries);
@@ -94,6 +95,26 @@ type event =
           (substituting [cached] operand reads), [dead] ops were killed by
           dead-write elimination, [pc_elided] ops were emitted without a pc
           write, and [tlb_elided] paired accesses shared one TLB check. *)
+  | Tier_promote of { entry : int; tier : int; hot : int }
+      (** The tiered machine retranslated the block at [entry] into [tier]
+          (2 = superblock, 3 = IR-optimized) after [hot] dispatches at the
+          previous tier. *)
+  | Tb_recompile of { entry : int; hot : int; exits : int; relaid : int }
+      (** Profile-guided recompile: the block at [entry], dispatched [hot]
+          times with [exits] observed side exits, was relaid out from its
+          exit profile; [relaid] is the number of branches whose static BTFN
+          layout was overridden (cut or inverted). *)
+  | Ic_hit of { site : int; target : int }
+      (** The inline cache at indirect-jump site [site] predicted [target]
+          and its cached block passed the epoch guard — the dispatch skipped
+          the block table. *)
+  | Ic_miss of { site : int; target : int }
+      (** The inline cache at [site] did not cover [target]; the dispatch
+          fell back to the block table and the cache was retrained. *)
+  | Ic_mega of { site : int; targets : int }
+      (** The cache at [site] overflowed its polymorphic table after
+          observing [targets] distinct targets and went megamorphic: the
+          site stops caching and always probes the block table. *)
   | Tlb_flush of { addr : int; len : int }
       (** A mapping/permission change over [addr, addr+len) advanced the
           software-TLB permission epoch; every memory's TLB lazily flushes
@@ -248,6 +269,11 @@ module Agg : sig
     mutable steals : int;
     mutable migrations : int;
     mutable signals : int;
+    mutable tier_promotions : int;
+    mutable recompiles : int;
+    mutable ic_hits : int;
+    mutable ic_misses : int;
+    mutable ic_megamorphic : int;  (** sites that went megamorphic *)
   }
 
   val create : unit -> t

@@ -20,7 +20,15 @@ let annotate d entry body =
   in
   go entry (body + 1) []
 
-let render ?(top = 20) ?disasm oc snaps =
+type ic_note = {
+  icn_site : int;
+  icn_state : string;
+  icn_targets : int;
+  icn_hits : int;
+  icn_misses : int;
+}
+
+let render ?(top = 20) ?disasm ?tiers ?ics ?totals oc snaps =
   Report.with_output oc (fun () ->
       let retired = sum (fun s -> s.Profile.s_retired) snaps in
       let hits = sum (fun s -> s.Profile.s_hits) snaps in
@@ -43,17 +51,34 @@ let render ?(top = 20) ?disasm oc snaps =
            (sum (fun s -> s.Profile.s_recovered) snaps));
       Report.note
         (Printf.sprintf "traps             %d" (sum (fun s -> s.Profile.s_traps) snaps));
+      (match totals with
+      | None -> ()
+      | Some (t : Obs.Agg.totals) ->
+          Report.note (Printf.sprintf "tier promotions   %d" t.Obs.Agg.tier_promotions);
+          Report.note (Printf.sprintf "recompiles        %d" t.Obs.Agg.recompiles);
+          Report.note
+            (Printf.sprintf "ic hits/misses    %d/%d" t.Obs.Agg.ic_hits
+               t.Obs.Agg.ic_misses);
+          Report.note
+            (Printf.sprintf "ic mega sites     %d" t.Obs.Agg.ic_megamorphic));
       let hot =
         List.stable_sort
           (fun a b -> compare b.Profile.s_retired a.Profile.s_retired)
           snaps
       in
       let hot = List.filteri (fun i _ -> i < top) hot in
+      let tier_of entry =
+        match tiers with
+        | None -> []
+        | Some l -> (
+            match List.assoc_opt entry l with Some s -> [ s ] | None -> [ "-" ])
+      in
       Report.table
         ~title:(Printf.sprintf "Hot blocks (top %d by retired)" (List.length hot))
         ~header:
-          [ "entry"; "body"; "hits"; "retired"; "%"; "penalty"; "tlb"; "ic";
-            "flt"; "rec"; "trap" ]
+          ([ "entry"; "body"; "hits"; "retired"; "%"; "penalty"; "tlb"; "ic";
+             "flt"; "rec"; "trap" ]
+          @ (if tiers = None then [] else [ "tier" ]))
         ~rows:
           (List.map
              (fun s ->
@@ -67,8 +92,28 @@ let render ?(top = 20) ?disasm oc snaps =
                  string_of_int s.Profile.s_icache;
                  string_of_int s.Profile.s_faults;
                  string_of_int s.Profile.s_recovered;
-                 string_of_int s.Profile.s_traps ])
+                 string_of_int s.Profile.s_traps ]
+               @ tier_of s.Profile.s_entry)
              hot);
+      (match ics with
+      | None | Some [] -> ()
+      | Some l ->
+          let l =
+            List.stable_sort (fun a b -> compare b.icn_hits a.icn_hits) l
+          in
+          let l = List.filteri (fun i _ -> i < top) l in
+          Report.table
+            ~title:(Printf.sprintf "Inline caches (top %d by hits)" (List.length l))
+            ~header:[ "site"; "state"; "targets"; "hits"; "misses" ]
+            ~rows:
+              (List.map
+                 (fun i ->
+                   [ Printf.sprintf "0x%x" i.icn_site;
+                     i.icn_state;
+                     string_of_int i.icn_targets;
+                     string_of_int i.icn_hits;
+                     string_of_int i.icn_misses ])
+                 l));
       Report.histogram ~title:"Instruction mix (exact, dynamic)"
         ~rows:
           [ ("loads", sum (fun s -> s.Profile.s_loads) snaps);

@@ -8,9 +8,36 @@
     snap list — the offline report of a traced run is byte-identical to the
     live one, and a golden test pins that. *)
 
+type ic_note = {
+  icn_site : int;  (** jalr/c.jr/c.jalr site pc *)
+  icn_state : string;  (** "mono", "poly", "mega" (or "empty") *)
+  icn_targets : int;
+  icn_hits : int;
+  icn_misses : int;
+}
+(** One inline-cache site for the report, as plain data so the renderer
+    stays machine-independent (the live CLI maps [Machine.ic_infos] into
+    this; offline traces have no per-site IC state, only the aggregate
+    counters carried by [totals]). *)
+
 val render :
-  ?top:int -> ?disasm:Disasm.t -> out_channel -> Profile.snap list -> unit
+  ?top:int ->
+  ?disasm:Disasm.t ->
+  ?tiers:(int * string) list ->
+  ?ics:ic_note list ->
+  ?totals:Obs.Agg.totals ->
+  out_channel ->
+  Profile.snap list ->
+  unit
 (** Write the full report: run totals, the [top] (default 20) hottest
     blocks by retired instructions, the exact instruction-class mix
     histogram, and — when [disasm] is available — annotated disassembly of
-    the hottest blocks. *)
+    the hottest blocks.
+
+    [tiers] maps block entry pcs to a tier label (["t1"], ["t2"], ["t3"],
+    with a ["*"] suffix when the layout came from an observed exit
+    profile); when given, the hot-block table gains a [tier] column
+    (["-"] for blocks with no live translation). [ics] adds an
+    inline-cache table (hottest sites first). [totals] adds the trace's
+    aggregate tiering/IC counters to the summary — the offline
+    [chimera profile] passes the v5 event totals here. *)

@@ -378,3 +378,51 @@ let branchy ?(name = "branchy") ~rounds () =
   Asm.li a Reg.a7 93;
   Asm.inst a Inst.Ecall;
   Asm.assemble a
+
+(* ----------------------------------------------------------------- *)
+(* indirecty                                                          *)
+(* ----------------------------------------------------------------- *)
+
+let indirecty ?(name = "indirecty") ~rounds () =
+  let a = Asm.create ~name () in
+  Asm.func a "_start";
+  Asm.li a Reg.t0 rounds;
+  Asm.li a Reg.t2 0;
+  (* accumulator *)
+  Asm.li a Reg.s2 0;
+  (* rotating kernel index *)
+  Asm.label a "Louter";
+  Asm.branch_to a Inst.Beq Reg.t0 Reg.x0 "Ldone";
+  (* rotate the kernel index 0 -> 1 -> 2 -> 0: the call site cycles through
+     three targets (polymorphic), each kernel's return site sees one *)
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.s2, Reg.s2, 1));
+  Asm.li a Reg.t5 3;
+  Asm.branch_to a Inst.Blt Reg.s2 Reg.t5 "Lsel";
+  Asm.li a Reg.s2 0;
+  Asm.label a "Lsel";
+  Asm.la a Reg.t5 "ktab";
+  Asm.inst a (Inst.Opi (Inst.Slli, Reg.t4, Reg.s2, 3));
+  Asm.inst a (Inst.Op (Inst.Add, Reg.t5, Reg.t5, Reg.t4));
+  Asm.inst a
+    (Inst.Load { width = Inst.D; unsigned = false; rd = Reg.t3; rs1 = Reg.t5; imm = 0 });
+  Asm.inst a (Inst.Jalr (Reg.ra, Reg.t3, 0));
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t0, Reg.t0, -1));
+  Asm.j a "Louter";
+  Asm.label a "Ldone";
+  Asm.inst a (Inst.Opi (Inst.Andi, Reg.a0, Reg.t2, 255));
+  Asm.li a Reg.a7 93;
+  Asm.inst a Inst.Ecall;
+  Asm.func a "kern0";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 1));
+  Asm.ret a;
+  Asm.func a "kern1";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 3));
+  Asm.ret a;
+  Asm.func a "kern2";
+  Asm.inst a (Inst.Opi (Inst.Addi, Reg.t2, Reg.t2, 5));
+  Asm.ret a;
+  Asm.rlabel a "ktab";
+  Asm.rword_label a "kern0";
+  Asm.rword_label a "kern1";
+  Asm.rword_label a "kern2";
+  Asm.assemble a

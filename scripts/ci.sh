@@ -11,41 +11,68 @@ else
   echo "ci: odoc not installed, skipping dune build @doc"
 fi
 
-# Engine correctness smoke: the superblock engine (with its linear-IR
-# translation pipeline), the same engine with the IR disabled (--no-ir
-# ablation), the straight-line block engine and the single-step reference
-# must retire bit-identical instruction counts across every rewriting
-# experiment (the fault-determinism contract, end to end). micro includes
-# the branch-dense workload (interp-branchy), the worst case for side-exit
-# dispatch.
+# Engine correctness smoke: the tiered superblock engine (the default:
+# profile-guided promotion, recompilation and jalr inline caches), the same
+# engine untiered (--no-tier --no-ic), with only the caches off (--no-ic),
+# with the IR disabled (--no-ir), the straight-line block engine and the
+# single-step reference must retire bit-identical instruction counts across
+# every rewriting experiment (the fault-determinism contract, end to end).
+# micro includes the branch-dense workload (interp-branchy), the worst case
+# for side-exit dispatch, and the indirect-call workload that stresses the
+# inline caches.
 json_super=$(mktemp /tmp/chimera-super-XXXXXX.json)
+json_untiered=$(mktemp /tmp/chimera-untiered-XXXXXX.json)
+json_noic=$(mktemp /tmp/chimera-noic-XXXXXX.json)
 json_noir=$(mktemp /tmp/chimera-noir-XXXXXX.json)
 json_block=$(mktemp /tmp/chimera-block-XXXXXX.json)
 json_step=$(mktemp /tmp/chimera-step-XXXXXX.json)
 json_full=$(mktemp /tmp/chimera-full-XXXXXX.json)
 trace=$(mktemp /tmp/chimera-trace-XXXXXX.jsonl)
 profdir=$(mktemp -d /tmp/chimera-prof-XXXXXX)
-trap 'rm -rf "$json_super" "$json_noir" "$json_block" "$json_step" "$json_full" "$trace" "$profdir"' EXIT
+trap 'rm -rf "$json_super" "$json_untiered" "$json_noic" "$json_noir" "$json_block" "$json_step" "$json_full" "$trace" "$profdir"' EXIT
 engine_exps="table1 fig13 table2 table3 ablation micro"
 dune exec bench/main.exe -- $engine_exps -q --json "$json_super"
+dune exec bench/main.exe -- $engine_exps -q --no-tier --no-ic --json "$json_untiered"
+dune exec bench/main.exe -- $engine_exps -q --no-ic --json "$json_noic"
 dune exec bench/main.exe -- $engine_exps -q --no-ir --json "$json_noir"
 dune exec bench/main.exe -- $engine_exps -q --engine block --json "$json_block"
 dune exec bench/main.exe -- $engine_exps -q --engine step --json "$json_step"
 retired_super=$(grep -o '"retired": [0-9]*' "$json_super")
+retired_untiered=$(grep -o '"retired": [0-9]*' "$json_untiered")
+retired_noic=$(grep -o '"retired": [0-9]*' "$json_noic")
 retired_noir=$(grep -o '"retired": [0-9]*' "$json_noir")
 retired_block=$(grep -o '"retired": [0-9]*' "$json_block")
 retired_step=$(grep -o '"retired": [0-9]*' "$json_step")
 test -n "$retired_super"
 if [ "$retired_super" != "$retired_step" ] || [ "$retired_block" != "$retired_step" ] \
-  || [ "$retired_noir" != "$retired_step" ]; then
+  || [ "$retired_noir" != "$retired_step" ] || [ "$retired_untiered" != "$retired_step" ] \
+  || [ "$retired_noic" != "$retired_step" ]; then
   echo "ci: engine mismatch over [$engine_exps]:" >&2
-  echo "  super [$retired_super]" >&2
-  echo "  no-ir [$retired_noir]" >&2
-  echo "  block [$retired_block]" >&2
-  echo "  step  [$retired_step]" >&2
+  echo "  tiered   [$retired_super]" >&2
+  echo "  untiered [$retired_untiered]" >&2
+  echo "  no-ic    [$retired_noic]" >&2
+  echo "  no-ir    [$retired_noir]" >&2
+  echo "  block    [$retired_block]" >&2
+  echo "  step     [$retired_step]" >&2
   exit 1
 fi
-echo "ci: super/no-ir/block/step engines agree over [$engine_exps]"
+echo "ci: tiered/untiered/no-ic/no-ir/block/step engines agree over [$engine_exps]"
+
+# Tiering quality gates on the micro deterministic tail: with profile-guided
+# recompilation and inline caches on, chained dispatch must dominate
+# (chain_hit_rate >= 0.80 — the untiered superblock engine sits near 0.43 on
+# the branch-dense workload) and the inline caches must resolve nearly every
+# indirect terminator (ic_hit_rate >= 0.90).
+micro_line=$(grep '"name": "micro"' "$json_super")
+chain=$(echo "$micro_line" | grep -o '"chain_hit_rate": [0-9.]*' | grep -o '[0-9.]*$')
+ichit=$(echo "$micro_line" | grep -o '"ic_hit_rate": [0-9.]*' | grep -o '[0-9.]*$')
+test -n "$chain" && test -n "$ichit"
+if ! awk "BEGIN { exit !($chain >= 0.80 && $ichit >= 0.90) }"; then
+  echo "ci: tiering gates failed: chain_hit_rate=$chain (need >= 0.80)," >&2
+  echo "    ic_hit_rate=$ichit (need >= 0.90)" >&2
+  exit 1
+fi
+echo "ci: tiering gates passed (chain_hit_rate=$chain, ic_hit_rate=$ichit)"
 
 # Observability smoke test: trace a quick table2 run and let the driver's
 # validator cross-check the per-site counts against the event stream
@@ -77,5 +104,5 @@ test -s "$profdir/fig13.folded"
 # reference run. retired must match exactly; wall time gets a generous
 # tolerance (shared CI runners are noisy), hit rates -0.02 absolute.
 dune exec bench/main.exe -- fig13 --json "$json_full" \
-  --compare BENCH_PR5.json --wall-tol 2.0
-echo "ci: regression gate passed against BENCH_PR5.json"
+  --compare BENCH_PR6.json --wall-tol 2.0
+echo "ci: regression gate passed against BENCH_PR6.json"
