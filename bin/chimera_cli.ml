@@ -289,6 +289,69 @@ let cmd_profile trace bin_file top out =
         ~finally:(fun () -> close_out oc)
         (fun () -> Prof_report.render ~top ?disasm ~totals oc snaps)
 
+(* ---- cache ---------------------------------------------------------------- *)
+
+let cmd_cache_stat dir =
+  let c = Cache.open_dir dir in
+  let entries, bytes = Cache.stat c in
+  Format.printf "%s: %d entries, %d bytes@." dir entries bytes
+
+let cmd_cache_clear dir =
+  let c = Cache.open_dir dir in
+  Format.printf "%s: removed %d entries@." dir (Cache.clear c)
+
+(* One recorded cold run that populates the cache, so a later
+   'run'/'bench --cache' of the same binary starts warm. Mirrors the bench
+   harness's hooks: seed before the run (a prewarm of an already-cached
+   binary is a cheap no-op), export and store after it under the digest of
+   the memory as the run left it. *)
+let cmd_cache_prewarm dir file isa fuel mode tiered =
+  let bin = Binfile.load_file file in
+  let c = Cache.open_dir dir in
+  let mode_name = mode in
+  let mode =
+    match mode with
+    | "downgrade" -> Chbp.Downgrade
+    | "upgrade" -> Chbp.Upgrade
+    | "empty" -> Chbp.Empty
+    | m ->
+        Printf.eprintf "unknown mode %s (downgrade, upgrade, empty)\n" m;
+        exit 2
+  in
+  if tiered then begin
+    Machine.set_tiered_default true;
+    Machine.set_inline_caches_default true
+  end;
+  Machine.set_record_default true;
+  let extra = Printf.sprintf "cli;mode=%s;tiered=%b" mode_name tiered in
+  let ctx =
+    let key = Cache.digest_bin bin ~extra in
+    match Cache.load_rewrite c ~key with
+    | Ok ctx -> ctx
+    | Error _ ->
+        let ctx = Chbp.rewrite ~options:(Chbp.default_options mode) bin in
+        Cache.store_rewrite c ~key ctx;
+        ctx
+  in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa () in
+  (match Cache.seed_plan c ~key:(Cache.digest_mem (Machine.mem m) ~isa ~extra) m with
+  | Ok n -> Format.printf "already warm: seeded %d blocks@." n
+  | Error reason -> Format.printf "cold start (%s)@." reason);
+  match Chimera_rt.run rt ~fuel m with
+  | Machine.Exited code ->
+      Cache.store_plan c ~key:(Cache.digest_mem (Machine.mem m) ~isa ~extra) m;
+      let entries, bytes = Cache.stat c in
+      Format.printf
+        "exit %d after %d instructions; cache now %d entries, %d bytes@." code
+        (Machine.retired m) entries bytes
+  | Machine.Faulted f ->
+      Printf.eprintf "fault: %s — nothing stored\n" (Fault.to_string f);
+      exit 1
+  | Machine.Fuel_exhausted ->
+      Printf.eprintf "fuel exhausted — nothing stored\n";
+      exit 1
+
 (* ---- command line ---------------------------------------------------------- *)
 
 let gen_cmd =
@@ -369,10 +432,46 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Render a profiler report from a recorded trace")
     Term.(const cmd_profile $ trace $ bin $ top $ out)
 
+let cache_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let stat =
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Entry count and byte size of a cache directory")
+      Term.(const cmd_cache_stat $ dir)
+  in
+  let clear =
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cache entry")
+      Term.(const cmd_cache_clear $ dir)
+  in
+  let prewarm =
+    let file = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+    let isa = Arg.(value & opt isa_conv Ext.rv64gcv & info [ "isa" ] ~doc:"Hart capabilities.") in
+    let fuel = Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+    let mode =
+      Arg.(value & opt string "downgrade" & info [ "m"; "mode" ] ~doc:"downgrade, upgrade or empty.")
+    in
+    let tiered =
+      Arg.(value & flag & info [ "tiered" ]
+           ~doc:"Prewarm under tiered execution with inline caches (must \
+                 match the configuration of later runs: plans refuse to seed \
+                 across engine configurations).")
+    in
+    Cmd.v
+      (Cmd.info "prewarm"
+         ~doc:"Run a binary once under the Chimera runtime, recording, and \
+               store its rewrite context and translation plan so later runs \
+               against the same directory start warm")
+      Term.(const cmd_cache_prewarm $ dir $ file $ isa $ fuel $ mode $ tiered)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Persistent translation cache maintenance")
+    [ stat; clear; prewarm ]
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "chimera" ~version:"1.0.0"
              ~doc:"Transparent ISAX heterogeneous computing via binary rewriting")
-          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd ]))
+          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd; cache_cmd ]))

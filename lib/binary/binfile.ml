@@ -61,21 +61,33 @@ let pp_summary fmt t =
     t.sections;
   Format.fprintf fmt "  %d symbols@]" (List.length t.symbols)
 
-let magic = "SELF0001"
+(* SELF0002: the bare magic + raw Marshal stream of SELF0001 gained the
+   shared Container framing (payload length + MD5 trailer), so a truncated
+   or bit-flipped file is rejected with a named reason instead of whatever
+   Marshal.from_channel happens to raise. *)
+let magic = "SELF0002"
+let version = 1
 
-let save path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc t [])
+let save path t = Container.write ~path ~magic ~version t
 
 let load_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith (Printf.sprintf "%s: not a SELF binary" path);
-      (Marshal.from_channel ic : t))
+  match (Container.read ~path ~magic ~version : (t, string) result) with
+  | Ok t -> t
+  | Error "magic" ->
+      failwith
+        (Printf.sprintf
+           "%s: not a %s binary (bad magic — a pre-%s file must be \
+            regenerated)"
+           path magic magic)
+  | Error "version" ->
+      failwith
+        (Printf.sprintf
+           "%s: SELF payload version %s, this build reads version %d — \
+            regenerate the binary"
+           path
+           (match Container.peek_version ~path ~magic with
+           | Some v -> string_of_int v
+           | None -> "?")
+           version)
+  | Error reason ->
+      failwith (Printf.sprintf "%s: corrupt SELF binary (%s)" path reason)

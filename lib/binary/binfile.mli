@@ -53,7 +53,10 @@ val with_name : t -> string -> t
 val pp_summary : Format.formatter -> t -> unit
 
 val save : string -> t -> unit
-(** Serialize to a file (Marshal-based container with a magic header). *)
+(** Serialize to a file ({!Container}-framed Marshal payload: versioned
+    magic, length, MD5 trailer; written atomically via rename). *)
 
 val load_file : string -> t
-(** @raise Failure on bad magic. *)
+(** @raise Failure with a named reason on bad magic, version skew,
+    truncation, checksum mismatch or an unmarshalable payload — never a
+    raw [Marshal] exception. *)

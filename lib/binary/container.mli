@@ -1,0 +1,28 @@
+(** Versioned, checksummed Marshal container.
+
+    One on-disk framing shared by the SELF binary format ({!Binfile}) and
+    the persistent translation cache ([lib/cache]): an 8-byte magic, a
+    caller-chosen payload version, a payload length, the Marshal payload,
+    and an MD5 trailer over everything before it.
+
+    The reader is total: truncation, foreign magic, version skew, bit flips
+    and unmarshalable payloads all come back as [Error reason] instead of an
+    exception, so a corrupt cache entry can fall back to the cold path and a
+    corrupt binary file can be reported with a clear message. *)
+
+val write : path:string -> magic:string -> version:int -> 'a -> unit
+(** Marshal [v] and write the container atomically ([path ^ ".tmp"] then
+    rename). @raise Invalid_argument if [magic] is not exactly 8 bytes;
+    I/O errors propagate as [Sys_error]. *)
+
+val read : path:string -> magic:string -> version:int -> ('a, string) result
+(** Read back a container written by {!write} with the same [magic] and
+    [version]. [Error reason] with [reason] one of ["missing"],
+    ["truncated"], ["magic"], ["version"], ["checksum"], ["decode"].
+    Unmarshaling is only attempted after the checksum verifies, so the
+    usual Marshal segfault hazards on corrupt input do not apply — but the
+    caller still owes the type annotation discipline Marshal demands. *)
+
+val peek_version : path:string -> magic:string -> int option
+(** The stored payload version, if the file exists and carries [magic] —
+    for "written by schema v5, this build reads v6" error messages. *)

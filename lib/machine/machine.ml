@@ -16,6 +16,27 @@ type view = {
   ics : (int, icsite) Hashtbl.t;
       (** per-site inline caches for indirect terminators
           ([jalr]/[c_jr]/[c_jalr]), keyed by the site pc *)
+  skels : (int, skel) Hashtbl.t;
+      (** recorded translation skeletons, keyed by entry pc (recording
+          machines only): the positional lower/compile decisions of the
+          {e latest} translation at that entry, joined with the live block
+          at {!export_plan} time to form a persistable replay recipe *)
+}
+
+(* One recorded translation-callback decision, in program order. [Slower]
+   carries the very op record the translation's closures captured — its
+   [k] field holds the post-optimize kind by the time the block is
+   exported, so replaying the sequence through the emitter (skipping
+   [Tir.optimize]) reconstructs the same execution units. [Scompile] marks
+   an instruction the IR declined (routed to [compile_op]); replay
+   recompiles it from the decoded instruction, which is deterministic. *)
+and step = Slower of Tir.op | Scompile
+
+and skel = {
+  sk_steps : step array;
+  sk_relayout : (int * bool) list;
+      (** the recompile plan the translation ran under, so replay drives
+          [relayout_of] to the same cut/flip decisions *)
 }
 
 and icsite = {
@@ -121,6 +142,13 @@ and t = {
       (** translation-time known-register state, reset per translation and
           threaded across the block's runs (reusable scratch, no per-block
           allocation) *)
+  mutable rec_on : bool;
+      (** record translation skeletons into the view's [skels] table so the
+          machine's translations can be exported as a persistable plan *)
+  mutable translate_s : float;  (** seconds spent translating (fresh
+                                    translations only, not plan replay),
+                                    flushed per run *)
+  mutable translations : int;  (** translation count behind [translate_s] *)
   mutable prof : Profile.t option;
       (** attached guest profiler; both engines account through it when set
           (picked up from [Profile.global] at creation) *)
@@ -156,7 +184,8 @@ let new_view mem =
     cache = Hashtbl.create 1024;
     blocks = Hashtbl.create 256;
     heat = Hashtbl.create 256;
-    ics = Hashtbl.create 64 }
+    ics = Hashtbl.create 64;
+    skels = Hashtbl.create 64 }
 
 (* Process-wide default for newly created machines; the bench driver's
    --engine flag flips it so whole experiments can run on the single-step
@@ -183,6 +212,14 @@ let tiered_default = ref false
 let set_tiered_default on = tiered_default := on
 let inline_caches_default = ref false
 let set_inline_caches_default on = inline_caches_default := on
+
+(* Skeleton recording default for new machines; the bench driver's --cache
+   flag and the CLI's cache prewarm turn it on so finished runs can export
+   their translations. Recording costs a few list conses per translation —
+   negligible next to the translation itself — but defaults off to keep
+   non-caching runs allocation-identical with earlier PRs. *)
+let record_default = ref false
+let set_record_default on = record_default := on
 
 (* Tier thresholds. Heat is counted per interpreted instruction at an
    untranslated entry; hot is counted per dispatch of a translated block.
@@ -258,6 +295,9 @@ let create ?(vlen = 32) ?(costs = Costs.default) ~mem ~isa () =
     ir_tlb_elided = 0;
     ir_cached = 0;
     ir_state = Tir.state_create ();
+    rec_on = !record_default;
+    translate_s = 0.;
+    translations = 0;
     prof = Profile.global () }
 
 let mem t = t.cur.vmem
@@ -1685,8 +1725,13 @@ let rmw_apply (k : Tir.kind) x =
    ([eself = false]); memory-pattern units retire internally at the same
    points the step engine would, so partial progress at a fault is
    bit-identical. *)
-let emit_run t stats ir_units tlb_elided (ops : Tir.op array) =
-  Tir.optimize t.ir_state stats ops;
+(* The unit builder below is deliberately split from the optimizer pass: a
+   fresh translation runs [Tir.optimize] first ({!emit_run}), while plan
+   replay ({!seed_plan}) feeds persisted post-optimize ops straight into
+   [emit_units] — the builder reads only the op kinds, so re-emitting a
+   recorded run reconstructs the original execution units without paying
+   for the passes again. *)
+let emit_units ir_units tlb_elided (ops : Tir.op array) =
   let n = Array.length ops in
   let out = ref [] and nout = ref 0 in
   let push ?fuse efn ewidth eself =
@@ -1894,6 +1939,10 @@ let emit_run t stats ir_units tlb_elided (ops : Tir.op array) =
   ir_units := !ir_units + !nout;
   List.rev !out
 
+let emit_run t stats ir_units tlb_elided (ops : Tir.op array) =
+  Tir.optimize t.ir_state stats ops;
+  emit_units ir_units tlb_elided ops
+
 let use_ir t = t.ir && t.icache = None
 
 (* Map a requested tier to the shape flags this machine can honor: tier 1
@@ -1904,8 +1953,10 @@ let use_ir t = t.ir && t.icache = None
 let tier_cap t = if use_ir t then 3 else if t.superblocks then 2 else 1
 
 let translate_block ?(tier = 3) ?(relayout = []) t entry =
+  let t0 = Unix.gettimeofday () in
   let stats = Tir.stats_create () in
   let ir_units = ref 0 and tlb_elided = ref 0 in
+  let steps = ref [] in
   Tir.state_reset t.ir_state;
   (* Scope the block shape to the requested tier by overriding the machine
      flags for the duration of this translation: [compile_op] and the
@@ -1934,8 +1985,16 @@ let translate_block ?(tier = 3) ?(relayout = []) t entry =
         (* capability gating here: only instructions this hart can execute
            reach the IR; anything else falls through to [compile], whose
            legacy path stops the block with the precise fault semantics *)
-        if use_ir t && Ext.supports t.isa inst then Tir.lower ~pc inst size
-        else None)
+        let r =
+          if use_ir t && Ext.supports t.isa inst then Tir.lower ~pc inst size
+          else None
+        in
+        (* record the lower/compile decision positionally: the op records
+           pushed here are the very ones the closures capture, so by
+           export time their [k] fields hold the post-optimize kinds *)
+        if t.rec_on then
+          steps := (match r with Some op -> Slower op | None -> Scompile) :: !steps;
+        r)
       ~compile:(fun ~pc inst size ->
         let c = compile_op t ~pc inst size in
         (* maintain the translation-time register state across non-IR
@@ -1955,6 +2014,9 @@ let translate_block ?(tier = 3) ?(relayout = []) t entry =
       entry
   in
   Tblock.set_tier b ~tier:etier ~relaid:(relayout <> []);
+  if t.rec_on then
+    Hashtbl.replace t.cur.skels entry
+      { sk_steps = Array.of_list (List.rev !steps); sk_relayout = relayout };
   t.fused_pairs <- t.fused_pairs + b.Tblock.n_fused;
   if !ir_units > 0 then begin
     t.ir_blocks <- t.ir_blocks + 1;
@@ -1975,6 +2037,8 @@ let translate_block ?(tier = 3) ?(relayout = []) t entry =
              tlb_elided = !tlb_elided;
              cached = stats.Tir.s_cached })
   end;
+  t.translate_s <- t.translate_s +. (Unix.gettimeofday () -. t0);
+  t.translations <- t.translations + 1;
   b
 
 let publish_block t entry b =
@@ -2552,6 +2616,21 @@ let reset_observed_tiering () =
   Atomic.set g_tier_promotions 0;
   Atomic.set g_recompiles 0
 
+(* Translation wall time, accumulated per machine as a float and flushed to
+   a process atomic as integer nanoseconds (OCaml has no atomic floats).
+   Covers fresh translations only — plan replay ([seed_plan]) is charged to
+   the caller's cache-preparation accounting — so a bench row's
+   [translate_s] is exactly the translation work the cache did not serve. *)
+let g_translate_ns = Atomic.make 0
+let g_translations = Atomic.make 0
+
+let observed_translate () =
+  (float_of_int (Atomic.get g_translate_ns) *. 1e-9, Atomic.get g_translations)
+
+let reset_observed_translate () =
+  Atomic.set g_translate_ns 0;
+  Atomic.set g_translations 0
+
 (* Instructions retired outside [run] (MMView migration single-steps,
    harness-driven catch-up): counted separately so the bench can report
    MIPS over everything the simulator actually executed. *)
@@ -2651,6 +2730,14 @@ let flush_run_stats t =
   if t.recompiles <> 0 then begin
     ignore (Atomic.fetch_and_add g_recompiles t.recompiles);
     t.recompiles <- 0
+  end;
+  if t.translations <> 0 then begin
+    ignore
+      (Atomic.fetch_and_add g_translate_ns
+         (int_of_float (t.translate_s *. 1e9)));
+    ignore (Atomic.fetch_and_add g_translations t.translations);
+    t.translate_s <- 0.;
+    t.translations <- 0
   end;
   if t.ir_blocks <> 0 then begin
     ignore (Atomic.fetch_and_add g_ir_blocks t.ir_blocks);
@@ -2778,3 +2865,186 @@ let ic_infos t =
         ici_misses = s.site_misses }
       :: acc)
     t.cur.ics []
+
+(* ------------------------------------------------------------------ *)
+(* Persistent translation plans                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan is the marshalable residue of a recording machine's current view:
+   the decode cache in pre-closure form, every live block's replay skeleton
+   with its tier/layout/heat, the interpreter heat of still-untranslated
+   entries, and the live inline-cache targets. It deliberately contains no
+   closures and no stamps — stamps are recomputed against the seeding
+   machine's generation table, which is sound because the cache layer only
+   offers a plan to a machine whose guest code bytes hash to the digest the
+   plan was stored under. *)
+type plan = {
+  pl_superblocks : bool;
+  pl_ir : bool;
+  pl_tiered : bool;
+  pl_ic_on : bool;
+  pl_icache : bool;
+  pl_insts : (int * Inst.t * int) array;
+  pl_blocks : plan_block array;
+  pl_heat : (int * int) array;
+  pl_ics : (int * int list) array;
+}
+
+and plan_block = {
+  pb_entry : int;
+  pb_tier : int;
+  pb_relaid : bool;
+  pb_hot : int;
+  pb_skel : skel;
+}
+
+let set_record t on = t.rec_on <- on
+let record t = t.rec_on
+
+let export_plan t =
+  let insts =
+    Hashtbl.fold
+      (fun pc e acc ->
+        match e with
+        | Cok (inst, n, st)
+          when Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1) = st ->
+            (pc, inst, n) :: acc
+        | _ -> acc)
+      t.cur.cache []
+  in
+  let blocks =
+    Hashtbl.fold
+      (fun entry b acc ->
+        match Hashtbl.find_opt t.cur.skels entry with
+        | Some sk when Tblock.revalidate t.gens ~isa:t.isa ~epoch:t.code_epoch b ->
+            { pb_entry = entry;
+              pb_tier = b.Tblock.tier;
+              pb_relaid = b.Tblock.relaid;
+              pb_hot = b.Tblock.hot;
+              pb_skel = sk }
+            :: acc
+        | _ -> acc)
+      t.cur.blocks []
+  in
+  let heat = Hashtbl.fold (fun pc r acc -> (pc, !r) :: acc) t.cur.heat [] in
+  let ics =
+    Hashtbl.fold
+      (fun site s acc ->
+        if s.site_mega then acc
+        else
+          let targets =
+            (if s.site_target >= 0 then [ s.site_target ] else [])
+            @ (Array.to_list s.site_poly |> List.map fst)
+          in
+          if targets = [] then acc else (site, targets) :: acc)
+      t.cur.ics []
+  in
+  { pl_superblocks = t.superblocks;
+    pl_ir = t.ir;
+    pl_tiered = t.tiered;
+    pl_ic_on = t.ic_on;
+    pl_icache = t.icache <> None;
+    pl_insts = Array.of_list insts;
+    pl_blocks = Array.of_list blocks;
+    pl_heat = Array.of_list heat;
+    pl_ics = Array.of_list ics }
+
+let plan_stats p = (Array.length p.pl_blocks, Array.length p.pl_insts)
+
+(* Replay one skeleton through [Tblock.translate]: decode comes from the
+   (prefabbed) decode cache, the lower callback plays back the recorded
+   decisions positionally — persisted post-optimize ops for IR runs, a
+   deterministic recompile via [compile_op] for everything else — and the
+   emitter skips [Tir.optimize]. Any divergence (a consumed-out skeleton,
+   an unexpected fault) raises and the caller skips the entry, leaving it
+   to the normal cold path. *)
+let rebuild_block t (pb : plan_block) =
+  let sk = pb.pb_skel in
+  let cursor = ref 0 in
+  let ir_units = ref 0 and tlb_elided = ref 0 in
+  let sb0 = t.superblocks and ir0 = t.ir in
+  if pb.pb_tier <= 1 then t.superblocks <- false;
+  if pb.pb_tier <= 2 then t.ir <- false;
+  t.relayout <- sk.sk_relayout;
+  let b =
+    Fun.protect
+      ~finally:(fun () ->
+        t.superblocks <- sb0;
+        t.ir <- ir0;
+        t.relayout <- [])
+    @@ fun () ->
+    Tblock.translate ~gens:t.gens ~epoch:t.code_epoch ~isa:t.isa
+      ~decode:(fun pc ->
+        match decode_at t pc with
+        | d -> Some d
+        | exception Efault _ -> None
+        | exception Memory.Violation _ -> None)
+      ~lower:(fun ~pc:_ _inst _size ->
+        if !cursor >= Array.length sk.sk_steps then raise Exit;
+        let s = sk.sk_steps.(!cursor) in
+        incr cursor;
+        match s with Slower op -> Some op | Scompile -> None)
+      ~compile:(fun ~pc inst size -> compile_op t ~pc inst size)
+      ~emit:(fun ops -> emit_units ir_units tlb_elided ops)
+      pb.pb_entry
+  in
+  Tblock.set_tier b ~tier:pb.pb_tier ~relaid:pb.pb_relaid;
+  Tblock.set_hot b pb.pb_hot;
+  t.fused_pairs <- t.fused_pairs + b.Tblock.n_fused;
+  b
+
+let seed_plan t (p : plan) =
+  if
+    p.pl_superblocks <> t.superblocks
+    || p.pl_ir <> t.ir || p.pl_tiered <> t.tiered || p.pl_ic_on <> t.ic_on
+    || p.pl_icache <> (t.icache <> None)
+  then Error "flags"
+  else begin
+    (* Decode-cache prefab. Entries are stamped against the seeding
+       machine's current generations: the caller's content-digest check
+       proved the guest bytes equal the exporting run's, so the persisted
+       decodes are decodes of the current bytes. *)
+    Array.iter
+      (fun (pc, inst, n) ->
+        Hashtbl.replace t.cur.cache pc
+          (Cok (inst, n, Tblock.Gen.stamp t.gens ~lo:pc ~hi:(pc + n - 1))))
+      p.pl_insts;
+    let seeded = ref 0 in
+    Array.iter
+      (fun pb ->
+        match rebuild_block t pb with
+        | b ->
+            publish_block t pb.pb_entry b;
+            (* keep the skeleton so this machine's own export re-offers the
+               seeded entries (warm runs stay warm across generations) *)
+            Hashtbl.replace t.cur.skels pb.pb_entry pb.pb_skel;
+            incr seeded
+        | exception _ -> ())
+      p.pl_blocks;
+    (* Interpreter heat for entries that never reached the first tier,
+       skipping anything just seeded as a block. *)
+    Array.iter
+      (fun (pc, h) ->
+        if not (Hashtbl.mem t.cur.blocks pc) then
+          Hashtbl.replace t.cur.heat pc (ref h))
+      p.pl_heat;
+    if t.ic_on then
+      Array.iter
+        (fun (site, targets) ->
+          let s = ic_for t site in
+          List.iter
+            (fun pc ->
+              match Hashtbl.find_opt t.cur.blocks pc with
+              | Some b when Tblock.epoch_current b t.code_epoch ->
+                  ic_train t s pc b
+              | _ -> ())
+            targets)
+        p.pl_ics;
+    (* Replay time is deliberately NOT added to [translate_s]: that counter
+       measures translation the cache failed to serve, so a warm start's
+       cost lands in the caller's cache-preparation accounting instead
+       (bench: warm_start_s) and the cold/warm translate_s ratio measures
+       exactly the work the cache avoided. *)
+    flush_run_stats t;
+    Ok !seeded
+  end

@@ -338,3 +338,63 @@ type ic_info = {
 
 val ic_infos : t -> ic_info list
 (** One entry per inline-cache site in the current view, unordered. *)
+
+(** {1 Persistent translation plans}
+
+    A recording machine keeps, next to every translated block, the replay
+    skeleton of the translation that produced it: the positional sequence
+    of lower/compile decisions with the post-optimize IR ops. {!export_plan}
+    joins those skeletons with the live decode cache, tier state, heat
+    table and inline-cache targets into a closure-free, [Marshal]-safe
+    value; {!seed_plan} replays one into a fresh machine so a warm start
+    re-emits execution units directly — no decoding, no IR lowering, no
+    optimizer passes, no interpreted warm-up.
+
+    Soundness contract: a plan carries no byte checksums of its own. The
+    caller (the [lib/cache] content-addressed store) must only offer a plan
+    to a machine whose guest code bytes digest to the key the plan was
+    stored under — the digest is taken {e after} the exporting run, so
+    self-modifying programs produce a key no pristine load ever matches and
+    their entries become unreachable rather than wrong. *)
+
+type plan
+(** Marshalable translation plan (no closures; contains only decoded
+    instructions, IR ops, pcs, tiers and counters). *)
+
+val set_record : t -> bool -> unit
+(** Enable or disable skeleton recording on this machine. Only translations
+    performed while recording is on are exportable. *)
+
+val record : t -> bool
+
+val set_record_default : bool -> unit
+(** Recording setting for machines created after this call (the bench
+    harness's [--cache] flag and the CLI's [cache prewarm] set it). *)
+
+val export_plan : t -> plan
+(** Snapshot the current view's replayable state: valid decode-cache
+    entries, every epoch-valid block that has a recorded skeleton (with its
+    current tier, layout and heat), interpreter heat of untranslated
+    entries, and non-megamorphic inline-cache targets. *)
+
+val seed_plan : t -> plan -> (int, string) result
+(** Replay a plan into this machine: prefab the decode cache, rebuild and
+    publish every block at its exported tier and heat, seed interpreter
+    heat and retrain inline caches. Returns [Ok n] with the number of
+    blocks seeded; [Error "flags"] if the plan was exported under a
+    different engine configuration (superblocks / IR / tiering / inline
+    caches / icache) — the caller should fall back cold. A block whose
+    replay diverges (which the content-digest contract makes unexpected) is
+    skipped, not published; execution then translates it on demand. *)
+
+val plan_stats : plan -> int * int
+(** [(blocks, decode entries)] in a plan — for cache telemetry. *)
+
+val observed_translate : unit -> float * int
+(** Process-wide [(seconds, translations)] spent on fresh translations,
+    accumulated by completed {!run} calls. Plan replay is deliberately
+    excluded — it is cache-preparation work, charged by the caller (the
+    bench's [warm_start_s]) — so a warm/cold [translate_s] ratio measures
+    exactly the translation work the cache avoided. *)
+
+val reset_observed_translate : unit -> unit

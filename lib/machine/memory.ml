@@ -313,7 +313,20 @@ let poke_u64 t addr v =
 let poke_bytes t addr b =
   Bytes.iteri (fun i c -> poke_u8 t (addr + i) (Char.code c)) b
 
-let peek_bytes t addr len = Bytes.init len (fun i -> Char.chr (peek_u8 t (addr + i)))
+(* Page-wise blit rather than a byte loop: the per-byte path pays one page
+   lookup per byte, which whole-image consumers (content digests, snapshot
+   dumps) cannot afford. *)
+let peek_bytes t addr len =
+  let out = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = page_offset a in
+    let n = min (len - !i) (page_size - off) in
+    Bytes.blit (unchecked_page t a).data off out !i n;
+    i := !i + n
+  done;
+  out
 
 let mapped_ranges t =
   let idxs = Hashtbl.fold (fun idx _ acc -> idx :: acc) t.pages [] in

@@ -403,6 +403,11 @@ let set_tier b ~tier ~relaid =
   b.tier <- tier;
   b.relaid <- relaid
 
+(* Restoring a persisted heat count when a cached translation is seeded, so a
+   warm start resumes at the block's exported temperature instead of re-earning
+   promotion from zero. *)
+let set_hot b hot = b.hot <- hot
+
 (* Pre-increment so the first dispatch reads 1: threshold compares stay
    off-by-one-proof ([tick_hot b >= threshold]). *)
 let tick_hot b =

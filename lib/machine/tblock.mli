@@ -202,6 +202,11 @@ val set_tier : 'm t -> tier:int -> relaid:bool -> unit
 (** Record the tier a block was translated at and whether its layout came
     from an observed exit profile (see [tier] / [relaid]). *)
 
+val set_hot : 'm t -> int -> unit
+(** Overwrite the hotness counter — used when seeding a block from a
+    persisted translation plan so the warm start resumes at the exported
+    temperature instead of re-earning promotion from zero. *)
+
 val tick_hot : 'm t -> int
 (** Increment the hotness counter and return the new value (the first
     dispatch reads 1). Called once per dispatch by tiered machines. *)

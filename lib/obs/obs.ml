@@ -62,8 +62,11 @@ type event =
       recovered : int;
       traps : int;
     }
+  | Cache_load of { key : string; entries : int; bytes : int }
+  | Cache_store of { key : string; entries : int; bytes : int }
+  | Cache_reject of { key : string; reason : string }
 
-let schema_version = 5
+let schema_version = 6
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -269,7 +272,15 @@ module Json = struct
             ("faults", i faults);
             ("recovered", i recovered);
             ("traps", i traps);
-          ]);
+          ]
+    | Cache_load { key; entries; bytes } ->
+        obj "cache_load"
+          [ ("key", s key); ("entries", i entries); ("bytes", i bytes) ]
+    | Cache_store { key; entries; bytes } ->
+        obj "cache_store"
+          [ ("key", s key); ("entries", i entries); ("bytes", i bytes) ]
+    | Cache_reject { key; reason } ->
+        obj "cache_reject" [ ("key", s key); ("reason", s reason) ]);
     Buffer.contents buf
 
   (* A strict recursive-descent parser for exactly the flat objects the
@@ -526,6 +537,17 @@ module Json = struct
                   recovered = geti "recovered";
                   traps = geti "traps";
                 }
+          | "cache_load" ->
+              arity 3;
+              Cache_load
+                { key = gets "key"; entries = geti "entries"; bytes = geti "bytes" }
+          | "cache_store" ->
+              arity 3;
+              Cache_store
+                { key = gets "key"; entries = geti "entries"; bytes = geti "bytes" }
+          | "cache_reject" ->
+              arity 2;
+              Cache_reject { key = gets "key"; reason = gets "reason" }
           | _ -> raise Bad)
         with
         | ev -> Some ev
@@ -606,6 +628,9 @@ module Agg = struct
     mutable ic_hits : int;
     mutable ic_misses : int;
     mutable ic_megamorphic : int;
+    mutable cache_loads : int;
+    mutable cache_stores : int;
+    mutable cache_rejects : int;
   }
 
   type t = {
@@ -649,6 +674,9 @@ module Agg = struct
           ic_hits = 0;
           ic_misses = 0;
           ic_megamorphic = 0;
+          cache_loads = 0;
+          cache_stores = 0;
+          cache_rejects = 0;
         };
       sites = Hashtbl.create 64;
       bodies = [];
@@ -706,6 +734,9 @@ module Agg = struct
     | Signal_delivered _ -> g.signals <- g.signals + 1
     | Sched_steal _ -> g.steals <- g.steals + 1
     | Sched_migrate _ -> g.migrations <- g.migrations + 1
+    | Cache_load _ -> g.cache_loads <- g.cache_loads + 1
+    | Cache_store _ -> g.cache_stores <- g.cache_stores + 1
+    | Cache_reject _ -> g.cache_rejects <- g.cache_rejects + 1
     | Tb_profile _ -> t.profiles <- ev :: t.profiles
 
   let totals t = t.tot

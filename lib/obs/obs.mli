@@ -184,6 +184,17 @@ type event =
           [faults]/[recovered]/[traps] attribute runtime events to this
           block. Emitted when a run both traces and profiles, so
           [chimera profile] rebuilds the live report offline. *)
+  | Cache_load of { key : string; entries : int; bytes : int }
+      (** The persistent translation cache served a warm start: the entry
+          keyed by content digest [key] (hex) was loaded and seeded
+          [entries] artifacts ([bytes] on disk). *)
+  | Cache_store of { key : string; entries : int; bytes : int }
+      (** A cold run persisted its rewrite/translation artifacts under
+          digest [key]: [entries] artifacts, [bytes] on disk. *)
+  | Cache_reject of { key : string; reason : string }
+      (** A cache lookup failed safe and the run fell back to the cold
+          compile path; [reason] is ["miss"], ["truncated"], ["checksum"],
+          ["magic"], ["version"], ["flags"], ["decode"] or ["seed"]. *)
 
 val schema_version : int
 
@@ -274,6 +285,9 @@ module Agg : sig
     mutable ic_hits : int;
     mutable ic_misses : int;
     mutable ic_megamorphic : int;  (** sites that went megamorphic *)
+    mutable cache_loads : int;
+    mutable cache_stores : int;
+    mutable cache_rejects : int;
   }
 
   val create : unit -> t

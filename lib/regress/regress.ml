@@ -1,8 +1,8 @@
 type metrics = {
   wall_s : float;
   retired : int;
-  tlb_hit_rate : float;
-  chain_hit_rate : float;
+  tlb_hit_rate : float option;
+  chain_hit_rate : float option;
 }
 
 type tolerance = {
@@ -165,6 +165,19 @@ let num_field path name k o =
       failwith
         (Printf.sprintf "%s: experiment %s: missing numeric field %S" path name k)
 
+(* Optional numeric field: absent or null means the stats file (current or
+   baseline) legitimately has nothing to say — e.g. baseline-only rows
+   (table1/table3) omit the engine rates entirely — so the comparison for
+   that metric is skipped rather than failed. A present field of the wrong
+   type is still a malformed file. *)
+let num_field_opt path name k o =
+  match member k o with
+  | Some (Jnum f) -> Some f
+  | Some Jnull | None -> None
+  | Some _ ->
+      failwith
+        (Printf.sprintf "%s: experiment %s: non-numeric field %S" path name k)
+
 let load_baseline path =
   let j =
     match parse_json (read_all path) with
@@ -187,8 +200,8 @@ let load_baseline path =
         {
           wall_s = num_field path name "wall_s" o;
           retired = int_of_float (num_field path name "retired" o);
-          tlb_hit_rate = num_field path name "tlb_hit_rate" o;
-          chain_hit_rate = num_field path name "chain_hit_rate" o;
+          tlb_hit_rate = num_field_opt path name "tlb_hit_rate" o;
+          chain_hit_rate = num_field_opt path name "chain_hit_rate" o;
         } ))
     exps
 
@@ -213,16 +226,20 @@ let compare_run ?(tol = default_tolerance) ~baseline ~current () =
              if drift > allowed then
                fail name "retired %d differs from baseline %d by %d (allowed %d)"
                  cur.retired base.retired drift allowed);
-          (if base.tlb_hit_rate > 0.0 then
-             let floor = base.tlb_hit_rate -. tol.rate_abs in
-             if cur.tlb_hit_rate < floor then
-               fail name "tlb hit rate %.4f below baseline %.4f - %.4f"
-                 cur.tlb_hit_rate base.tlb_hit_rate tol.rate_abs);
-          if base.chain_hit_rate > 0.0 then
-            let floor = base.chain_hit_rate -. tol.rate_abs in
-            if cur.chain_hit_rate < floor then
-              fail name "chain hit rate %.4f below baseline %.4f - %.4f"
-                cur.chain_hit_rate base.chain_hit_rate tol.rate_abs)
+          (match (base.tlb_hit_rate, cur.tlb_hit_rate) with
+          | Some b, Some c when b > 0.0 ->
+              let floor = b -. tol.rate_abs in
+              if c < floor then
+                fail name "tlb hit rate %.4f below baseline %.4f - %.4f" c b
+                  tol.rate_abs
+          | _ -> ());
+          match (base.chain_hit_rate, cur.chain_hit_rate) with
+          | Some b, Some c when b > 0.0 ->
+              let floor = b -. tol.rate_abs in
+              if c < floor then
+                fail name "chain hit rate %.4f below baseline %.4f - %.4f" c b
+                  tol.rate_abs
+          | _ -> ())
     current;
   List.rev !fails
 

@@ -11,9 +11,10 @@
       the default is 0.0: simulated instruction counts are deterministic,
       so any drift is a semantic change, not noise).
     - {b tlb/chain hit rates} may drop by at most [rate_abs] (absolute).
-      Rates are only checked when the baseline recorded a meaningful one
-      (> 0): older baselines carry 0.0 for experiments that don't run the
-      block engine.
+      Rates are only checked when both sides recorded one and the
+      baseline's is meaningful (> 0): baseline-only rows (table1/table3)
+      omit the engine fields entirely, and older baselines carry 0.0 for
+      experiments that don't run the block engine.
 
     Experiments present on only one side are ignored (suites evolve);
     improvements never fail the gate. *)
@@ -21,8 +22,10 @@
 type metrics = {
   wall_s : float;
   retired : int;
-  tlb_hit_rate : float;
-  chain_hit_rate : float;
+  tlb_hit_rate : float option;
+      (** [None] when the stats file omits the field (baseline-only rows
+          that never ran the block engine) — the comparison is skipped *)
+  chain_hit_rate : float option;
 }
 
 type tolerance = {

@@ -12,16 +12,46 @@ type run = {
   indirect_retired : int;
 }
 
-val native : ?fuel:int -> Binfile.t -> isa:Ext.t -> run
+val native :
+  ?fuel:int ->
+  ?before_run:(Machine.t -> unit) ->
+  ?after_run:(Machine.t -> unit) ->
+  Binfile.t ->
+  isa:Ext.t ->
+  run
 (** Run to completion. @raise Failure on fault or fuel exhaustion. *)
 
 val native_until_fault : ?fuel:int -> Binfile.t -> isa:Ext.t -> run
 (** Run until the first fault (the FAM migration prefix); [exit_code] is -1.
     @raise Failure if the program completes without faulting. *)
 
-val chimera : ?fuel:int -> Chbp.t -> isa:Ext.t -> run * Counters.t
-val safer : ?fuel:int -> Safer.t -> isa:Ext.t -> run * Counters.t
-val armore : ?fuel:int -> Armore.t -> isa:Ext.t -> run * Counters.t
+(** [before_run] sees the machine after loading, before execution (the
+    bench seeds persisted translation plans there); [after_run] sees it
+    after a successful run (plans are exported there). The same hooks exist
+    on {!native}, {!safer} and {!armore} so every measured engine cell can
+    participate in the translation cache. *)
+val chimera :
+  ?fuel:int ->
+  ?before_run:(Machine.t -> unit) ->
+  ?after_run:(Machine.t -> unit) ->
+  Chbp.t ->
+  isa:Ext.t ->
+  run * Counters.t
+val safer :
+  ?fuel:int ->
+  ?before_run:(Machine.t -> unit) ->
+  ?after_run:(Machine.t -> unit) ->
+  Safer.t ->
+  isa:Ext.t ->
+  run * Counters.t
+
+val armore :
+  ?fuel:int ->
+  ?before_run:(Machine.t -> unit) ->
+  ?after_run:(Machine.t -> unit) ->
+  Armore.t ->
+  isa:Ext.t ->
+  run * Counters.t
 
 val check_exit : expected:int -> run -> run
 (** @raise Failure if the exit code differs (correctness oracle). *)

@@ -100,9 +100,47 @@ done
 test -s "$profdir/fig13.txt"
 test -s "$profdir/fig13.folded"
 
+# Translation-cache smoke: two quick fig13 runs against one cache
+# directory. Each invocation already runs cold-then-warm internally and
+# hard-fails on any retired divergence between its passes; the second
+# invocation additionally starts against a fully-populated directory, so
+# its warm pass must hit nearly everything (>= 0.95) and its translate_s
+# (translation the cache failed to serve) must sit under the cold pass's.
+cachedir=$(mktemp -d /tmp/chimera-cache-XXXXXX)
+json_cache=$(mktemp /tmp/chimera-cache-XXXXXX.json)
+trap 'rm -rf "$json_super" "$json_untiered" "$json_noic" "$json_noir" "$json_block" "$json_step" "$json_full" "$trace" "$profdir" "$cachedir" "$json_cache"' EXIT
+# First invocation: genuinely cold then warm inside one process — the
+# warm pass's translate_s must beat the cold pass's.
+dune exec bench/main.exe -- fig13 -q --cache "$cachedir" --json "$json_cache"
+retired1=$(grep -o '"retired": [0-9]*' "$json_cache")
+warm_translate=$(grep -o '"translate_s": [0-9.]*' "$json_cache" | grep -o '[0-9.]*$')
+cold_translate=$(grep -o '"cold_translate_s": [0-9.]*' "$json_cache" | grep -o '[0-9.]*$')
+test -n "$warm_translate" && test -n "$cold_translate"
+if ! awk "BEGIN { exit !($warm_translate < $cold_translate) }"; then
+  echo "ci: cache gate failed: warm translate_s=$warm_translate" >&2
+  echo "    (need < cold $cold_translate)" >&2
+  exit 1
+fi
+# Second invocation: a fresh process against the populated directory — its
+# warm pass must hit nearly everything, proving the entries persist and
+# reload across process restarts; retired must match the first invocation.
+dune exec bench/main.exe -- fig13 -q --cache "$cachedir" --json "$json_cache"
+retired2=$(grep -o '"retired": [0-9]*' "$json_cache")
+hit=$(grep -o '"cache_hit_rate": [0-9.]*' "$json_cache" | grep -o '[0-9.]*$')
+test -n "$hit"
+if [ "$retired1" != "$retired2" ]; then
+  echo "ci: cache changed execution: [$retired1] != [$retired2]" >&2
+  exit 1
+fi
+if ! awk "BEGIN { exit !($hit >= 0.95) }"; then
+  echo "ci: cache gate failed: cache_hit_rate=$hit (need >= 0.95)" >&2
+  exit 1
+fi
+echo "ci: cache gates passed (hit_rate=$hit, translate_s $cold_translate -> $warm_translate)"
+
 # Perf-regression gate: diff a fresh full fig13 against the committed
 # reference run. retired must match exactly; wall time gets a generous
 # tolerance (shared CI runners are noisy), hit rates -0.02 absolute.
 dune exec bench/main.exe -- fig13 --json "$json_full" \
-  --compare BENCH_PR6.json --wall-tol 2.0
-echo "ci: regression gate passed against BENCH_PR6.json"
+  --compare BENCH_PR7.json --wall-tol 2.0
+echo "ci: regression gate passed against BENCH_PR7.json"

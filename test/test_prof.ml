@@ -388,7 +388,8 @@ let test_regress_gate () =
             ( n,
               { m with
                 Regress.wall_s = m.Regress.wall_s /. 2.;
-                tlb_hit_rate = m.Regress.tlb_hit_rate +. 0.001 } ))
+                tlb_hit_rate =
+                  Option.map (fun r -> r +. 0.001) m.Regress.tlb_hit_rate } ))
           baseline
       in
       Alcotest.(check (list (pair string string)))
@@ -402,8 +403,10 @@ let test_regress_gate () =
               ( n,
                 { Regress.wall_s = m.Regress.wall_s *. 2.;
                   retired = m.Regress.retired + 1;
-                  tlb_hit_rate = m.Regress.tlb_hit_rate -. 0.1;
-                  chain_hit_rate = m.Regress.chain_hit_rate -. 0.1 } )
+                  tlb_hit_rate =
+                    Option.map (fun r -> r -. 0.1) m.Regress.tlb_hit_rate;
+                  chain_hit_rate =
+                    Option.map (fun r -> r -. 0.1) m.Regress.chain_hit_rate } )
             else (n, m))
           baseline
       in
