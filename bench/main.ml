@@ -181,6 +181,12 @@ type stat = {
   st_side_exits : int;  (* superblock dispatches leaving via a taken branch *)
   st_fused : int;  (* pairs fused at translation time *)
   st_events : int;  (* Obs events emitted during the experiment (0 untraced) *)
+  st_dropped : int;  (* Obs events a bounded sink discarded (always 0 for the
+                        channel sink --trace uses; surfaced so loss is never
+                        silent) *)
+  st_tr_q : (float * float) option;  (* translate-latency p50/p99 ns from the
+                                        metrics histogram; None with --metrics
+                                        off *)
   st_prof_retired : int;  (* profiler's retired total; -1 when not profiling *)
   st_extra : int;  (* instructions retired outside Machine.run (migration
                       deferral steps, micro's Bechamel-timed section) *)
@@ -259,6 +265,14 @@ let write_json ?overhead file (stats : stat list) =
             ir.Machine.irs_tlb_elided
             (rate ir.Machine.irs_cached ir.Machine.irs_blocks)
             s.st_translate_s s.st_translations
+          ^
+          (* metrics-derived quantiles ride along only when --metrics was on:
+             the regress gate treats absent fields as "nothing to say" *)
+          (match s.st_tr_q with
+          | None -> ""
+          | Some (p50, p99) ->
+              Printf.sprintf ", \"translate_p50_ns\": %.0f, \"translate_p99_ns\": %.0f"
+                p50 p99)
       in
       let cache_fields =
         match s.st_cache with
@@ -273,9 +287,10 @@ let write_json ?overhead file (stats : stat list) =
       in
       Printf.fprintf oc
         "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \
-         \"retired_extra\": %d, \"mips\": %.1f%s%s, \"events_emitted\": %d%s }%s\n"
+         \"retired_extra\": %d, \"mips\": %.1f%s%s, \"events_emitted\": %d, \
+         \"events_dropped\": %d%s }%s\n"
         s.st_name s.st_wall s.st_retired s.st_extra mips engine_fields
-        cache_fields s.st_events
+        cache_fields s.st_events s.st_dropped
         (if s.st_prof_retired >= 0 then
            Printf.sprintf ", \"prof_retired\": %d" s.st_prof_retired
          else "")
@@ -1028,6 +1043,10 @@ let micro _quick =
   Machine.reset_observed_ic ();
   Machine.reset_observed_tiering ();
   Machine.reset_observed_extra_window ();
+  (* keep the metrics snapshot aligned with the observed counters it must
+     equal at dump time (the Bechamel retires just moved to the extra
+     counter, which metrics do not track) *)
+  Metrics.reset ();
   let det bin =
     let mem = Loader.load bin in
     let m = Machine.create ~mem ~isa:ext_isa () in
@@ -1113,10 +1132,18 @@ let validate_trace file =
           end)
     (List.rev !trace_expects);
   if !failed then exit 1;
+  (* the channel sink never overwrites: a traced run losing events means the
+     sink plumbing broke, and a lossy trace would silently fail the replay
+     checks above in confusing ways next time *)
+  let dropped = Obs.events_dropped () in
+  if dropped > 0 then begin
+    Printf.eprintf "trace %s: %d events dropped by the sink\n" file dropped;
+    exit 1
+  end;
   Report.heading "Trace validation (--trace)";
   Report.note
-    (Printf.sprintf "%s: %d events parsed, schema v%d round-trips" file
-       (List.length events) Obs.schema_version);
+    (Printf.sprintf "%s: %d events parsed (0 dropped), schema v%d round-trips"
+       file (List.length events) Obs.schema_version);
   if !trace_expects <> [] then
     Report.note
       (Printf.sprintf
@@ -1214,7 +1241,7 @@ let check_gc_budget ~minor_words0 ~retired =
   end
 
 let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
-    chrome_file profile_dir compare_file wall_tol cache_dir =
+    chrome_file profile_dir compare_file wall_tol cache_dir metrics_file =
   (match engine with
   | `Super ->
       (* the full adaptive pipeline is the default engine: tiered
@@ -1233,6 +1260,10 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
   in
   check_writable json_file;
   check_writable chrome_file;
+  check_writable metrics_file;
+  (* metrics stay on under -j N (domain-sharded, merged at snapshot time) —
+     unlike --trace, which forces -j 1 below *)
+  if metrics_file <> None then Metrics.enable ();
   (match profile_dir with
   | None -> ()
   | Some dir ->
@@ -1320,6 +1351,9 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
         Machine.reset_observed_translate ();
         Cache.reset_observed ();
         reset_cache_prep ();
+        (* metrics reset alongside the observed counters: at dump time the
+           snapshot totals must equal the machine's own counters *)
+        Metrics.reset ();
         let r0 = Machine.observed_retired () in
         let th0, tm0 = Memory.observed_tlb () in
         let ch0, cd0 = Machine.observed_chain () in
@@ -1334,6 +1368,7 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
           && fu0 = 0 && x0 = 0 && ih0 = 0 && im0 = 0 && ig0 = 0 && tp0 = 0
           && rc0 = 0 && xd0 = 0 && xs0 = 0 && tn0 = 0);
         let e0 = Obs.events_emitted () in
+        let d0 = Obs.events_dropped () in
         let w0 = Unix.gettimeofday () in
         traced_phase n (fun () -> (List.assoc n experiments) quick);
         let wall = ref (Unix.gettimeofday () -. w0) in
@@ -1359,6 +1394,7 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
           Machine.reset_observed_translate ();
           Cache.reset_observed ();
           reset_cache_prep ();
+          Metrics.reset ();
           let w1 = Unix.gettimeofday () in
           traced_phase (n ^ "/warm") (fun () -> (List.assoc n experiments) quick);
           wall := Unix.gettimeofday () -. w1;
@@ -1420,6 +1456,20 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
             st_side_exits = se1 - se0;
             st_fused = fu1 - fu0;
             st_events = Obs.events_emitted () - e0;
+            st_dropped = Obs.events_dropped () - d0;
+            st_tr_q =
+              (if !Metrics.enabled then
+                 match
+                   Metrics.Snapshot.histogram_value
+                     (Metrics.Snapshot.take ())
+                     "chimera_translate_ns"
+                 with
+                 | Some h when h.Metrics.Snapshot.h_count > 0 ->
+                     Some
+                       ( Metrics.Snapshot.quantile h 0.5,
+                         Metrics.Snapshot.quantile h 0.99 )
+                 | _ -> None
+               else None);
             st_prof_retired = prof_retired;
             st_extra = Machine.observed_extra () - x0;
             st_ic_hits = (let h, _, _ = Machine.observed_ic () in h);
@@ -1442,6 +1492,53 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
     | _ -> None
   in
   Option.iter (fun f -> write_json ?overhead f (List.rev !stats)) json_file;
+  (match metrics_file with
+  | None -> ()
+  | Some f ->
+      let snap = Metrics.Snapshot.take () in
+      (* The snapshot was reset at every point the observed counters were,
+         so at exit its totals must equal the machine's own counters — any
+         disagreement means an emission site drifted from its flush point. *)
+      let mismatch = ref false in
+      let check what got want =
+        if got <> want then begin
+          Printf.eprintf "metrics cross-check: %s is %d, machine says %d\n" what
+            got want;
+          mismatch := true
+        end
+      in
+      let cv = Metrics.Snapshot.counter_value snap in
+      check "chimera_retired_total" (cv "chimera_retired_total")
+        (Machine.observed_retired ());
+      let th, tm = Memory.observed_tlb () in
+      check "chimera_tlb_hits_total" (cv "chimera_tlb_hits_total") th;
+      check "chimera_tlb_misses_total" (cv "chimera_tlb_misses_total") tm;
+      let ih, im, ig = Machine.observed_ic () in
+      check "chimera_ic_hits_total" (cv "chimera_ic_hits_total") ih;
+      check "chimera_ic_misses_total" (cv "chimera_ic_misses_total") im;
+      check "chimera_ic_mega_dispatches_total" (cv "chimera_ic_mega_dispatches_total")
+        ig;
+      let health =
+        Metrics.Watchdog.evaluate ~prev:Metrics.Snapshot.empty ~cur:snap ()
+      in
+      let oc = open_out_or_die f in
+      output_string oc (Metrics.Snapshot.to_prometheus ~health snap);
+      close_out oc;
+      Report.heading "Metrics (--metrics)";
+      Report.note
+        (Printf.sprintf "%s: %d samples in chimera_translate_ns; %s" f
+           (match Metrics.Snapshot.histogram_value snap "chimera_translate_ns" with
+           | Some h -> h.Metrics.Snapshot.h_count
+           | None -> 0)
+           (if Metrics.Watchdog.healthy health then "watchdog healthy"
+            else
+              "watchdog DEGRADED: "
+              ^ String.concat ", "
+                  (List.filter_map
+                     (fun v ->
+                       if v.Metrics.v_ok then None else Some v.Metrics.v_rule)
+                     health)));
+      if !mismatch then exit 1);
   (match (trace_file, trace_oc) with
   | Some f, Some oc ->
       Obs.disable ();
@@ -1480,7 +1577,12 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
                    else None);
                 chain_hit_rate =
                   (if engine_row then Some (rate s.st_chain_hits s.st_dispatches)
-                   else None) } ))
+                   else None);
+                ic_hit_rate =
+                  (if engine_row then
+                     Some (rate s.st_ic_hits (s.st_ic_hits + s.st_ic_misses))
+                   else None);
+                events_dropped = Some (float_of_int s.st_dropped) } ))
           !stats
       in
       let tol = { Regress.default_tolerance with wall_frac = wall_tol } in
@@ -1653,12 +1755,25 @@ let cache_arg =
            Retired counts are asserted bit-identical between passes. \
            Mutually exclusive with --profile.")
 
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the always-on metrics subsystem and dump a final snapshot \
+           to $(docv) in Prometheus text exposition format, including the \
+           health watchdog's verdicts (chimera_health, chimera_healthy). \
+           Unlike --trace this does not force -j 1: counters are \
+           domain-sharded and merged at snapshot time. The snapshot's \
+           retired/TLB/inline-cache totals are cross-checked against the \
+           machine's own counters at exit; any disagreement exits nonzero.")
+
 let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ names_arg $ quick_arg $ jobs_arg $ engine_arg $ no_ir_arg
       $ no_tier_arg $ no_ic_arg $ json_arg $ trace_arg $ chrome_arg
-      $ profile_arg $ compare_arg $ wall_tol_arg $ cache_arg)
+      $ profile_arg $ compare_arg $ wall_tol_arg $ cache_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -289,6 +289,76 @@ let cmd_profile trace bin_file top out =
         ~finally:(fun () -> close_out oc)
         (fun () -> Prof_report.render ~top ?disasm ~totals oc snaps)
 
+(* ---- metrics --------------------------------------------------------------- *)
+
+(* One run of a binary under the Chimera runtime with the always-on metrics
+   subsystem enabled, dumping the final snapshot. This is the serving-daemon
+   view of an execution: live counters, latency quantiles and the health
+   watchdog's verdicts, at one-branch cost on the paths --trace would slow
+   down. --capture additionally keeps the most recent Obs events in a
+   bounded in-memory ring for post-mortem context, counting (never hiding)
+   what the ring overwrote. *)
+let cmd_metrics file isa fuel tiered fmt out capture =
+  let bin = Binfile.load_file file in
+  if tiered then begin
+    Machine.set_tiered_default true;
+    Machine.set_inline_caches_default true
+  end;
+  Metrics.enable ();
+  if capture > 0 then Obs.enable_memory ~capacity:capture ();
+  let ctx = Chbp.rewrite ~options:(Chbp.default_options Chbp.Downgrade) bin in
+  let rt = Chimera_rt.create ctx in
+  let m = Machine.create ~mem:(Chimera_rt.load rt) ~isa () in
+  let stop = Chimera_rt.run rt ~fuel m in
+  let snap = Metrics.Snapshot.take () in
+  let health =
+    Metrics.Watchdog.evaluate ~prev:Metrics.Snapshot.empty ~cur:snap ()
+  in
+  let text =
+    match fmt with
+    | "prometheus" -> Metrics.Snapshot.to_prometheus ~health snap
+    | "json" -> Metrics.Snapshot.to_json ~health snap ^ "\n"
+    | f ->
+        Printf.eprintf "unknown format %s (prometheus, json)\n" f;
+        exit 2
+  in
+  (match out with
+  | None -> print_string text
+  | Some f ->
+      let oc =
+        try open_out f
+        with Sys_error e ->
+          Printf.eprintf "cannot open output file: %s\n" e;
+          exit 2
+      in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.printf "metrics snapshot -> %s@." f);
+  if capture > 0 then begin
+    let kept = List.length (Obs.recent ()) in
+    Obs.disable ();
+    Format.printf "captured %d recent events (%d overwritten; %d emitted)@." kept
+      (Obs.events_dropped ()) (Obs.events_emitted ())
+  end;
+  List.iter
+    (fun v ->
+      if not v.Metrics.v_ok then
+        Format.printf "health: %s DEGRADED — %s@." v.Metrics.v_rule
+          v.Metrics.v_detail)
+    health;
+  match stop with
+  | Machine.Exited code ->
+      Format.printf "exit %d after %d instructions (%s)@." code
+        (Machine.retired m)
+        (if Metrics.Watchdog.healthy health then "healthy" else "degraded");
+      exit 0
+  | Machine.Faulted f ->
+      Printf.eprintf "fault: %s after %d instructions\n" (Fault.to_string f)
+        (Machine.retired m);
+      exit 1
+  | Machine.Fuel_exhausted ->
+      Printf.eprintf "fuel exhausted (%d instructions)\n" (Machine.retired m);
+      exit 1
+
 (* ---- cache ---------------------------------------------------------------- *)
 
 let cmd_cache_stat dir =
@@ -432,6 +502,37 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Render a profiler report from a recorded trace")
     Term.(const cmd_profile $ trace $ bin $ top $ out)
 
+let metrics_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let isa = Arg.(value & opt isa_conv Ext.rv64gcv & info [ "isa" ] ~doc:"Hart capabilities.") in
+  let fuel = Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+  let tiered =
+    Arg.(value & flag & info [ "tiered" ]
+         ~doc:"Tiered execution with jalr inline caches (the tier-promotion \
+               and inline-cache counters are then live).")
+  in
+  let fmt =
+    Arg.(value & opt string "prometheus" & info [ "format" ] ~docv:"FMT"
+         ~doc:"Exposition format: $(b,prometheus) (text exposition, default) \
+               or $(b,json).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the snapshot to $(docv) instead of stdout.")
+  in
+  let capture =
+    Arg.(value & opt int 0 & info [ "capture" ] ~docv:"N"
+         ~doc:"Also keep the most recent $(docv) observability events in a \
+               bounded in-memory ring (0 = off). Overwritten events are \
+               counted and reported, never silently lost.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a binary under the Chimera runtime with the always-on \
+             metrics subsystem enabled and dump the final snapshot \
+             (counters, latency quantiles, health watchdog verdicts)")
+    Term.(const cmd_metrics $ file $ isa $ fuel $ tiered $ fmt $ out $ capture)
+
 let cache_cmd =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
   let stat =
@@ -474,4 +575,5 @@ let () =
        (Cmd.group
           (Cmd.info "chimera" ~version:"1.0.0"
              ~doc:"Transparent ISAX heterogeneous computing via binary rewriting")
-          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd; cache_cmd ]))
+          [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd; metrics_cmd;
+            cache_cmd ]))

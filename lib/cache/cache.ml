@@ -122,19 +122,36 @@ let file_size path = match Unix.stat path with
 
 let path_of c ~key ~kind = Filename.concat c.dir (key ^ "." ^ kind)
 
+let m_loads = Metrics.counter ~help:"Cache loads served" "chimera_cache_loads_total"
+let m_stores = Metrics.counter ~help:"Cache artifacts stored" "chimera_cache_stores_total"
+
+let m_rejects =
+  Metrics.counter ~help:"Cache loads rejected (miss or undecodable)"
+    "chimera_cache_rejects_total"
+
+let m_entry_bytes =
+  Metrics.gauge ~help:"Bytes of cache artifacts written this process"
+    "chimera_cache_entry_bytes"
+
 let store_raw c ~key ~kind ~entries v =
   let path = path_of c ~key ~kind in
   Container.write ~path ~magic ~version:schema_version v;
   ignore (Atomic.fetch_and_add g_stores 1);
+  if !Metrics.enabled then begin
+    Metrics.incr m_stores;
+    Metrics.gauge_add m_entry_bytes (file_size path)
+  end;
   if !Obs.enabled then
     Obs.emit (Obs.Cache_store { key; entries; bytes = file_size path })
 
 let hit ~key ~entries ~bytes =
   ignore (Atomic.fetch_and_add g_hits 1);
+  if !Metrics.enabled then Metrics.incr m_loads;
   if !Obs.enabled then Obs.emit (Obs.Cache_load { key; entries; bytes })
 
 let miss ~key ~reason =
   ignore (Atomic.fetch_and_add g_misses 1);
+  if !Metrics.enabled then Metrics.incr m_rejects;
   if !Obs.enabled then Obs.emit (Obs.Cache_reject { key; reason });
   Error reason
 

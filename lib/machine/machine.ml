@@ -179,6 +179,64 @@ let default_handlers =
              (Fault.Illegal_instruction { pc; reason = "unhandled check instruction" })))
   }
 
+(* Always-on metrics (lib/metrics). Counters are fed at the same flush
+   points that fold the per-machine mutables into the observed_* atomics
+   — never on the per-instruction path — so when metrics are enabled the
+   snapshot totals equal the machine's own counters by construction (the
+   bench driver cross-checks this at exit). Only the translate-latency
+   histogram records at its source, once per (cold) translation. *)
+let m_retired =
+  Metrics.counter "chimera_retired_total"
+    ~help:"Guest instructions retired inside Machine.run"
+
+let m_dispatches =
+  Metrics.counter "chimera_dispatches_total"
+    ~help:"Translation-block dispatches"
+
+let m_chain_hits =
+  Metrics.counter "chimera_chain_hits_total"
+    ~help:"Dispatches served by a chain link or inline cache"
+
+let m_side_exits =
+  Metrics.counter "chimera_side_exits_total"
+    ~help:"Superblock dispatches that left through a taken side exit"
+
+let m_fused =
+  Metrics.counter "chimera_fused_total"
+    ~help:"Instructions merged into multi-instruction execution units"
+
+let m_tier_promotions =
+  Metrics.counter "chimera_tier_promotions_total"
+    ~help:"Blocks promoted to a higher tier"
+
+let m_recompiles =
+  Metrics.counter "chimera_recompiles_total"
+    ~help:"Profile-guided recompiles from observed side-exit profiles"
+
+let m_ic_hits =
+  Metrics.counter "chimera_ic_hits_total"
+    ~help:"Inline-cache hits at indirect-terminator sites"
+
+let m_ic_misses =
+  Metrics.counter "chimera_ic_misses_total"
+    ~help:"Inline-cache misses at indirect-terminator sites"
+
+let m_ic_mega =
+  Metrics.counter "chimera_ic_mega_dispatches_total"
+    ~help:"Dispatches through megamorphic indirect sites"
+
+let m_translations =
+  Metrics.counter "chimera_translations_total"
+    ~help:"Fresh block translations (plan replays excluded)"
+
+let m_translate_ns =
+  Metrics.histogram "chimera_translate_ns"
+    ~help:"Latency of one block translation in nanoseconds"
+
+let m_faults_raised =
+  Metrics.counter "chimera_faults_raised_total"
+    ~help:"Deterministic machine faults raised (before any handler)"
+
 let new_view mem =
   { vmem = mem;
     cache = Hashtbl.create 1024;
@@ -834,11 +892,13 @@ let dispatch ~handlers t thunk =
       set_reg t rd (Int64.of_int (pc0 + size));
       apply_action (handlers.on_check t ~pc:pc0 ~rd ~target)
   | exception Efault f ->
+      if !Metrics.enabled then Metrics.incr m_faults_raised;
       if !Obs.enabled then
         Obs.emit (Obs.Fault_raised { pc = Fault.pc f; cause = Fault.cause_name f });
       apply_action (handlers.on_fault t f)
   | exception Memory.Violation { addr; access } ->
       let f = Fault.Segfault { pc = t.pc; addr; access } in
+      if !Metrics.enabled then Metrics.incr m_faults_raised;
       if !Obs.enabled then
         Obs.emit (Obs.Fault_raised { pc = t.pc; cause = Fault.cause_name f });
       apply_action (handlers.on_fault t f)
@@ -2037,8 +2097,10 @@ let translate_block ?(tier = 3) ?(relayout = []) t entry =
              tlb_elided = !tlb_elided;
              cached = stats.Tir.s_cached })
   end;
-  t.translate_s <- t.translate_s +. (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  t.translate_s <- t.translate_s +. dt;
   t.translations <- t.translations + 1;
+  if !Metrics.enabled then Metrics.observe m_translate_ns (int_of_float (dt *. 1e9));
   b
 
 let publish_block t entry b =
@@ -2491,6 +2553,7 @@ let run_blocks ~handlers ~fuel t =
       | Some f ->
           (* the faulting instruction consumed fuel but did not retire *)
           remaining := !remaining - body_retired - 1;
+          if !Metrics.enabled then Metrics.incr m_faults_raised;
           if !Obs.enabled then
             Obs.emit
               (Obs.Fault_raised { pc = Fault.pc f; cause = Fault.cause_name f });
@@ -2695,6 +2758,18 @@ let reset_observed_ir () =
   Atomic.set g_ir_cached 0
 
 let flush_run_stats t =
+  if !Metrics.enabled then begin
+    Metrics.add m_dispatches t.tb_dispatches;
+    Metrics.add m_chain_hits t.chain_hits;
+    Metrics.add m_side_exits t.side_exits;
+    Metrics.add m_fused t.fused_pairs;
+    Metrics.add m_ic_hits t.ic_hits;
+    Metrics.add m_ic_misses t.ic_misses;
+    Metrics.add m_ic_mega t.ic_mega_d;
+    Metrics.add m_tier_promotions t.tier_promotions;
+    Metrics.add m_recompiles t.recompiles;
+    Metrics.add m_translations t.translations
+  end;
   if t.chain_hits <> 0 then begin
     ignore (Atomic.fetch_and_add g_chain_hits t.chain_hits);
     t.chain_hits <- 0
@@ -2764,6 +2839,7 @@ let run ?(handlers = default_handlers) ~fuel t =
     else run_step ~handlers ~fuel t
   in
   ignore (Atomic.fetch_and_add observed (t.retired - r0));
+  if !Metrics.enabled then Metrics.add m_retired (t.retired - r0);
   flush_run_stats t;
   s
 

@@ -84,8 +84,19 @@ let flush_tlb t =
   Array.fill t.tlb_x_data 0 tlb_size no_bytes;
   t.tlb_epoch <- Atomic.get perm_epoch
 
+(* TLB metrics are fed in [flush_tlb_stats], from the same per-memory
+   mutables folded into the observed atomics — the per-access path stays
+   metric-free. Only the epoch bump records at its (cold) source. *)
+let m_tlb_hits = Metrics.counter ~help:"TLB hits" "chimera_tlb_hits_total"
+let m_tlb_misses = Metrics.counter ~help:"TLB misses" "chimera_tlb_misses_total"
+
+let m_perm_epochs =
+  Metrics.counter ~help:"Permission-epoch bumps (TLB shootdowns)"
+    "chimera_perm_epoch_bumps_total"
+
 let bump_perm_epoch ~addr ~len =
   Atomic.incr perm_epoch;
+  if !Metrics.enabled then Metrics.incr m_perm_epochs;
   if !Obs.enabled then Obs.emit (Obs.Tlb_flush { addr; len })
 
 let map t ~addr ~len perm =
@@ -183,6 +194,10 @@ let g_tlb_hits = Atomic.make 0
 let g_tlb_misses = Atomic.make 0
 
 let flush_tlb_stats t =
+  if !Metrics.enabled then begin
+    Metrics.add m_tlb_hits t.tlb_hits;
+    Metrics.add m_tlb_misses t.tlb_misses
+  end;
   if t.tlb_hits <> 0 then begin
     ignore (Atomic.fetch_and_add g_tlb_hits t.tlb_hits);
     t.tlb_hits <- 0

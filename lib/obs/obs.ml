@@ -65,8 +65,10 @@ type event =
   | Cache_load of { key : string; entries : int; bytes : int }
   | Cache_store of { key : string; entries : int; bytes : int }
   | Cache_reject of { key : string; reason : string }
+  | Health_ok of { rule : string }
+  | Health_degraded of { rule : string; reason : string }
 
-let schema_version = 6
+let schema_version = 7
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -79,6 +81,12 @@ let ring_len = ref 0
 let emitted = ref 0
 let sink : (event array -> int -> unit) ref = ref (fun _ _ -> ())
 let enabled = ref false
+
+(* Events a bounded sink discarded (see [enable_memory]). A channel sink
+   never drops, so a complete trace run reports 0 here — the trace-exit
+   validator and bench [--json] surface the total either way, so loss is
+   visible instead of silent. *)
+let dropped = ref 0
 
 let flush () =
   if !ring_len > 0 then begin
@@ -100,6 +108,7 @@ let enable ~sink:s =
   sink := s;
   ring_len := 0;
   emitted := 0;
+  dropped := 0;
   enabled := true;
   emit (Meta { version = schema_version })
 
@@ -111,6 +120,45 @@ let disable () =
   end
 
 let events_emitted () = !emitted
+let events_dropped () = !dropped
+
+(* Bounded in-memory capture, for always-on use (the metrics CLI, a
+   serving daemon's post-mortem buffer): keep only the most recent
+   [capacity] events. When the buffer wraps, the overwritten events are
+   counted in [dropped] rather than silently lost. *)
+
+let mem_buf : event array ref = ref [||]
+let mem_next = ref 0
+let mem_count = ref 0
+
+let memory_sink events len =
+  let b = !mem_buf in
+  let cap = Array.length b in
+  if cap > 0 then
+    for k = 0 to len - 1 do
+      if !mem_count >= cap then incr dropped;
+      b.(!mem_next) <- events.(k);
+      mem_next := (!mem_next + 1) mod cap;
+      incr mem_count
+    done
+
+let enable_memory ?(capacity = ring_capacity) () =
+  if capacity < 1 then invalid_arg "Obs.enable_memory: capacity < 1";
+  mem_buf := Array.make capacity dummy;
+  mem_next := 0;
+  mem_count := 0;
+  enable ~sink:memory_sink
+
+let recent () =
+  if !enabled then flush ();
+  let b = !mem_buf in
+  let cap = Array.length b in
+  if cap = 0 then []
+  else begin
+    let n = min !mem_count cap in
+    let start = if !mem_count <= cap then 0 else !mem_next in
+    List.init n (fun k -> b.((start + k) mod cap))
+  end
 
 module Json = struct
   (* The schema is flat: {"ev":"<kind>", <field>:<int|string|bool>, ...}.
@@ -280,7 +328,10 @@ module Json = struct
         obj "cache_store"
           [ ("key", s key); ("entries", i entries); ("bytes", i bytes) ]
     | Cache_reject { key; reason } ->
-        obj "cache_reject" [ ("key", s key); ("reason", s reason) ]);
+        obj "cache_reject" [ ("key", s key); ("reason", s reason) ]
+    | Health_ok { rule } -> obj "health_ok" [ ("rule", s rule) ]
+    | Health_degraded { rule; reason } ->
+        obj "health_degraded" [ ("rule", s rule); ("reason", s reason) ]);
     Buffer.contents buf
 
   (* A strict recursive-descent parser for exactly the flat objects the
@@ -548,6 +599,12 @@ module Json = struct
           | "cache_reject" ->
               arity 2;
               Cache_reject { key = gets "key"; reason = gets "reason" }
+          | "health_ok" ->
+              arity 1;
+              Health_ok { rule = gets "rule" }
+          | "health_degraded" ->
+              arity 2;
+              Health_degraded { rule = gets "rule"; reason = gets "reason" }
           | _ -> raise Bad)
         with
         | ev -> Some ev
@@ -631,6 +688,8 @@ module Agg = struct
     mutable cache_loads : int;
     mutable cache_stores : int;
     mutable cache_rejects : int;
+    mutable health_ok : int;
+    mutable health_degraded : int;
   }
 
   type t = {
@@ -677,6 +736,8 @@ module Agg = struct
           cache_loads = 0;
           cache_stores = 0;
           cache_rejects = 0;
+          health_ok = 0;
+          health_degraded = 0;
         };
       sites = Hashtbl.create 64;
       bodies = [];
@@ -737,6 +798,8 @@ module Agg = struct
     | Cache_load _ -> g.cache_loads <- g.cache_loads + 1
     | Cache_store _ -> g.cache_stores <- g.cache_stores + 1
     | Cache_reject _ -> g.cache_rejects <- g.cache_rejects + 1
+    | Health_ok _ -> g.health_ok <- g.health_ok + 1
+    | Health_degraded _ -> g.health_degraded <- g.health_degraded + 1
     | Tb_profile _ -> t.profiles <- ev :: t.profiles
 
   let totals t = t.tot

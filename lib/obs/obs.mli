@@ -195,6 +195,12 @@ type event =
       (** A cache lookup failed safe and the run fell back to the cold
           compile path; [reason] is ["miss"], ["truncated"], ["checksum"],
           ["magic"], ["version"], ["flags"], ["decode"] or ["seed"]. *)
+  | Health_ok of { rule : string }
+      (** The metrics watchdog ([Metrics.Watchdog]) evaluated [rule]
+          against a snapshot delta and found it within bounds. *)
+  | Health_degraded of { rule : string; reason : string }
+      (** The watchdog rule [rule] fired; [reason] is the human-readable
+          measurement (rate, counts) that tripped it. *)
 
 val schema_version : int
 
@@ -219,6 +225,25 @@ val disable : unit -> unit
 
 val events_emitted : unit -> int
 (** Events emitted since the last {!enable}. *)
+
+val events_dropped : unit -> int
+(** Events a bounded sink discarded since the last {!enable}. The channel
+    sink never drops (every flush is written through), so a trace run
+    reports 0; {!enable_memory} drops — and counts — the oldest events
+    once its buffer wraps. Surfaced by the bench driver's trace-exit
+    validation and [--json] output so loss is never silent. *)
+
+val enable_memory : ?capacity:int -> unit -> unit
+(** Turn tracing on with a bounded in-memory sink holding the most recent
+    [capacity] events (default: the ring capacity, 4096). When the buffer
+    wraps, overwritten events are counted in {!events_dropped}. This is
+    the always-on capture mode: a long-running process keeps a post-mortem
+    tail without unbounded growth ([chimera metrics] uses it). *)
+
+val recent : unit -> event list
+(** The events currently retained by the {!enable_memory} buffer, oldest
+    first (empty if {!enable_memory} was never used). Flushes the pending
+    ring first when tracing is still on. *)
 
 (** {1 JSONL encoding} *)
 
@@ -288,6 +313,8 @@ module Agg : sig
     mutable cache_loads : int;
     mutable cache_stores : int;
     mutable cache_rejects : int;
+    mutable health_ok : int;
+    mutable health_degraded : int;
   }
 
   val create : unit -> t

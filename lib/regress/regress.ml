@@ -3,6 +3,8 @@ type metrics = {
   retired : int;
   tlb_hit_rate : float option;
   chain_hit_rate : float option;
+  ic_hit_rate : float option;
+  events_dropped : float option;
 }
 
 type tolerance = {
@@ -202,6 +204,8 @@ let load_baseline path =
           retired = int_of_float (num_field path name "retired" o);
           tlb_hit_rate = num_field_opt path name "tlb_hit_rate" o;
           chain_hit_rate = num_field_opt path name "chain_hit_rate" o;
+          ic_hit_rate = num_field_opt path name "ic_hit_rate" o;
+          events_dropped = num_field_opt path name "events_dropped" o;
         } ))
     exps
 
@@ -233,12 +237,26 @@ let compare_run ?(tol = default_tolerance) ~baseline ~current () =
                 fail name "tlb hit rate %.4f below baseline %.4f - %.4f" c b
                   tol.rate_abs
           | _ -> ());
-          match (base.chain_hit_rate, cur.chain_hit_rate) with
+          (match (base.chain_hit_rate, cur.chain_hit_rate) with
           | Some b, Some c when b > 0.0 ->
               let floor = b -. tol.rate_abs in
               if c < floor then
                 fail name "chain hit rate %.4f below baseline %.4f - %.4f" c b
                   tol.rate_abs
+          | _ -> ());
+          (match (base.ic_hit_rate, cur.ic_hit_rate) with
+          | Some b, Some c when b > 0.0 ->
+              let floor = b -. tol.rate_abs in
+              if c < floor then
+                fail name "ic hit rate %.4f below baseline %.4f - %.4f" c b
+                  tol.rate_abs
+          | _ -> ());
+          (* dropped observability events may never increase over the
+             baseline: silent loss is exactly what the field exists to
+             surface *)
+          match (base.events_dropped, cur.events_dropped) with
+          | Some b, Some c when c > b ->
+              fail name "events dropped %.0f exceeds baseline %.0f" c b
           | _ -> ())
     current;
   List.rev !fails

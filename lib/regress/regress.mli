@@ -10,11 +10,14 @@
     - {b retired instructions} must match within [retired_frac] (relative;
       the default is 0.0: simulated instruction counts are deterministic,
       so any drift is a semantic change, not noise).
-    - {b tlb/chain hit rates} may drop by at most [rate_abs] (absolute).
+    - {b tlb/chain/ic hit rates} may drop by at most [rate_abs] (absolute).
       Rates are only checked when both sides recorded one and the
       baseline's is meaningful (> 0): baseline-only rows (table1/table3)
       omit the engine fields entirely, and older baselines carry 0.0 for
       experiments that don't run the block engine.
+    - {b dropped observability events} may never exceed the baseline's
+      count — silent event loss is what the field exists to surface.
+      Skipped when either side omits it (pre-PR9 baselines).
 
     Experiments present on only one side are ignored (suites evolve);
     improvements never fail the gate. *)
@@ -26,6 +29,8 @@ type metrics = {
       (** [None] when the stats file omits the field (baseline-only rows
           that never ran the block engine) — the comparison is skipped *)
   chain_hit_rate : float option;
+  ic_hit_rate : float option;
+  events_dropped : float option;
 }
 
 type tolerance = {

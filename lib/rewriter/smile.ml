@@ -42,6 +42,9 @@ let next_target ~pc ~min ~compressed =
 
 let size = 8
 
+let m_smile_writes =
+  Metrics.counter ~help:"SMILE auipc+jalr pairs written" "chimera_smile_writes_total"
+
 let write buf ~off ~pc ~target ~compressed =
   match solve_imm20 ~pc ~target with
   | None ->
@@ -53,6 +56,7 @@ let write buf ~off ~pc ~target ~compressed =
           (Printf.sprintf
              "Smile.write: imm20 0x%x not compressed-safe (pc 0x%x, target 0x%x)"
              imm20 pc target);
+      if !Metrics.enabled then Metrics.incr m_smile_writes;
       if !Obs.enabled then Obs.emit (Obs.Smile_write { pc; target });
       let n1 = Encode.write buf off (auipc_inst ~imm20) in
       ignore (Encode.write buf (off + n1) jalr_inst)

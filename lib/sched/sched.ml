@@ -77,11 +77,24 @@ module Q = struct
   let take q = take_first q (fun _ -> true)
 end
 
+let m_steals =
+  Metrics.counter ~help:"Base-queue tasks stolen by extension cores"
+    "chimera_sched_steals_total"
+
+let m_migrates =
+  Metrics.counter ~help:"Tasks migrated to extension cores mid-run"
+    "chimera_sched_migrates_total"
+
+let m_queue_depth =
+  Metrics.gauge ~help:"Tasks currently queued (both classes)"
+    "chimera_sched_queue_depth"
+
 let run config tasks =
   let base_q : item Q.t = Q.create () and ext_q : item Q.t = Q.create () in
   List.iter
     (fun t ->
       let item = { task = t; forced_ext = false } in
+      if !Metrics.enabled then Metrics.gauge_add m_queue_depth 1;
       if t.t_prefer_ext then Q.push ext_q item else Q.push base_q item)
     tasks;
   let cores =
@@ -96,6 +109,7 @@ let run config tasks =
   let accelerated = ref 0 and migrations = ref 0 and completed = ref 0 in
   (* what work could the given core take right now? *)
   let stolen core it =
+    if !Metrics.enabled then Metrics.incr m_steals;
     if !Obs.enabled then
       Obs.emit
         (Obs.Sched_steal
@@ -168,6 +182,7 @@ let run config tasks =
           match take_for core with
           | None -> continue_ := false
           | Some item -> (
+              if !Metrics.enabled then Metrics.gauge_add m_queue_depth (-1);
               match item.task.t_run core.cls with
               | Done { cycles; accelerated = acc } ->
                   core.clock <- core.clock + cycles;
@@ -178,6 +193,10 @@ let run config tasks =
                   core.clock <- core.clock + cycles + config.migrate_cost;
                   core.busy <- core.busy + cycles + config.migrate_cost;
                   incr migrations;
+                  if !Metrics.enabled then begin
+                    Metrics.incr m_migrates;
+                    Metrics.gauge_add m_queue_depth 1
+                  end;
                   if !Obs.enabled then
                     Obs.emit
                       (Obs.Sched_migrate { task = item.task.t_id; cycles });

@@ -138,9 +138,38 @@ if ! awk "BEGIN { exit !($hit >= 0.95) }"; then
 fi
 echo "ci: cache gates passed (hit_rate=$hit, translate_s $cold_translate -> $warm_translate)"
 
+# Metrics smoke: a quick fig13 with the always-on metrics registry
+# exporting at exit. The driver already hard-checks the snapshot totals
+# against the machine counters (non-zero exit on divergence); re-assert
+# from the artifacts that the exposition is well-formed Prometheus text,
+# that the Prometheus and JSON views agree on retired, and that the
+# health watchdog found every rule healthy.
+metrics_prom=$(mktemp /tmp/chimera-metrics-XXXXXX.prom)
+json_metrics=$(mktemp /tmp/chimera-metrics-XXXXXX.json)
+trap 'rm -rf "$json_super" "$json_untiered" "$json_noic" "$json_noir" "$json_block" "$json_step" "$json_full" "$trace" "$profdir" "$cachedir" "$json_cache" "$metrics_prom" "$json_metrics"' EXIT
+dune exec bench/main.exe -- fig13 -q --json "$json_metrics" --metrics "$metrics_prom"
+grep -q '^# TYPE chimera_retired_total counter$' "$metrics_prom"
+grep -q '^# TYPE chimera_translate_ns histogram$' "$metrics_prom"
+grep -q 'le="+Inf"' "$metrics_prom"
+retired_prom=$(grep '^chimera_retired_total ' "$metrics_prom" | grep -o '[0-9]*$')
+retired_json=$(grep -o '"retired": [0-9]*' "$json_metrics" | grep -o '[0-9]*')
+test -n "$retired_prom" && test -n "$retired_json"
+if [ "$retired_prom" != "$retired_json" ]; then
+  echo "ci: metrics exposition disagrees with json: $retired_prom != $retired_json" >&2
+  exit 1
+fi
+if ! grep -q '^chimera_healthy 1$' "$metrics_prom"; then
+  echo "ci: watchdog reported a degraded run:" >&2
+  grep '^chimera_health' "$metrics_prom" >&2
+  exit 1
+fi
+echo "ci: metrics smoke passed (retired=$retired_prom, watchdog healthy)"
+
 # Perf-regression gate: diff a fresh full fig13 against the committed
-# reference run. retired must match exactly; wall time gets a generous
-# tolerance (shared CI runners are noisy), hit rates -0.02 absolute.
+# reference run — with metrics enabled, so the gate also proves the
+# always-on registry costs no measurable wall time. retired must match
+# exactly; wall time gets a generous tolerance (shared CI runners are
+# noisy), hit rates -0.02 absolute, events_dropped at most baseline's.
 dune exec bench/main.exe -- fig13 --json "$json_full" \
-  --compare BENCH_PR7.json --wall-tol 2.0
-echo "ci: regression gate passed against BENCH_PR7.json"
+  --metrics "$metrics_prom" --compare BENCH_PR8.json --wall-tol 2.0
+echo "ci: regression gate passed against BENCH_PR8.json (metrics on)"

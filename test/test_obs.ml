@@ -110,7 +110,14 @@ let event_gen =
         map3
           (fun key redirect table -> Obs.Table_add { key; redirect; table })
           addr addr
-          (oneofl [ "fault"; "trap" ]) ])
+          (oneofl [ "fault"; "trap" ]);
+        map
+          (fun rule -> Obs.Health_ok { rule })
+          (oneofl [ "dispatch_stall"; "tlb_collapse" ]);
+        map2
+          (fun rule reason -> Obs.Health_degraded { rule; reason })
+          (oneofl [ "side_exit_regression"; "cache_reject_burst" ])
+          name ])
 
 let prop_json_roundtrip =
   QCheck.Test.make ~name:"obs: JSONL encoding round-trips" ~count:500
@@ -186,7 +193,38 @@ let test_ring_flush () =
   (* +1: the Meta header emitted by enable *)
   Alcotest.(check int) "all events reach the sink" (total + 1) !n;
   Obs.emit (Obs.Tb_hit { entry = 0; body = 1 });
-  Alcotest.(check int) "emit after disable is a no-op" (total + 1) !n
+  Alcotest.(check int) "emit after disable is a no-op" (total + 1) !n;
+  Alcotest.(check int) "channel sink never drops" 0 (Obs.events_dropped ())
+
+(* The bounded in-memory sink keeps the most recent events and counts what
+   it overwrote — the "dropped" total surfaced in bench --json and by the
+   chimera metrics subcommand. *)
+let test_memory_sink_drops () =
+  let cap = 64 in
+  Obs.enable_memory ~capacity:cap ();
+  let total = 200 in
+  Fun.protect ~finally:Obs.disable (fun () ->
+      for i = 1 to total do
+        Obs.emit (Obs.Tb_hit { entry = i; body = 1 })
+      done;
+      let kept = Obs.recent () in
+      Alcotest.(check int) "retains exactly capacity" cap (List.length kept);
+      (* +1: the Meta header emitted by enable was the first overwrite *)
+      Alcotest.(check int)
+        "dropped = emitted - capacity" (total + 1 - cap)
+        (Obs.events_dropped ());
+      (* oldest-first: the window is the last [cap] emissions, in order *)
+      let expect = List.init cap (fun k -> total - cap + 1 + k) in
+      let got =
+        List.map
+          (function
+            | Obs.Tb_hit { entry; _ } -> entry
+            | _ -> Alcotest.fail "unexpected event kind in window")
+          kept
+      in
+      Alcotest.(check (list int)) "window is the tail, oldest-first" expect got);
+  Alcotest.(check int) "disable clears nothing retroactively" (total + 1 - cap)
+    (Obs.events_dropped ())
 
 (* --- tracing on vs off is invisible ------------------------------------------ *)
 
@@ -391,7 +429,10 @@ let () =
       ("schema",
        [ Alcotest.test_case "stale meta versions rejected" `Quick
            test_meta_version_rejected ]);
-      ("ring", [ Alcotest.test_case "flush + disable" `Quick test_ring_flush ]);
+      ("ring",
+       [ Alcotest.test_case "flush + disable" `Quick test_ring_flush;
+         Alcotest.test_case "memory sink bounds + drop count" `Quick
+           test_memory_sink_drops ]);
       ("differential",
        List.map QCheck_alcotest.to_alcotest
          [ prop_tracing_invisible; prop_agg_matches_counters ]);

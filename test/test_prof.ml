@@ -401,7 +401,8 @@ let test_regress_gate () =
           (fun (n, m) ->
             if n = "fig13" then
               ( n,
-                { Regress.wall_s = m.Regress.wall_s *. 2.;
+                { m with
+                  Regress.wall_s = m.Regress.wall_s *. 2.;
                   retired = m.Regress.retired + 1;
                   tlb_hit_rate =
                     Option.map (fun r -> r -. 0.1) m.Regress.tlb_hit_rate;
