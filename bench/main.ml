@@ -205,6 +205,7 @@ type stat = {
                               replay); the warm pass when cached *)
   st_translations : int;  (* translations behind st_translate_s *)
   st_cache : cache_row option;  (* cold/warm cache comparison (--cache) *)
+  st_serve : serve_row option;  (* serving stats (serve experiment only) *)
 }
 
 and cache_row = {
@@ -213,6 +214,20 @@ and cache_row = {
   cr_cold_start_s : float;  (* cold pass: rewrite + translation seconds *)
   cr_warm_start_s : float;  (* warm pass: artifact load + plan seed seconds *)
   cr_cold_translate_s : float;  (* cold pass translation seconds *)
+}
+
+and serve_row = {
+  sv_requests : int;  (* requests completed *)
+  sv_rejected : int;  (* requests refused at admission *)
+  sv_dedups : int;  (* cache stores skipped: a valid entry already existed *)
+  sv_tenants : int;  (* distinct tenants served *)
+  sv_workers : int;  (* pool worker domains *)
+  sv_queue_peak : int;  (* high-water mark of the scheduler queue *)
+  sv_p50_ms : float;  (* request latency medians over all tenants... *)
+  sv_p99_ms : float;  (* ...and the tail the regress gate watches *)
+  sv_hot_p99_ms : float;  (* p99 over the hot (cache-warm) tenants only *)
+  sv_throughput : float;  (* completed requests per second of serving wall *)
+  sv_warm_frac : float;  (* requests whose plan was seeded from the cache *)
 }
 
 let rate num den = if den > 0 then float_of_int num /. float_of_int den else 0.
@@ -285,12 +300,29 @@ let write_json ?overhead file (stats : stat list) =
               cr.cr_hit_rate cr.cr_bytes cr.cr_cold_start_s cr.cr_warm_start_s
               cr.cr_cold_translate_s
       in
+      (* present only on the serve experiment's row; older baselines simply
+         lack the fields and the regress gate skips what either side lacks *)
+      let serve_fields =
+        match s.st_serve with
+        | None -> ""
+        | Some sv ->
+            Printf.sprintf
+              ", \"serve_requests\": %d, \"serve_rejected\": %d, \
+               \"serve_dedups\": %d, \"serve_tenants\": %d, \
+               \"serve_workers\": %d, \"serve_queue_peak\": %d, \
+               \"serve_p50_ms\": %.3f, \"serve_p99_ms\": %.3f, \
+               \"serve_hot_p99_ms\": %.3f, \"serve_throughput\": %.1f, \
+               \"serve_warm_frac\": %.4f"
+              sv.sv_requests sv.sv_rejected sv.sv_dedups sv.sv_tenants
+              sv.sv_workers sv.sv_queue_peak sv.sv_p50_ms sv.sv_p99_ms
+              sv.sv_hot_p99_ms sv.sv_throughput sv.sv_warm_frac
+      in
       Printf.fprintf oc
         "    { \"name\": %S, \"wall_s\": %.3f, \"retired\": %d, \
          \"retired_extra\": %d, \"mips\": %.1f%s%s, \"events_emitted\": %d, \
          \"events_dropped\": %d%s }%s\n"
         s.st_name s.st_wall s.st_retired s.st_extra mips engine_fields
-        cache_fields s.st_events s.st_dropped
+        (cache_fields ^ serve_fields) s.st_events s.st_dropped
         (if s.st_prof_retired >= 0 then
            Printf.sprintf ", \"prof_retired\": %d" s.st_prof_retired
          else "")
@@ -1058,14 +1090,237 @@ let micro _quick =
   det (Programs.indirecty ~name:"indirecty-det" ~rounds:50_000 ())
 
 (* ------------------------------------------------------------------ *)
+(* Serve: multi-tenant rewrite-and-execute server (open-loop)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled in by [serve_bench]; the stats collector picks it up for the
+   serve row's JSON fields and clears it per experiment. *)
+let serve_info : serve_row option ref = ref None
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* An open-loop serving benchmark over [Serve]: a few hot tenants replay
+   one binary each (one digest, so the shared cache warms every replica
+   after the first), while a long tail of short-lived single-request
+   tenants arrives with distinct digests. Arrivals follow a seeded
+   Poisson-style schedule offered faster than one worker can drain, so
+   the queue builds and the latency tail is real.
+
+   Two hard checks ride along: every pooled outcome must retire
+   bit-identically to a solo [Serve.execute] of the same binary (the
+   isolation contract — scheduling, co-tenants and cache temperature must
+   not leak into execution), and every request must reach a clean guest
+   exit. Either failing exits nonzero. *)
+let serve_bench quick =
+  Report.heading "Serve: multi-tenant rewrite-and-execute server";
+  let jobs = max 1 !Par.jobs in
+  let ext_workers = jobs / 2 in
+  let base_workers = jobs - ext_workers in
+  let fuel = Serve.default_fuel in
+  (* hot tenants: the SAME Binfile value resubmitted, so every replica
+     shares one digest; [`Ext] programs prefer the extension class *)
+  let hot =
+    [| ("hot-mm", Programs.matmul ~name:"serve-mm" `Ext ~n:8, true, true);
+       ("hot-branchy", Programs.branchy ~name:"serve-br" ~rounds:20_000 (), true, false);
+       ("hot-fib", Programs.fibonacci ~name:"serve-fib" ~rounds:4_000 (), false, false) |]
+  in
+  let hot_reps = if quick then 10 else 40 in
+  let cold_n = 2 * hot_reps * Array.length hot in
+  (* cold guests: one request each, parameters varied so every digest is
+     distinct — these never hit the plan cache *)
+  let cold i =
+    let tenant = Printf.sprintf "t%03d" i in
+    let bin =
+      match i mod 3 with
+      | 0 ->
+          Programs.fibonacci
+            ~name:(Printf.sprintf "serve-f%d" i)
+            ~rounds:(500 + (37 * i))
+            ()
+      | 1 ->
+          Programs.branchy
+            ~name:(Printf.sprintf "serve-b%d" i)
+            ~rounds:(400 + (29 * i))
+            ()
+      | _ -> Programs.vecadd ~name:(Printf.sprintf "serve-v%d" i) `Ext ~n:(64 + (8 * i))
+    in
+    (tenant, bin, false, i mod 3 = 2)
+  in
+  let total = cold_n + (hot_reps * Array.length hot) in
+  (* deterministic interleave: hot, cold, cold, hot, cold, cold, ... *)
+  let reqs =
+    Array.init total (fun k ->
+        if k mod 3 = 0 then hot.(k / 3 mod Array.length hot)
+        else cold (k - (k / 3) - 1))
+  in
+  (* solo oracle: each distinct binary once, uncached, on this domain —
+     the expectation every pooled outcome must match exactly *)
+  let digest (_, bin, tiered, _) =
+    Cache.digest_bin bin ~extra:(if tiered then "t" else "f")
+  in
+  let expected = Hashtbl.create 64 in
+  let w_solo = Unix.gettimeofday () in
+  Array.iter
+    (fun r ->
+      let key = digest r in
+      if not (Hashtbl.mem expected key) then begin
+        let _, bin, tiered, _ = r in
+        let _, retired, _, _ =
+          Serve.execute ~isa:ext_isa ~mode:Chbp.Downgrade ~tiered ~fuel bin
+        in
+        Hashtbl.add expected key retired
+      end)
+    reqs;
+  Report.note
+    (Printf.sprintf "solo oracle: %d distinct programs in %.2fs"
+       (Hashtbl.length expected)
+       (Unix.gettimeofday () -. w_solo));
+  (* the shared cache: --cache's directory when given, else a throwaway *)
+  let own_dir, cache_t =
+    match !cache with
+    | Some c -> (None, c)
+    | None ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "chimera-serve-bench-%d" (Unix.getpid ()))
+        in
+        if Sys.file_exists dir then rm_rf dir;
+        (Some dir, Cache.open_dir dir)
+  in
+  let dedup0 = Cache.observed_dedup () in
+  let srv =
+    Serve.create ~cache:cache_t ~base_workers ~ext_workers ()
+  in
+  (* offered load: the whole schedule spans ~0.1s (quick) / ~0.2s, well
+     above a single worker's drain rate, so admission outruns service *)
+  let arr_rate = float_of_int total /. if quick then 0.1 else 0.2 in
+  let offs = Serve.arrivals ~seed:1234 ~rate:arr_rate ~n:total in
+  let idmap = Hashtbl.create total in
+  let w_serve = Unix.gettimeofday () in
+  Array.iteri
+    (fun k off ->
+      let now = Unix.gettimeofday () -. w_serve in
+      if off > now then Unix.sleepf (off -. now);
+      let tenant, bin, tiered, prefer_ext = reqs.(k) in
+      match
+        Serve.submit srv ~tenant ~prefer_ext ~isa:ext_isa ~tiered ~fuel bin
+      with
+      | Ok id -> Hashtbl.replace idmap id k
+      | Error `Saturated -> () (* unbounded queue: unreachable *))
+    offs;
+  Serve.drain srv;
+  let serve_wall = Unix.gettimeofday () -. w_serve in
+  let st = Serve.stats srv in
+  let queue_peak = st.Serve.peak_depth in
+  Serve.shutdown srv;
+  let os = Serve.outcomes srv in
+  (* the isolation contract, checked outcome by outcome *)
+  List.iter
+    (fun o ->
+      let k = Hashtbl.find idmap o.Serve.o_id in
+      let want = Hashtbl.find expected (digest reqs.(k)) in
+      if o.Serve.o_retired <> want then begin
+        Printf.eprintf
+          "serve divergence: tenant %s request %d retired %d, solo run %d\n"
+          o.Serve.o_tenant o.Serve.o_id o.Serve.o_retired want;
+        exit 1
+      end;
+      if o.Serve.o_exit = None then begin
+        Printf.eprintf "serve: tenant %s request %d stopped with %s\n"
+          o.Serve.o_tenant o.Serve.o_id o.Serve.o_stop;
+        exit 1
+      end)
+    os;
+  let lat = Array.of_list (List.map (fun o -> o.Serve.o_latency_us) os) in
+  Array.sort compare lat;
+  let quant a p =
+    if Array.length a = 0 then 0.0
+    else
+      float_of_int
+        a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+      /. 1000.0
+  in
+  let is_hot o =
+    String.length o.Serve.o_tenant >= 4 && String.sub o.Serve.o_tenant 0 4 = "hot-"
+  in
+  let hot_lat =
+    Array.of_list
+      (List.filter_map
+         (fun o -> if is_hot o then Some o.Serve.o_latency_us else None)
+         os)
+  in
+  Array.sort compare hot_lat;
+  let warm = List.length (List.filter (fun o -> o.Serve.o_warm) os) in
+  let ts = Serve.tenant_stats srv in
+  let hot_ts, cold_ts =
+    List.partition
+      (fun t ->
+        String.length t.Serve.ts_tenant >= 4
+        && String.sub t.Serve.ts_tenant 0 4 = "hot-")
+      ts
+  in
+  Report.table ~title:"Per-tenant retired (hot tenants; cold tail aggregated)"
+    ~header:[ "Tenant"; "Requests"; "Retired"; "Warm" ]
+    ~rows:
+      (List.map
+         (fun t ->
+           [ t.Serve.ts_tenant;
+             string_of_int t.Serve.ts_requests;
+             string_of_int t.Serve.ts_retired;
+             string_of_int t.Serve.ts_warm ])
+         hot_ts
+      @ [ [ Printf.sprintf "(cold x%d)" (List.length cold_ts);
+            string_of_int
+              (List.fold_left (fun a t -> a + t.Serve.ts_requests) 0 cold_ts);
+            string_of_int
+              (List.fold_left (fun a t -> a + t.Serve.ts_retired) 0 cold_ts);
+            string_of_int
+              (List.fold_left (fun a t -> a + t.Serve.ts_warm) 0 cold_ts) ] ]);
+  let p50 = quant lat 0.50 and p99 = quant lat 0.99 in
+  let hot_p99 = quant hot_lat 0.99 in
+  let throughput =
+    if serve_wall > 0.0 then float_of_int st.Serve.completed /. serve_wall
+    else 0.0
+  in
+  Report.note
+    (Printf.sprintf
+       "%d requests, %d tenants, %d workers: p50 %.2fms p99 %.2fms (hot p99 \
+        %.2fms), %.0f req/s, queue peak %d, %d plan-warm, %d cache dedups"
+       st.Serve.completed (List.length ts) jobs p50 p99 hot_p99 throughput
+       queue_peak warm
+       (Cache.observed_dedup () - dedup0));
+  serve_info :=
+    Some
+      { sv_requests = st.Serve.completed;
+        sv_rejected = st.Serve.rejected;
+        sv_dedups = Cache.observed_dedup () - dedup0;
+        sv_tenants = List.length ts;
+        sv_workers = jobs;
+        sv_queue_peak = queue_peak;
+        sv_p50_ms = p50;
+        sv_p99_ms = p99;
+        sv_hot_p99_ms = hot_p99;
+        sv_throughput = throughput;
+        sv_warm_frac = rate warm st.Serve.completed };
+  match own_dir with None -> () | Some dir -> rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", table1); ("fig11", fig11_12); ("fig12", fig11_12); ("fig13", fig13);
     ("table2", table2); ("table3", table3); ("fig14", fig14); ("ablation", ablation);
-    ("micro", micro) ]
+    ("micro", micro); ("serve", serve_bench) ]
 
+(* serve is opt-in (--serve or by name): it spawns its own worker pool and
+   its latency numbers only mean something when it owns the machine *)
 let canonical_order =
   [ "table1"; "fig11"; "fig13"; "table2"; "table3"; "fig14"; "ablation"; "micro" ]
 
@@ -1241,7 +1496,8 @@ let check_gc_budget ~minor_words0 ~retired =
   end
 
 let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
-    chrome_file profile_dir compare_file wall_tol cache_dir metrics_file =
+    chrome_file profile_dir compare_file wall_tol cache_dir metrics_file
+    serve_flag =
   (match engine with
   | `Super ->
       (* the full adaptive pipeline is the default engine: tiered
@@ -1305,6 +1561,10 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
   in
   if chrome_file <> None then Par.chrome_on := true;
   let requested = match names with [] -> canonical_order | ns -> ns in
+  let requested =
+    if serve_flag && not (List.mem "serve" requested) then requested @ [ "serve" ]
+    else requested
+  in
   List.iter
     (fun n ->
       if not (List.mem_assoc n experiments) then begin
@@ -1313,6 +1573,12 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
         exit 2
       end)
     requested;
+  if profile_dir <> None && List.mem "serve" requested then begin
+    (* the profiler is single-domain; serve's worker domains would retire
+       instructions it never sees and trip the cross-check *)
+    Printf.eprintf "--profile does not support the serve experiment\n";
+    exit 2
+  end;
   let t0 = Unix.gettimeofday () in
   let minor_words0 = (Gc.quick_stat ()).Gc.minor_words in
   (* fig11 and fig12 share one runner; run it once *)
@@ -1351,6 +1617,7 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
         Machine.reset_observed_translate ();
         Cache.reset_observed ();
         reset_cache_prep ();
+        serve_info := None;
         (* metrics reset alongside the observed counters: at dump time the
            snapshot totals must equal the machine's own counters *)
         Metrics.reset ();
@@ -1482,7 +1749,8 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
             st_ir = Machine.observed_ir ();
             st_translate_s = fst (Machine.observed_translate ());
             st_translations = snd (Machine.observed_translate ());
-            st_cache = !cache_info }
+            st_cache = !cache_info;
+            st_serve = !serve_info }
           :: !stats
       end)
     requested;
@@ -1582,6 +1850,10 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
                   (if engine_row then
                      Some (rate s.st_ic_hits (s.st_ic_hits + s.st_ic_misses))
                    else None);
+                serve_p99_ms =
+                  Option.map (fun sv -> sv.sv_p99_ms) s.st_serve;
+                serve_throughput =
+                  Option.map (fun sv -> sv.sv_throughput) s.st_serve;
                 events_dropped = Some (float_of_int s.st_dropped) } ))
           !stats
       in
@@ -1607,6 +1879,9 @@ let main names quick jobs engine no_ir no_tier no_ic json_file trace_file
   if
     !Par.jobs = 1 && trace_file = None && !cache = None && engine = `Super
     && (not no_ir) && (not no_tier) && not no_ic
+    (* serve is excluded like --cache: plan serialization and worker-domain
+       retires decouple this domain's allocation from the reported totals *)
+    && not (List.exists (fun s -> s.st_serve <> None) !stats)
   then
     check_gc_budget ~minor_words0
       ~retired:
@@ -1621,7 +1896,7 @@ let names_arg =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig11 fig12 fig13 table2 table3 fig14 \
-           ablation micro. Default: all.")
+           ablation micro serve. Default: all except serve (or use --serve).")
 
 let quick_arg =
   Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Reduced benchmark subsets and sizes.")
@@ -1768,12 +2043,28 @@ let metrics_arg =
            retired/TLB/inline-cache totals are cross-checked against the \
            machine's own counters at exit; any disagreement exits nonzero.")
 
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Also run the $(b,serve) experiment (not in the default set): an \
+           open-loop multi-tenant serving benchmark over a Domain-pool \
+           scheduler and the shared persistent translation cache. Thousands \
+           of short-lived guests plus a few hot tenants arrive on a seeded \
+           Poisson-style schedule; --json gains serve_p50_ms, serve_p99_ms, \
+           serve_hot_p99_ms, serve_throughput, serve_queue_peak, \
+           serve_dedups and per-tenant retired totals. Every pooled request \
+           is checked bit-identical to its solo run; -j N sizes the worker \
+           pool.")
+
 let cmd =
   Cmd.v
     (Cmd.info "chimera-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ names_arg $ quick_arg $ jobs_arg $ engine_arg $ no_ir_arg
       $ no_tier_arg $ no_ic_arg $ json_arg $ trace_arg $ chrome_arg
-      $ profile_arg $ compare_arg $ wall_tol_arg $ cache_arg $ metrics_arg)
+      $ profile_arg $ compare_arg $ wall_tol_arg $ cache_arg $ metrics_arg
+      $ serve_arg)
 
 let () = exit (Cmd.eval cmd)

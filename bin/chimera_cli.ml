@@ -422,6 +422,90 @@ let cmd_cache_prewarm dir file isa fuel mode tiered =
       Printf.eprintf "fuel exhausted — nothing stored\n";
       exit 1
 
+(* ---- serve ----------------------------------------------------------------- *)
+
+(* Multi-tenant rewrite-and-execute server (lib/serve): either a one-shot
+   batch over the command line's guests, or a long-running daemon on a
+   Unix-domain socket. Both share one Domain pool and (with --cache) one
+   persistent translation cache across every tenant. *)
+let cmd_serve socket guests jobs cache_dir tiered repeat max_queue fuel isa
+    metrics_out max_requests =
+  let cache = Option.map Cache.open_dir cache_dir in
+  if metrics_out <> None then Metrics.enable ();
+  let jobs = max 1 jobs in
+  let ext_workers = jobs / 2 in
+  let base_workers = jobs - ext_workers in
+  let srv = Serve.create ?cache ?max_queue ~base_workers ~ext_workers () in
+  let guest_failed = ref false in
+  (match socket with
+  | Some path ->
+      Format.printf "serving on %s: %d workers%s; RUN/SPEC/STAT/QUIT@." path jobs
+        (match cache_dir with Some d -> ", cache " ^ d | None -> "");
+      Serve.Daemon.listen srv ~path ~isa ~tiered ?max_requests ()
+  | None ->
+      if guests = [] then begin
+        Printf.eprintf
+          "serve: need guests (FILE.self or spec:<profile>) or --socket PATH\n";
+        exit 2
+      end;
+      let load a =
+        if String.length a > 5 && String.sub a 0 5 = "spec:" then begin
+          let name = String.sub a 5 (String.length a - 5) in
+          match Specgen.find name with
+          | pr -> (name, Specgen.build pr)
+          | exception Not_found ->
+              Printf.eprintf "unknown profile %s\n" name;
+              exit 2
+        end
+        else (Filename.remove_extension (Filename.basename a), Binfile.load_file a)
+      in
+      let loaded = List.map load guests in
+      for _ = 1 to max 1 repeat do
+        List.iter
+          (fun (tenant, bin) ->
+            match Serve.submit srv ~tenant ~isa ~tiered ~fuel bin with
+            | Ok _ -> ()
+            | Error `Saturated ->
+                Printf.eprintf "rejected (queue saturated): %s\n" tenant;
+                guest_failed := true)
+          loaded
+      done;
+      Serve.drain srv;
+      List.iter
+        (fun o ->
+          if o.Serve.o_exit = None then guest_failed := true;
+          Format.printf
+            "%-16s #%-4d %-10s retired=%-10d cycles=%-10d warm=%b wait_us=%d \
+             latency_us=%d@."
+            o.Serve.o_tenant o.Serve.o_id o.Serve.o_stop o.Serve.o_retired
+            o.Serve.o_cycles o.Serve.o_warm o.Serve.o_wait_us o.Serve.o_latency_us)
+        (Serve.outcomes srv);
+      let s = Serve.stats srv in
+      Format.printf "admitted %d, done %d, rejected %d, queue peak %d@."
+        s.Serve.admitted s.Serve.completed s.Serve.rejected s.Serve.peak_depth);
+  Serve.shutdown srv;
+  (match metrics_out with
+  | None -> ()
+  | Some f ->
+      let snap = Metrics.Snapshot.take () in
+      let health =
+        Metrics.Watchdog.evaluate ~prev:Metrics.Snapshot.empty ~cur:snap ()
+      in
+      let oc =
+        try open_out f
+        with Sys_error e ->
+          Printf.eprintf "cannot open output file: %s\n" e;
+          exit 2
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Metrics.Snapshot.to_prometheus ~health snap));
+      Format.printf "metrics snapshot -> %s (%s)@." f
+        (if Metrics.Watchdog.healthy health then "watchdog healthy"
+         else "watchdog DEGRADED");
+      if not (Metrics.Watchdog.healthy health) then exit 1);
+  if !guest_failed then exit 1
+
 (* ---- command line ---------------------------------------------------------- *)
 
 let gen_cmd =
@@ -569,6 +653,68 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Persistent translation cache maintenance")
     [ stat; clear; prewarm ]
 
+let serve_cmd =
+  let guests =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"GUEST"
+             ~doc:"Guests to execute: $(b,FILE.self) binaries or \
+                   $(b,spec:<profile>) synthetic benchmarks. The file/profile \
+                   name doubles as the tenant name.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on a Unix-domain socket at $(docv) instead of running a \
+               batch: a line protocol of RUN <tenant> <file.self>, \
+               SPEC <tenant> <profile>, STAT and QUIT, with synchronous \
+               OK/ERR replies.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains in the execution pool (split between the base \
+               and extension scheduler classes, with work stealing).")
+  in
+  let cache =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Shared persistent translation cache: every tenant's rewrite \
+               contexts and translation plans land in $(docv), so replicas \
+               of one digest start warm whichever tenant runs first.")
+  in
+  let tiered =
+    Arg.(value & flag & info [ "tiered" ]
+         ~doc:"Run guests under tiered execution with jalr inline caches \
+               (results are bit-identical, only dispatch changes).")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+         ~doc:"Submit the batch guest list $(docv) times (replicas share \
+               cache artifacts; handy for demonstrating warm starts).")
+  in
+  let max_queue =
+    Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Admission bound: requests arriving with $(docv) already \
+               queued are rejected (unbounded by default).")
+  in
+  let fuel = Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~doc:"Instruction budget per request.") in
+  let isa = Arg.(value & opt isa_conv Ext.rv64gcv & info [ "isa" ] ~doc:"Hart capabilities.") in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Enable metrics and dump a Prometheus snapshot (admission \
+               counters, per-tenant retired, latency histogram, health \
+               watchdog) to $(docv) at shutdown; exits nonzero if the \
+               watchdog is degraded.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+         ~doc:"With --socket: stop listening after $(docv) RUN/SPEC \
+               commands (mainly for scripted smoke tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Multi-tenant rewrite-and-execute server: admit guests into a \
+             Domain pool sharing one persistent translation cache")
+    Term.(const cmd_serve $ socket $ guests $ jobs $ cache $ tiered $ repeat
+          $ max_queue $ fuel $ isa $ metrics $ max_requests)
+
 let () =
   exit
     (Cmd.eval
@@ -576,4 +722,4 @@ let () =
           (Cmd.info "chimera" ~version:"1.0.0"
              ~doc:"Transparent ISAX heterogeneous computing via binary rewriting")
           [ gen_cmd; info_cmd; rewrite_cmd; run_cmd; profile_cmd; metrics_cmd;
-            cache_cmd ]))
+            cache_cmd; serve_cmd ]))

@@ -105,12 +105,15 @@ let digest_bin bin ~extra =
 let g_hits = Atomic.make 0
 let g_misses = Atomic.make 0
 let g_stores = Atomic.make 0
+let g_dedups = Atomic.make 0
 let observed () = (Atomic.get g_hits, Atomic.get g_misses, Atomic.get g_stores)
+let observed_dedup () = Atomic.get g_dedups
 
 let reset_observed () =
   Atomic.set g_hits 0;
   Atomic.set g_misses 0;
-  Atomic.set g_stores 0
+  Atomic.set g_stores 0;
+  Atomic.set g_dedups 0
 
 let file_size path = match Unix.stat path with
   | { Unix.st_size; _ } -> st_size
@@ -133,16 +136,32 @@ let m_entry_bytes =
   Metrics.gauge ~help:"Bytes of cache artifacts written this process"
     "chimera_cache_entry_bytes"
 
+let m_dedups =
+  Metrics.counter
+    ~help:"Stores skipped because a valid entry already held the digest"
+    "chimera_cache_dedup_total"
+
+(* Content addressing makes concurrent stores of one digest redundant, not
+   conflicting: every writer would serialize the same artifact. When a
+   valid entry already sits at [path] — another tenant won the race, or a
+   previous process populated the directory — skip the Marshal + tmp +
+   rename entirely. Only a *valid* entry short-circuits; a truncated or
+   version-skewed file is overwritten as before. *)
 let store_raw c ~key ~kind ~entries v =
   let path = path_of c ~key ~kind in
-  Container.write ~path ~magic ~version:schema_version v;
-  ignore (Atomic.fetch_and_add g_stores 1);
-  if !Metrics.enabled then begin
-    Metrics.incr m_stores;
-    Metrics.gauge_add m_entry_bytes (file_size path)
-  end;
-  if !Obs.enabled then
-    Obs.emit (Obs.Cache_store { key; entries; bytes = file_size path })
+  match Container.read ~path ~magic ~version:schema_version with
+  | Ok _ ->
+      ignore (Atomic.fetch_and_add g_dedups 1);
+      if !Metrics.enabled then Metrics.incr m_dedups
+  | Error _ ->
+      Container.write ~path ~magic ~version:schema_version v;
+      ignore (Atomic.fetch_and_add g_stores 1);
+      if !Metrics.enabled then begin
+        Metrics.incr m_stores;
+        Metrics.gauge_add m_entry_bytes (file_size path)
+      end;
+      if !Obs.enabled then
+        Obs.emit (Obs.Cache_store { key; entries; bytes = file_size path })
 
 let hit ~key ~entries ~bytes =
   ignore (Atomic.fetch_and_add g_hits 1);

@@ -63,6 +63,14 @@ val seed_plan : t -> key:string -> Machine.t -> (int, string) result
 val observed : unit -> int * int * int
 (** Process-wide [(hits, misses, stores)] since the last reset. *)
 
+val observed_dedup : unit -> int
+(** Stores skipped because a valid entry already held the digest — the
+    concurrent-tenant duplicate-store path. Content addressing makes such
+    stores redundant (every writer serializes identical bytes), so the
+    cache validates the existing entry and skips the Marshal + tmp +
+    rename instead of re-writing it; counted here and in the
+    [chimera_cache_dedup_total] metric. Reset by {!reset_observed}. *)
+
 val reset_observed : unit -> unit
 
 val stat : t -> int * int

@@ -473,7 +473,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Watchdog = struct
-  type source = Counter of string | Sum of string list
+  type source = Counter of string | Gauge of string | Sum of string list
 
   type predicate =
     | Rate_below of { num : source; den : source; min_den : int; floor : float }
@@ -519,6 +519,24 @@ module Watchdog = struct
         r_check = Burst { counter = "chimera_cache_rejects_total"; max = 256 };
       };
       {
+        r_name = "queue_saturation";
+        r_what = "scheduler queue growth per admitted serve request";
+        r_check =
+          Rate_above
+            {
+              (* Gauge delta over the window: positive when the run ends
+                 with more queued work than it started with. A server that
+                 drains before snapshotting reads 0 regardless of transient
+                 depth, so only a persistently growing backlog alarms. The
+                 floor keeps runs that never serve (every bench experiment
+                 but serve) inactive. *)
+              num = Gauge "chimera_sched_queue_depth";
+              den = Counter "chimera_serve_admitted_total";
+              min_den = 64;
+              ceil = 0.5;
+            };
+      };
+      {
         r_name = "tlb_collapse";
         r_what = "software-TLB hit rate";
         r_check =
@@ -535,6 +553,7 @@ module Watchdog = struct
 
   let source_value snap = function
     | Counter n -> Snapshot.counter_value snap n
+    | Gauge n -> Snapshot.gauge_value snap n
     | Sum ns ->
         List.fold_left (fun acc n -> acc + Snapshot.counter_value snap n) 0 ns
 

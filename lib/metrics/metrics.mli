@@ -161,6 +161,10 @@ end
 module Watchdog : sig
   type source =
     | Counter of string  (** one counter's delta *)
+    | Gauge of string
+        (** one gauge's delta — net movement over the window, so a level
+            that returns to its starting point reads 0 and only sustained
+            growth (e.g. a scheduler queue that never drains) registers *)
     | Sum of string list  (** sum of several counters' deltas *)
 
   type predicate =
@@ -180,7 +184,9 @@ module Watchdog : sig
   val default_rules : rule list
   (** [dispatch_stall] (retired advances but no block dispatches),
       [side_exit_regression] (taken side exits over dispatches),
-      [cache_reject_burst], [tlb_collapse] (TLB hit rate floor). *)
+      [cache_reject_burst], [queue_saturation] (net scheduler-queue growth
+      per admitted serve request, active once at least 64 requests were
+      admitted in the window), [tlb_collapse] (TLB hit rate floor). *)
 
   val evaluate :
     ?rules:rule list -> prev:Snapshot.t -> cur:Snapshot.t -> unit -> verdict list

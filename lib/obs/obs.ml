@@ -67,8 +67,11 @@ type event =
   | Cache_reject of { key : string; reason : string }
   | Health_ok of { rule : string }
   | Health_degraded of { rule : string; reason : string }
+  | Serve_admit of { tenant : string; id : int }
+  | Serve_done of { tenant : string; id : int; retired : int }
+  | Serve_reject of { tenant : string; id : int; reason : string }
 
-let schema_version = 7
+let schema_version = 8
 
 (* Ring sink: a fixed array filled front-to-back; when full it is handed to
    the sink and refilled from index 0. "Ring" in the double-buffer-less
@@ -331,7 +334,15 @@ module Json = struct
         obj "cache_reject" [ ("key", s key); ("reason", s reason) ]
     | Health_ok { rule } -> obj "health_ok" [ ("rule", s rule) ]
     | Health_degraded { rule; reason } ->
-        obj "health_degraded" [ ("rule", s rule); ("reason", s reason) ]);
+        obj "health_degraded" [ ("rule", s rule); ("reason", s reason) ]
+    | Serve_admit { tenant; id } ->
+        obj "serve_admit" [ ("tenant", s tenant); ("id", i id) ]
+    | Serve_done { tenant; id; retired } ->
+        obj "serve_done"
+          [ ("tenant", s tenant); ("id", i id); ("retired", i retired) ]
+    | Serve_reject { tenant; id; reason } ->
+        obj "serve_reject"
+          [ ("tenant", s tenant); ("id", i id); ("reason", s reason) ]);
     Buffer.contents buf
 
   (* A strict recursive-descent parser for exactly the flat objects the
@@ -605,6 +616,17 @@ module Json = struct
           | "health_degraded" ->
               arity 2;
               Health_degraded { rule = gets "rule"; reason = gets "reason" }
+          | "serve_admit" ->
+              arity 2;
+              Serve_admit { tenant = gets "tenant"; id = geti "id" }
+          | "serve_done" ->
+              arity 3;
+              Serve_done
+                { tenant = gets "tenant"; id = geti "id"; retired = geti "retired" }
+          | "serve_reject" ->
+              arity 3;
+              Serve_reject
+                { tenant = gets "tenant"; id = geti "id"; reason = gets "reason" }
           | _ -> raise Bad)
         with
         | ev -> Some ev
@@ -690,6 +712,9 @@ module Agg = struct
     mutable cache_rejects : int;
     mutable health_ok : int;
     mutable health_degraded : int;
+    mutable serve_admits : int;
+    mutable serve_dones : int;
+    mutable serve_rejects : int;
   }
 
   type t = {
@@ -738,6 +763,9 @@ module Agg = struct
           cache_rejects = 0;
           health_ok = 0;
           health_degraded = 0;
+          serve_admits = 0;
+          serve_dones = 0;
+          serve_rejects = 0;
         };
       sites = Hashtbl.create 64;
       bodies = [];
@@ -800,6 +828,9 @@ module Agg = struct
     | Cache_reject _ -> g.cache_rejects <- g.cache_rejects + 1
     | Health_ok _ -> g.health_ok <- g.health_ok + 1
     | Health_degraded _ -> g.health_degraded <- g.health_degraded + 1
+    | Serve_admit _ -> g.serve_admits <- g.serve_admits + 1
+    | Serve_done _ -> g.serve_dones <- g.serve_dones + 1
+    | Serve_reject _ -> g.serve_rejects <- g.serve_rejects + 1
     | Tb_profile _ -> t.profiles <- ev :: t.profiles
 
   let totals t = t.tot

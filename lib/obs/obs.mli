@@ -201,6 +201,16 @@ type event =
   | Health_degraded of { rule : string; reason : string }
       (** The watchdog rule [rule] fired; [reason] is the human-readable
           measurement (rate, counts) that tripped it. *)
+  | Serve_admit of { tenant : string; id : int }
+      (** The serve layer accepted request [id] from [tenant] into the
+          Domain-pool queue. Carries no wall-clock so traces stay
+          deterministic; latency lives in the metrics histogram. *)
+  | Serve_done of { tenant : string; id : int; retired : int }
+      (** Request [id] from [tenant] completed, retiring [retired] guest
+          instructions on whichever worker ran it. *)
+  | Serve_reject of { tenant : string; id : int; reason : string }
+      (** Admission refused request [id] from [tenant]; [reason] is
+          ["saturated"] (queue at capacity) or ["shutdown"]. *)
 
 val schema_version : int
 
@@ -315,6 +325,9 @@ module Agg : sig
     mutable cache_rejects : int;
     mutable health_ok : int;
     mutable health_degraded : int;
+    mutable serve_admits : int;
+    mutable serve_dones : int;
+    mutable serve_rejects : int;
   }
 
   val create : unit -> t

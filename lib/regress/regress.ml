@@ -5,6 +5,8 @@ type metrics = {
   chain_hit_rate : float option;
   ic_hit_rate : float option;
   events_dropped : float option;
+  serve_p99_ms : float option;
+  serve_throughput : float option;
 }
 
 type tolerance = {
@@ -206,6 +208,8 @@ let load_baseline path =
           chain_hit_rate = num_field_opt path name "chain_hit_rate" o;
           ic_hit_rate = num_field_opt path name "ic_hit_rate" o;
           events_dropped = num_field_opt path name "events_dropped" o;
+          serve_p99_ms = num_field_opt path name "serve_p99_ms" o;
+          serve_throughput = num_field_opt path name "serve_throughput" o;
         } ))
     exps
 
@@ -250,6 +254,25 @@ let compare_run ?(tol = default_tolerance) ~baseline ~current () =
               if c < floor then
                 fail name "ic hit rate %.4f below baseline %.4f - %.4f" c b
                   tol.rate_abs
+          | _ -> ());
+          (* Serving latency and throughput are wall-clock measurements, so
+             they share the wall tolerance: p99 is one-sided up (latency may
+             not inflate past baseline + wall_frac), throughput one-sided
+             down. Skipped whenever either side lacks the field — baselines
+             predating the serve bench, or runs without --serve. *)
+          (match (base.serve_p99_ms, cur.serve_p99_ms) with
+          | Some b, Some c when b > 0.0 ->
+              let limit = b *. (1.0 +. tol.wall_frac) in
+              if c > limit then
+                fail name "serve p99 %.3fms exceeds baseline %.3fms +%.0f%% (limit %.3fms)"
+                  c b (100.0 *. tol.wall_frac) limit
+          | _ -> ());
+          (match (base.serve_throughput, cur.serve_throughput) with
+          | Some b, Some c when b > 0.0 ->
+              let floor = b /. (1.0 +. tol.wall_frac) in
+              if c < floor then
+                fail name "serve throughput %.1f req/s below baseline %.1f (floor %.1f)"
+                  c b floor
           | _ -> ());
           (* dropped observability events may never increase over the
              baseline: silent loss is exactly what the field exists to

@@ -18,6 +18,11 @@
     - {b dropped observability events} may never exceed the baseline's
       count — silent event loss is what the field exists to surface.
       Skipped when either side omits it (pre-PR9 baselines).
+    - {b serve p99 latency} may grow by at most [wall_frac] (one-sided up)
+      and {b serve throughput} may shrink by the same factor (one-sided
+      down) — both are wall-clock measurements from the open-loop serving
+      bench. Skipped when either side omits them (pre-PR10 baselines, or
+      runs without [--serve]).
 
     Experiments present on only one side are ignored (suites evolve);
     improvements never fail the gate. *)
@@ -31,6 +36,12 @@ type metrics = {
   chain_hit_rate : float option;
   ic_hit_rate : float option;
   events_dropped : float option;
+  serve_p99_ms : float option;
+      (** p99 request latency from the serving bench; gated one-sided
+          against baseline growth, skipped when absent *)
+  serve_throughput : float option;
+      (** completed serve requests per second; gated one-sided against
+          baseline shrinkage, skipped when absent *)
 }
 
 type tolerance = {

@@ -217,3 +217,169 @@ let pp_result fmt r =
   Format.fprintf fmt
     "latency %d, cpu %d, tasks %d (%d accelerated), migrations %d" r.latency
     r.cpu_time r.tasks_total r.tasks_accelerated r.migrations
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor twin of [run]: the same two-class/steal shape, but over
+   real [Domain]s executing real work instead of simulated cycles. It
+   shares the simulator's telemetry — [chimera_sched_queue_depth] moves
+   +1 on submit and -1 on dequeue, cross-class pulls count into
+   [chimera_sched_steals_total] — so the watchdog's queue-saturation rule
+   reads one gauge regardless of which scheduler produced the load.
+
+   Obs events are deliberately absent here: the ring sink is
+   single-domain, and jobs complete on worker domains. Callers that want
+   per-job events (lib/serve) emit them from the submitting domain. *)
+module Pool = struct
+  type job = { j_prefer_ext : bool; j_run : core_class -> unit }
+
+  type t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;  (* new job, or shutdown *)
+    idle : Condition.t;  (* pending hit zero *)
+    base_q : job Queue.t;
+    ext_q : job Queue.t;
+    steal : bool;
+    base_workers : int;
+    ext_workers : int;
+    mutable queued : int;
+    mutable peak : int;
+    mutable pending : int;  (* queued + running *)
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  (* Own queue first; the other class's queue only when stealing is on.
+     Unlike the simulator there is no [forced_ext]: pool jobs carry their
+     whole configuration, so any worker class can run any job and the
+     class is a placement preference, not a capability. *)
+  let take_locked t cls =
+    let own, other =
+      match cls with
+      | Base -> (t.base_q, t.ext_q)
+      | Extension -> (t.ext_q, t.base_q)
+    in
+    match Queue.take_opt own with
+    | Some j -> Some (j, false)
+    | None -> (
+        if not t.steal then None
+        else
+          match Queue.take_opt other with
+          | Some j -> Some (j, true)
+          | None -> None)
+
+  let worker t cls =
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mu;
+      let rec pick () =
+        match take_locked t cls with
+        | Some _ as r -> r
+        | None ->
+            if t.stop then None
+            else begin
+              Condition.wait t.nonempty t.mu;
+              pick ()
+            end
+      in
+      match pick () with
+      | None ->
+          Mutex.unlock t.mu;
+          running := false
+      | Some (j, stolen) ->
+          t.queued <- t.queued - 1;
+          Mutex.unlock t.mu;
+          if !Metrics.enabled then begin
+            Metrics.gauge_add m_queue_depth (-1);
+            if stolen then Metrics.incr m_steals
+          end;
+          (* A raising job must not kill the worker or wedge [drain];
+             callers that care about failures capture them in the closure
+             (lib/serve folds them into the outcome). *)
+          (try j.j_run cls with _ -> ());
+          Mutex.lock t.mu;
+          t.pending <- t.pending - 1;
+          if t.pending = 0 then Condition.broadcast t.idle;
+          Mutex.unlock t.mu
+    done
+
+  let create ?(steal = true) ~base ~ext () =
+    if base < 0 || ext < 0 || base + ext = 0 then
+      invalid_arg "Sched.Pool.create: need at least one worker";
+    let t =
+      {
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        base_q = Queue.create ();
+        ext_q = Queue.create ();
+        steal;
+        base_workers = base;
+        ext_workers = ext;
+        queued = 0;
+        peak = 0;
+        pending = 0;
+        stop = false;
+        workers = [];
+      }
+    in
+    let spawn cls = Domain.spawn (fun () -> worker t cls) in
+    t.workers <-
+      List.init base (fun _ -> spawn Base)
+      @ List.init ext (fun _ -> spawn Extension);
+    t
+
+  let submit t ~prefer_ext f =
+    Mutex.lock t.mu;
+    if t.stop then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Sched.Pool.submit: pool is shut down"
+    end;
+    let j = { j_prefer_ext = prefer_ext; j_run = f } in
+    (* A class with no workers only drains through steals; route around it
+       entirely when stealing is off so the job cannot strand. *)
+    let q =
+      if j.j_prefer_ext then if t.ext_workers > 0 || t.steal then t.ext_q else t.base_q
+      else if t.base_workers > 0 || t.steal then t.base_q
+      else t.ext_q
+    in
+    Queue.push j q;
+    t.queued <- t.queued + 1;
+    if t.queued > t.peak then t.peak <- t.queued;
+    t.pending <- t.pending + 1;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    if !Metrics.enabled then Metrics.gauge_add m_queue_depth 1
+
+  let queue_depth t =
+    Mutex.lock t.mu;
+    let d = t.queued in
+    Mutex.unlock t.mu;
+    d
+
+  let peak_depth t =
+    Mutex.lock t.mu;
+    let d = t.peak in
+    Mutex.unlock t.mu;
+    d
+
+  let drain t =
+    Mutex.lock t.mu;
+    while t.pending > 0 do
+      Condition.wait t.idle t.mu
+    done;
+    Mutex.unlock t.mu
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    if not t.stop then begin
+      t.stop <- true;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mu;
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    end
+    else Mutex.unlock t.mu
+end

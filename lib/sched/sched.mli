@@ -54,3 +54,41 @@ type result = {
 val run : config -> task list -> result
 
 val pp_result : Format.formatter -> result -> unit
+
+(** Real-[Domain] executor with the simulator's two-class/steal shape.
+
+    Workers are spawned per class at {!Pool.create}; jobs carry a class
+    preference and any worker may run any job (cross-class pulls count as
+    steals when stealing is enabled). Shares the simulator's telemetry:
+    [chimera_sched_queue_depth] moves +1 on submit / -1 on dequeue — the
+    gauge behind the watchdog's queue-saturation rule — and cross-class
+    pulls bump [chimera_sched_steals_total]. Emits no Obs events (the ring
+    sink is single-domain; jobs complete on workers): callers emit their
+    own from the submitting domain, as [lib/serve] does. *)
+module Pool : sig
+  type t
+
+  val create : ?steal:bool -> base:int -> ext:int -> unit -> t
+  (** Spawn [base] base-class and [ext] extension-class worker domains
+      ([steal] defaults to [true]).
+      @raise Invalid_argument when [base + ext = 0] or either is negative. *)
+
+  val submit : t -> prefer_ext:bool -> (core_class -> unit) -> unit
+  (** Enqueue a job; it runs exactly once, on some worker, which passes the
+      class it ran on. Jobs that raise are swallowed (capture failures in
+      the closure).
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val queue_depth : t -> int
+  (** Jobs queued and not yet picked up (running jobs excluded). *)
+
+  val peak_depth : t -> int
+  (** High-water mark of {!queue_depth} since creation. *)
+
+  val drain : t -> unit
+  (** Block until every submitted job has completed. *)
+
+  val shutdown : t -> unit
+  (** Drain the queues, stop the workers and join them. Idempotent;
+      further {!submit}s raise. *)
+end

@@ -117,7 +117,17 @@ let event_gen =
         map2
           (fun rule reason -> Obs.Health_degraded { rule; reason })
           (oneofl [ "side_exit_regression"; "cache_reject_burst" ])
-          name ])
+          name;
+        map2
+          (fun tenant id -> Obs.Serve_admit { tenant; id })
+          name (int_range 0 10_000);
+        map3
+          (fun tenant id retired -> Obs.Serve_done { tenant; id; retired })
+          name (int_range 0 10_000) addr;
+        map3
+          (fun tenant id reason -> Obs.Serve_reject { tenant; id; reason })
+          name (int_range 0 10_000)
+          (oneofl [ "saturated"; "shutdown" ]) ])
 
 let prop_json_roundtrip =
   QCheck.Test.make ~name:"obs: JSONL encoding round-trips" ~count:500
